@@ -1,0 +1,217 @@
+package lowsensing
+
+// This file is the benchmark harness entry point (deliverable (d)): one
+// testing.B target per experiment of DESIGN.md §5. Each BenchmarkE*/A*
+// target re-runs the corresponding harness experiment end to end at small
+// scale; `go run ./cmd/experiments` regenerates the full-scale tables
+// recorded in EXPERIMENTS.md. Additional micro-benchmarks measure the
+// simulator substrate itself.
+
+import (
+	"strconv"
+	"testing"
+
+	"lowsensing/internal/arrivals"
+	"lowsensing/internal/core"
+	"lowsensing/internal/harness"
+	"lowsensing/internal/jamming"
+	"lowsensing/internal/livenet"
+	"lowsensing/internal/prng"
+	"lowsensing/internal/sim"
+)
+
+// benchExperiment runs one registered experiment per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	exp, err := harness.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rc := harness.SmallRunConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rc.Seed = 20240617 + uint64(i)
+		if _, err := exp.Run(rc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE1BatchThroughput regenerates E1 (Cor 1.4): batch throughput of
+// LSB vs BEB vs full-sensing baselines across N.
+func BenchmarkE1BatchThroughput(b *testing.B) { benchExperiment(b, "E1") }
+
+// BenchmarkE2EnergyScaling regenerates E2 (Thm 1.6): per-packet channel
+// accesses vs N with growth-class fits.
+func BenchmarkE2EnergyScaling(b *testing.B) { benchExperiment(b, "E2") }
+
+// BenchmarkE3JammingThroughput regenerates E3 (Cor 1.4 with jamming).
+func BenchmarkE3JammingThroughput(b *testing.B) { benchExperiment(b, "E3") }
+
+// BenchmarkE4QueueBacklog regenerates E4 (Cor 1.5): O(S) backlog under
+// adversarial-queuing arrivals.
+func BenchmarkE4QueueBacklog(b *testing.B) { benchExperiment(b, "E4") }
+
+// BenchmarkE5QueueEnergy regenerates E5 (Thm 1.7): polylog(S) accesses
+// under adversarial-queuing arrivals.
+func BenchmarkE5QueueEnergy(b *testing.B) { benchExperiment(b, "E5") }
+
+// BenchmarkE6ReactiveJamming regenerates E6 (Thm 1.9): targeted reactive
+// jamming inflates the victim, not the average.
+func BenchmarkE6ReactiveJamming(b *testing.B) { benchExperiment(b, "E6") }
+
+// BenchmarkE7EnergyComparison regenerates E7: the cross-protocol
+// energy/throughput table.
+func BenchmarkE7EnergyComparison(b *testing.B) { benchExperiment(b, "E7") }
+
+// BenchmarkE8PotentialTrajectory regenerates E8 (§4.2): the Φ(t) drain.
+func BenchmarkE8PotentialTrajectory(b *testing.B) { benchExperiment(b, "E8") }
+
+// BenchmarkE9WindowTrace regenerates E9 (Figure 1): the slot-level trace.
+func BenchmarkE9WindowTrace(b *testing.B) { benchExperiment(b, "E9") }
+
+// BenchmarkE10Fairness regenerates E10 (§6 open problem): latency fairness
+// of LSB vs baselines.
+func BenchmarkE10Fairness(b *testing.B) { benchExperiment(b, "E10") }
+
+// BenchmarkE11SawtoothDynamics regenerates E11: oblivious sawtooth backoff
+// vs LSB across batch and dynamic workloads.
+func BenchmarkE11SawtoothDynamics(b *testing.B) { benchExperiment(b, "E11") }
+
+// BenchmarkE12FeedbackAblation regenerates E12: LSB under binary
+// (no-collision-detection) feedback.
+func BenchmarkE12FeedbackAblation(b *testing.B) { benchExperiment(b, "E12") }
+
+// BenchmarkE13CapacitySweep regenerates E13: steady-state capacity under
+// Bernoulli arrivals.
+func BenchmarkE13CapacitySweep(b *testing.B) { benchExperiment(b, "E13") }
+
+// BenchmarkE14InfiniteStream regenerates E14 (Thm 1.3/1.8): implicit
+// throughput at every checkpoint of an infinite jammed stream.
+func BenchmarkE14InfiniteStream(b *testing.B) { benchExperiment(b, "E14") }
+
+// BenchmarkE15Deadlines regenerates E15 (§6 extension): deadline-miss rate
+// vs jamming volume.
+func BenchmarkE15Deadlines(b *testing.B) { benchExperiment(b, "E15") }
+
+// BenchmarkA1UpdateRuleAblation regenerates A1: paper update rule vs
+// doubling.
+func BenchmarkA1UpdateRuleAblation(b *testing.B) { benchExperiment(b, "A1") }
+
+// BenchmarkA2ParameterSweep regenerates A2: (c, w_min) sensitivity.
+func BenchmarkA2ParameterSweep(b *testing.B) { benchExperiment(b, "A2") }
+
+// BenchmarkA3LnPowerAblation regenerates A3: the ln-exponent k of the
+// access probability.
+func BenchmarkA3LnPowerAblation(b *testing.B) { benchExperiment(b, "A3") }
+
+// --- substrate micro-benchmarks ---
+
+// BenchmarkEngineBatchLSB measures end-to-end simulation cost for LSB
+// batches of increasing size; ns/op divided by N approximates cost per
+// packet delivered.
+func BenchmarkEngineBatchLSB(b *testing.B) {
+	for _, n := range []int64{256, 1024, 4096} {
+		b.Run("N="+strconv.FormatInt(n, 10), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e, err := sim.NewEngine(sim.Params{
+					Seed:       uint64(i) + 1,
+					Arrivals:   arrivals.NewBatch(n),
+					NewStation: core.MustFactory(core.Default()),
+					MaxSlots:   1 << 26,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				r, err := e.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if r.Completed != n {
+					b.Fatalf("incomplete run: %d/%d", r.Completed, n)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineJammedLSB measures simulation cost under 25% random
+// jamming.
+func BenchmarkEngineJammedLSB(b *testing.B) {
+	const n = 1024
+	for i := 0; i < b.N; i++ {
+		jam, err := jamming.NewRandom(0.25, 0, uint64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e, err := sim.NewEngine(sim.Params{
+			Seed:       uint64(i) + 1,
+			Arrivals:   arrivals.NewBatch(n),
+			NewStation: core.MustFactory(core.Default()),
+			Jammer:     jam,
+			MaxSlots:   1 << 26,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScheduleNext measures the per-event cost of the core algorithm's
+// scheduling path (geometric gap + send coin).
+func BenchmarkScheduleNext(b *testing.B) {
+	p, err := core.NewPacket(core.Default())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := prng.New(1)
+	var sink int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slot, _ := p.ScheduleNext(int64(i), rng)
+		sink ^= slot
+	}
+	_ = sink
+}
+
+// BenchmarkObserve measures the window-update cost.
+func BenchmarkObserve(b *testing.B) {
+	p, err := core.NewPacket(core.Default())
+	if err != nil {
+		b.Fatal(err)
+	}
+	obs := []sim.Observation{
+		{Outcome: sim.OutcomeNoisy},
+		{Outcome: sim.OutcomeEmpty},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Observe(obs[i&1])
+	}
+}
+
+// BenchmarkLivenet measures the concurrent goroutine-per-device substrate.
+func BenchmarkLivenet(b *testing.B) {
+	cfg := core.Default()
+	for i := 0; i < b.N; i++ {
+		res, err := livenet.Run(32, livenet.Config{
+			Seed: uint64(i) + 1,
+			NewDevice: func(_ int, _ *prng.Source) livenet.Device {
+				p, err := core.NewPacket(cfg)
+				if err != nil {
+					panic(err)
+				}
+				return p
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Delivered != 32 {
+			b.Fatal("incomplete live run")
+		}
+	}
+}

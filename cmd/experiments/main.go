@@ -1,0 +1,90 @@
+// Command experiments regenerates the reproduction's tables (DESIGN.md §5,
+// recorded in EXPERIMENTS.md). By default it runs every experiment at full
+// scale and prints ASCII tables to stdout; -outdir also writes one .txt and
+// one .csv per experiment.
+//
+// Examples:
+//
+//	experiments                       # everything, full scale
+//	experiments -id E1,E2 -scale small
+//	experiments -outdir results/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"lowsensing/internal/harness"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	var (
+		idList = flag.String("id", "all", "comma-separated experiment IDs, or \"all\"")
+		scale  = flag.String("scale", "full", "sweep scale: full or small")
+		reps   = flag.Int("reps", 0, "replications per data point (0 = scale default)")
+		seed   = flag.Uint64("seed", 0, "base seed (0 = default)")
+		outdir = flag.String("outdir", "", "directory to write per-experiment .txt/.csv (optional)")
+	)
+	flag.Parse()
+
+	rc := harness.DefaultRunConfig()
+	if *scale == "small" {
+		rc = harness.SmallRunConfig()
+	} else if *scale != "full" {
+		log.Fatalf("unknown scale %q", *scale)
+	}
+	if *reps > 0 {
+		rc.Reps = *reps
+	}
+	if *seed != 0 {
+		rc.Seed = *seed
+	}
+
+	var exps []harness.Experiment
+	if *idList == "all" {
+		exps = harness.All()
+	} else {
+		for _, id := range strings.Split(*idList, ",") {
+			e, err := harness.ByID(strings.TrimSpace(id))
+			if err != nil {
+				log.Fatal(err)
+			}
+			exps = append(exps, e)
+		}
+	}
+
+	if *outdir != "" {
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	for _, exp := range exps {
+		start := time.Now()
+		tab, err := exp.Run(rc)
+		if err != nil {
+			log.Fatalf("%s: %v", exp.ID, err)
+		}
+		elapsed := time.Since(start).Round(time.Millisecond)
+		fmt.Println(tab)
+		fmt.Printf("(%s completed in %s)\n\n", exp.ID, elapsed)
+		if *outdir != "" {
+			txt := filepath.Join(*outdir, exp.ID+".txt")
+			if err := os.WriteFile(txt, []byte(tab.String()), 0o644); err != nil {
+				log.Fatal(err)
+			}
+			csv := filepath.Join(*outdir, exp.ID+".csv")
+			if err := os.WriteFile(csv, []byte(tab.CSV()), 0o644); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,184 @@
+// Command lsbsim runs one contention-resolution simulation and prints a
+// summary: throughput, implicit throughput, active/jammed slots, and
+// per-packet energy statistics.
+//
+// Examples:
+//
+//	lsbsim -n 4096                                # LSB, batch of 4096
+//	lsbsim -n 1024 -protocol beb                  # binary exponential backoff
+//	lsbsim -n 1024 -arrivals poisson -rate 0.1    # Poisson arrivals
+//	lsbsim -n 1024 -jam random -jamrate 0.25      # random jamming
+//	lsbsim -n 1024 -jam reactive -jambudget 64    # reactive jam on packet 0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"lowsensing/internal/arrivals"
+	"lowsensing/internal/core"
+	"lowsensing/internal/jamming"
+	"lowsensing/internal/metrics"
+	"lowsensing/internal/protocols"
+	"lowsensing/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lsbsim: ")
+
+	var (
+		n         = flag.Int64("n", 1024, "number of packets")
+		protocol  = flag.String("protocol", "lsb", "protocol: lsb, beb, poly, aloha, mwu, genie")
+		arrival   = flag.String("arrivals", "batch", "arrival process: batch, bernoulli, poisson, aqt, file")
+		traceFile = flag.String("tracefile", "", "arrival trace file for -arrivals file (lines: slot count)")
+		rate      = flag.Float64("rate", 0.1, "arrival rate (bernoulli/poisson) or lambda (aqt)")
+		gran      = flag.Int64("granularity", 1024, "aqt granularity S")
+		jam       = flag.String("jam", "none", "jammer: none, random, burst, reactive")
+		jamRate   = flag.Float64("jamrate", 0.25, "random jam rate")
+		jamFrom   = flag.Int64("jamfrom", 0, "burst jam start slot")
+		jamTo     = flag.Int64("jamto", 1024, "burst jam end slot (exclusive)")
+		jamBudget = flag.Int64("jambudget", 0, "jam budget (0 = unbounded; reactive target is packet 0)")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		maxSlots  = flag.Int64("maxslots", 0, "slot cap (0 = generous default)")
+		c         = flag.Float64("c", 0, "LSB constant c (0 = default)")
+		wmin      = flag.Float64("wmin", 0, "LSB minimum window (0 = default)")
+	)
+	flag.Parse()
+
+	factory, err := makeFactory(*protocol, *n, *c, *wmin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	src, err := makeArrivals(*arrival, *traceFile, *n, *rate, *gran, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	jammer, err := makeJammer(*jam, *jamRate, *jamFrom, *jamTo, *jamBudget, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cap := *maxSlots
+	if cap == 0 {
+		cap = 2000**n + (1 << 22)
+	}
+
+	e, err := sim.NewEngine(sim.Params{
+		Seed:       *seed,
+		Arrivals:   src,
+		NewStation: factory,
+		Jammer:     jammer,
+		MaxSlots:   cap,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := e.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	es := metrics.SummarizeEnergy(r)
+	fmt.Printf("protocol            %s\n", *protocol)
+	fmt.Printf("packets             %d arrived, %d delivered", r.Arrived, r.Completed)
+	if r.Truncated {
+		fmt.Printf("  (TRUNCATED at slot %d)", r.LastSlot)
+	}
+	fmt.Println()
+	fmt.Printf("active slots        %d\n", r.ActiveSlots)
+	fmt.Printf("jammed slots        %d\n", r.JammedSlots)
+	fmt.Printf("throughput          %.4f   (T+J)/S\n", r.Throughput())
+	fmt.Printf("implicit throughput %.4f   (N+J)/S\n", r.ImplicitThroughput())
+	fmt.Printf("sends/packet        mean %.1f  p99 %.0f  max %.0f\n", es.Sends.Mean, es.Sends.P99, es.Sends.Max)
+	fmt.Printf("listens/packet      mean %.1f  p99 %.0f  max %.0f\n", es.Listens.Mean, es.Listens.P99, es.Listens.Max)
+	fmt.Printf("accesses/packet     mean %.1f  p99 %.0f  max %.0f\n", es.Accesses.Mean, es.Accesses.P99, es.Accesses.Max)
+	if es.Latency.N > 0 {
+		fmt.Printf("latency (slots)     mean %.1f  p99 %.0f  max %.0f\n", es.Latency.Mean, es.Latency.P99, es.Latency.Max)
+	}
+	if es.Undelivered > 0 {
+		fmt.Printf("undelivered         %d\n", es.Undelivered)
+		os.Exit(2)
+	}
+}
+
+func makeFactory(name string, n int64, c, wmin float64) (sim.StationFactory, error) {
+	switch name {
+	case "lsb":
+		cfg := core.Default()
+		if c > 0 {
+			cfg.C = c
+		}
+		if wmin > 0 {
+			cfg.WMin = wmin
+		}
+		return core.NewFactory(cfg)
+	case "beb":
+		return protocols.NewBEBFactory(2, 0)
+	case "poly":
+		return protocols.NewPolyFactory(2, 2)
+	case "aloha":
+		return protocols.NewAlohaFactory(1 / float64(n))
+	case "mwu":
+		return protocols.NewMWUFactory(protocols.DefaultMWUConfig())
+	case "genie":
+		return protocols.NewGenieAlohaFactory(), nil
+	default:
+		return nil, fmt.Errorf("unknown protocol %q", name)
+	}
+}
+
+func makeArrivals(kind, traceFile string, n int64, rate float64, gran int64, seed uint64) (sim.ArrivalSource, error) {
+	switch kind {
+	case "file":
+		if traceFile == "" {
+			return nil, fmt.Errorf("-arrivals file requires -tracefile")
+		}
+		f, err := os.Open(traceFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return arrivals.ParseTrace(f)
+	case "batch":
+		if n <= 0 {
+			return nil, fmt.Errorf("batch needs -n > 0")
+		}
+		return arrivals.NewBatch(n), nil
+	case "bernoulli":
+		return arrivals.NewBernoulli(rate, n, seed)
+	case "poisson":
+		return arrivals.NewPoisson(rate, n, seed)
+	case "aqt":
+		windows := n / max64(1, int64(rate*float64(gran)))
+		if windows < 1 {
+			windows = 1
+		}
+		return arrivals.NewAQT(gran, rate, windows, arrivals.AQTBurst, seed)
+	default:
+		return nil, fmt.Errorf("unknown arrival process %q", kind)
+	}
+}
+
+func makeJammer(kind string, rate float64, from, to, budget int64, seed uint64) (sim.Jammer, error) {
+	switch kind {
+	case "none":
+		return nil, nil
+	case "random":
+		return jamming.NewRandom(rate, budget, seed^0x6a)
+	case "burst":
+		return jamming.NewInterval(from, to)
+	case "reactive":
+		return jamming.NewReactiveTargeted(0, budget)
+	default:
+		return nil, fmt.Errorf("unknown jammer %q", kind)
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

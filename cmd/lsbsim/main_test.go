@@ -1,0 +1,91 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestMakeFactory(t *testing.T) {
+	for _, name := range []string{"lsb", "beb", "poly", "aloha", "mwu", "genie"} {
+		f, err := makeFactory(name, 64, 0, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if f == nil {
+			t.Fatalf("%s: nil factory", name)
+		}
+	}
+	if _, err := makeFactory("nope", 64, 0, 0); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+	// LSB overrides flow through validation.
+	if _, err := makeFactory("lsb", 64, 10, 8); err == nil {
+		t.Fatal("invalid lsb overrides accepted")
+	}
+	if _, err := makeFactory("lsb", 64, 1, 128); err != nil {
+		t.Fatalf("valid overrides rejected: %v", err)
+	}
+}
+
+func TestMakeArrivals(t *testing.T) {
+	for _, kind := range []string{"batch", "bernoulli", "poisson", "aqt"} {
+		src, err := makeArrivals(kind, "", 100, 0.1, 256, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		slot, count, ok := src.Next()
+		if !ok || count <= 0 || slot < 0 {
+			t.Fatalf("%s: first batch (%d,%d,%v)", kind, slot, count, ok)
+		}
+	}
+	if _, err := makeArrivals("nope", "", 100, 0.1, 256, 1); err == nil {
+		t.Fatal("unknown arrivals accepted")
+	}
+	if _, err := makeArrivals("batch", "", 0, 0.1, 256, 1); err == nil {
+		t.Fatal("batch with n=0 accepted")
+	}
+	if _, err := makeArrivals("file", "", 100, 0.1, 256, 1); err == nil {
+		t.Fatal("file arrivals without tracefile accepted")
+	}
+}
+
+func TestMakeArrivalsFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.txt")
+	if err := os.WriteFile(path, []byte("0 3\n10 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, err := makeArrivals("file", path, 0, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slot, count, ok := src.Next()
+	if !ok || slot != 0 || count != 3 {
+		t.Fatalf("first batch = (%d,%d,%v)", slot, count, ok)
+	}
+	if _, err := makeArrivals("file", filepath.Join(dir, "missing.txt"), 0, 0, 0, 1); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestMakeJammer(t *testing.T) {
+	if j, err := makeJammer("none", 0.5, 0, 10, 0, 1); err != nil || j != nil {
+		t.Fatalf("none: %v, %v", j, err)
+	}
+	for _, kind := range []string{"random", "burst", "reactive"} {
+		j, err := makeJammer(kind, 0.5, 0, 10, 5, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if j == nil {
+			t.Fatalf("%s: nil jammer", kind)
+		}
+	}
+	if _, err := makeJammer("nope", 0.5, 0, 10, 0, 1); err == nil {
+		t.Fatal("unknown jammer accepted")
+	}
+	if _, err := makeJammer("burst", 0.5, 10, 10, 0, 1); err == nil {
+		t.Fatal("empty burst accepted")
+	}
+}

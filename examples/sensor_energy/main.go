@@ -1,0 +1,69 @@
+// Sensor-network energy budget: a field of battery-powered sensors shares
+// one radio channel. When an event happens (a tremor, a perimeter breach),
+// every sensor that saw it wakes up and must deliver a report — the classic
+// correlated-burst workload that makes contention resolution hard. Every
+// channel access (send or listen) costs radio energy, so the MAC layer's
+// listening discipline determines battery life.
+//
+// This example fires a burst of simultaneous reports and compares
+// LOW-SENSING BACKOFF against a full-sensing multiplicative-weights MAC,
+// converting measured channel accesses into battery lifetime. It then
+// re-runs both under light background traffic to show the flip side: when
+// the channel is idle, short feedback loops are cheap and LSB's advantage
+// is about congestion, not idle load.
+//
+// Run with:
+//
+//	go run ./examples/sensor_energy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lowsensing"
+)
+
+const (
+	sensors = 2048 // sensors reporting one event simultaneously
+	seed    = 7
+	// Energy model (order-of-magnitude 802.15.4 numbers): one slot of
+	// radio activity — transmit or receive — costs ~60 µJ; a coin cell
+	// holds ~2 kJ usable.
+	joulesPerAccess = 60e-6
+	batteryJoules   = 2000.0
+)
+
+func run(name string, arrival lowsensing.Option, opts ...lowsensing.Option) (meanAcc float64) {
+	all := append([]lowsensing.Option{lowsensing.WithSeed(seed), arrival}, opts...)
+	res, err := lowsensing.NewSimulation(all...).Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	es := lowsensing.SummarizeEnergy(res)
+	perReportJ := es.Accesses.Mean * joulesPerAccess
+	fmt.Printf("  %-18s delivered %5d/%5d  tput %.3f  acc/report mean %7.1f (send %4.1f + listen %7.1f)\n",
+		name, res.Completed, res.Arrived, res.Throughput(), es.Accesses.Mean, es.Sends.Mean, es.Listens.Mean)
+	fmt.Printf("  %-18s radio %.2f mJ/report -> ~%.2fM reports per battery\n",
+		"", perReportJ*1e3, batteryJoules/perReportJ/1e6)
+	return es.Accesses.Mean
+}
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Printf("event burst: %d sensors report at once (%.0f µJ per radio slot)\n\n", sensors, joulesPerAccess*1e6)
+	burst := lowsensing.WithBatchArrivals(sensors)
+	lsbAcc := run("LOW-SENSING", burst)
+	mwuAcc := run("full-sensing MWU", burst, lowsensing.WithFullSensingMWU())
+	fmt.Printf("\n  under the burst, full sensing pays %.0fx more radio energy per report:\n", mwuAcc/lsbAcc)
+	fmt.Println("  a backlogged MWU sensor listens in EVERY slot until it gets through,")
+	fmt.Println("  so its cost scales with the burst size; LSB's stays polylogarithmic.")
+
+	fmt.Printf("\nbackground traffic: sparse Poisson reports (rate 0.05/slot)\n\n")
+	sparse := lowsensing.WithPoissonArrivals(0.05, 4096)
+	run("LOW-SENSING", sparse)
+	run("full-sensing MWU", sparse, lowsensing.WithFullSensingMWU())
+	fmt.Println("\n  with an idle channel both MACs are cheap — the paper's result is that")
+	fmt.Println("  you no longer pay a congestion-sized listening bill when bursts hit.")
+}

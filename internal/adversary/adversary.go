@@ -1,0 +1,180 @@
+// Package adversary implements coupled adaptive adversaries: arrival and
+// jamming strategies that observe the public state of the system (backlog,
+// outcomes, counts through the previous slot) and react, within the powers
+// the model grants an adaptive adversary (§1.1).
+//
+// The strategies mirror the structure of the paper's betting-game analysis
+// (§5.5): the adversary holds a budget of "passive income" — packet
+// injections plus jammed slots — and chooses when to spend it, trying to
+// keep the potential high. Theorem 1.3 says no spending schedule breaks
+// constant implicit throughput; the tests in this package check exactly
+// that against these strategies.
+package adversary
+
+import (
+	"fmt"
+
+	"lowsensing/internal/sim"
+)
+
+// DrainAwareBursts is an adaptive arrival source that injects a burst each
+// time the previous burst was consumed, scheduling the next burst around
+// the moment it expects the system to have drained: now + Gap +
+// DrainFactor × current backlog. Larger backlogs push the next burst
+// further out (the adversary waits for the system to empty so every burst
+// hits a cold start — the hardest timing the model allows without future
+// knowledge).
+type DrainAwareBursts struct {
+	// Burst is the number of packets per burst.
+	Burst int64
+	// Bursts is the total number of bursts to inject.
+	Bursts int64
+	// Gap is the minimum spacing between bursts in slots.
+	Gap int64
+	// DrainFactor scales the backlog-proportional delay.
+	DrainFactor int64
+
+	eng  *sim.Engine
+	sent int64
+}
+
+// NewDrainAwareBursts validates and returns the source.
+func NewDrainAwareBursts(burst, bursts, gap, drainFactor int64) (*DrainAwareBursts, error) {
+	if burst <= 0 || bursts <= 0 {
+		return nil, fmt.Errorf("adversary: burst and bursts must be > 0, got %d, %d", burst, bursts)
+	}
+	if gap < 1 {
+		return nil, fmt.Errorf("adversary: gap must be >= 1, got %d", gap)
+	}
+	if drainFactor < 0 {
+		return nil, fmt.Errorf("adversary: drain factor must be >= 0, got %d", drainFactor)
+	}
+	return &DrainAwareBursts{Burst: burst, Bursts: bursts, Gap: gap, DrainFactor: drainFactor}, nil
+}
+
+// Bind implements sim.EngineBound.
+func (d *DrainAwareBursts) Bind(e *sim.Engine) { d.eng = e }
+
+// Next implements sim.ArrivalSource. The engine calls it as the previous
+// batch is injected, so the observable state is the system just before
+// this batch's slot.
+func (d *DrainAwareBursts) Next() (int64, int64, bool) {
+	if d.sent >= d.Bursts {
+		return 0, 0, false
+	}
+	var slot int64
+	if d.sent == 0 || d.eng == nil {
+		slot = 0
+	} else {
+		slot = d.eng.CurrentSlot() + d.Gap + d.DrainFactor*d.eng.Backlog()
+	}
+	d.sent++
+	return slot, d.Burst, true
+}
+
+var (
+	_ sim.ArrivalSource = (*DrainAwareBursts)(nil)
+	_ sim.EngineBound   = (*DrainAwareBursts)(nil)
+)
+
+// MomentumJammer is an adaptive jammer that spends its budget jamming the
+// slot after the system makes progress: whenever the previously resolved
+// slot was a success and packets remain, it jams. This "kill the momentum"
+// strategy maximizes disruption per jam for multiplicative-weight
+// protocols, whose windows shrink toward good contention as successes
+// accumulate.
+type MomentumJammer struct {
+	// Budget caps total jams. Zero means the jammer never fires; a
+	// negative budget means unbounded. (Zero must mean "off" so that a
+	// coupled adversary that spends its whole budget on injections ends
+	// up with a genuinely disarmed jammer.)
+	Budget int64
+
+	eng   *sim.Engine
+	spent int64
+}
+
+// NewMomentumJammer returns the jammer.
+func NewMomentumJammer(budget int64) *MomentumJammer {
+	return &MomentumJammer{Budget: budget}
+}
+
+// Bind implements sim.EngineBound.
+func (m *MomentumJammer) Bind(e *sim.Engine) { m.eng = e }
+
+// Spent returns the jams used so far.
+func (m *MomentumJammer) Spent() int64 { return m.spent }
+
+// Jammed implements sim.Jammer: jam if the last resolved slot was a success
+// and there is still a backlog to disrupt. This uses only state through the
+// previous slot, as an adaptive (non-reactive) adversary may.
+func (m *MomentumJammer) Jammed(int64) bool {
+	if m.eng == nil {
+		return false
+	}
+	if m.Budget >= 0 && m.spent >= m.Budget {
+		return false
+	}
+	if m.eng.LastOutcome() == sim.OutcomeSuccess && m.eng.Backlog() > 0 {
+		m.spent++
+		return true
+	}
+	return false
+}
+
+// CountRange implements sim.Jammer: momentum jamming only targets resolved
+// slots (jamming a slot nobody accesses wastes budget).
+func (m *MomentumJammer) CountRange(int64, int64) int64 { return 0 }
+
+var (
+	_ sim.Jammer      = (*MomentumJammer)(nil)
+	_ sim.EngineBound = (*MomentumJammer)(nil)
+)
+
+// Budgeted is a coupled adversary with a single passive-income budget P
+// split between packet injections and jams, mirroring the betting game of
+// §5.5: the bettor's total income is arrivals plus jammed slots, and
+// Theorem 1.3/Lemma 5.20 bound the damage any split can do.
+type Budgeted struct {
+	// Arrivals is the adaptive arrival component.
+	Arrivals *DrainAwareBursts
+	// Jammer is the adaptive jamming component.
+	Jammer *MomentumJammer
+	// P is the total budget the pair was built from.
+	P int64
+}
+
+// NewBudgeted splits budget P between injections (fraction arrivalShare)
+// and jams, packaging the drain-aware burst source and the momentum jammer.
+// burst fixes the per-burst size.
+func NewBudgeted(p int64, arrivalShare float64, burst int64) (*Budgeted, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("adversary: budget must be > 0, got %d", p)
+	}
+	if !(arrivalShare > 0 && arrivalShare <= 1) {
+		return nil, fmt.Errorf("adversary: arrival share must be in (0,1], got %v", arrivalShare)
+	}
+	if burst <= 0 {
+		return nil, fmt.Errorf("adversary: burst must be > 0, got %d", burst)
+	}
+	nArrivals := int64(float64(p) * arrivalShare)
+	if nArrivals < burst {
+		return nil, fmt.Errorf("adversary: budget share %d smaller than one burst %d", nArrivals, burst)
+	}
+	bursts := nArrivals / burst
+	src, err := NewDrainAwareBursts(burst, bursts, 1, 2)
+	if err != nil {
+		return nil, err
+	}
+	return &Budgeted{
+		Arrivals: src,
+		Jammer:   NewMomentumJammer(p - bursts*burst),
+		P:        p,
+	}, nil
+}
+
+// Income returns the passive income actually spent: packets injected plus
+// jams used.
+func (b *Budgeted) Income() int64 {
+	return b.Arrivals.sent*b.Arrivals.Burst + b.Jammer.Spent()
+}

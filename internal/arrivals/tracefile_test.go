@@ -1,0 +1,77 @@
+package arrivals
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseTraceFormats(t *testing.T) {
+	input := `
+# a comment
+0 5
+3,2
+
+  10	1
+`
+	tr, err := ParseTrace(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, tr, 10)
+	want := []TraceBatch{{0, 5}, {3, 2}, {10, 1}}
+	if len(got) != len(want) {
+		t.Fatalf("batches = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("batch %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestParseTraceErrors(t *testing.T) {
+	cases := map[string]string{
+		"three fields":     "1 2 3\n",
+		"bad slot":         "x 2\n",
+		"bad count":        "1 y\n",
+		"negative slot":    "-4 2\n",
+		"zero count":       "1 0\n",
+		"decreasing slots": "5 1\n3 1\n",
+	}
+	for name, input := range cases {
+		if _, err := ParseTrace(strings.NewReader(input)); err == nil {
+			t.Fatalf("%s: accepted %q", name, input)
+		}
+	}
+}
+
+func TestParseTraceEmpty(t *testing.T) {
+	tr, err := ParseTrace(strings.NewReader("# nothing\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := tr.Next(); ok {
+		t.Fatal("empty trace produced a batch")
+	}
+}
+
+func TestFormatTraceRoundTrip(t *testing.T) {
+	batches := []TraceBatch{{0, 3}, {7, 1}, {7, 2}, {100, 50}}
+	var b strings.Builder
+	if err := FormatTrace(&b, batches); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ParseTrace(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, tr, 10)
+	if len(got) != len(batches) {
+		t.Fatalf("round trip lost batches: %v", got)
+	}
+	for i := range batches {
+		if got[i] != batches[i] {
+			t.Fatalf("batch %d = %v, want %v", i, got[i], batches[i])
+		}
+	}
+}

@@ -1,0 +1,222 @@
+// Package core implements LOW-SENSING BACKOFF, the contention-resolution
+// algorithm of Bender, Fineman, Gilbert, Kuszmaul, and Young, "Fully
+// Energy-Efficient Randomized Backoff: Slow Feedback Loops Yield Fast
+// Contention Resolution" (PODC 2024), Figure 1.
+//
+// Each packet keeps a window w, initially WMin. In every slot the packet
+// accesses the channel (listens) with probability c·ln^k(w)/w and,
+// conditioned on accessing, sends with probability 1/(c·ln^k(w)) — so the
+// unconditional send probability is exactly 1/w. On hearing silence the
+// window shrinks by the factor 1 + 1/(c·ln w) (down to WMin); on hearing
+// noise it grows by the same factor; on hearing someone else's success it
+// is unchanged. The paper fixes k = 3; the exponent is configurable here so
+// ablation experiments can probe the design space.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"lowsensing/internal/dist"
+	"lowsensing/internal/prng"
+	"lowsensing/internal/sim"
+)
+
+// Config holds the parameters of LOW-SENSING BACKOFF.
+//
+// The paper requires c to be a sufficiently large constant and WMin to be a
+// sufficiently large constant with WMin > 2 and WMin/ln^k(WMin) >= c; the
+// latter guarantees the access probability never exceeds 1. Those constants
+// trade constant-factor throughput against the polylog energy constant;
+// Default returns a practical operating point (see ablation A2 in
+// EXPERIMENTS.md for the sensitivity map).
+type Config struct {
+	// C is the constant c of the algorithm.
+	C float64
+	// WMin is the minimum (and initial) window size.
+	WMin float64
+	// LnPower is the exponent k in the access probability c·ln^k(w)/w.
+	// The paper uses 3.
+	LnPower float64
+	// Update selects the window update rule. The zero value is the paper's
+	// slow multiplicative rule; UpdateDoubling is the classic-backoff
+	// ablation (DESIGN.md §6).
+	Update UpdateRule
+}
+
+// UpdateRule selects how the window reacts to feedback.
+type UpdateRule int
+
+// Window update rules.
+const (
+	// UpdatePaper is the paper's rule: multiply or divide by
+	// 1 + 1/(c·ln w).
+	UpdatePaper UpdateRule = iota
+	// UpdateDoubling is the ablation rule: double on noise, halve on
+	// silence. It overshoots — the slow feedback loop mis-tracks
+	// contention when each observation moves the window a whole octave.
+	UpdateDoubling
+)
+
+// Default returns the reference configuration used by the experiments:
+// c = 0.5, w_min = 8, k = 3. It satisfies Validate.
+func Default() Config {
+	return Config{C: 0.5, WMin: 8, LnPower: 3}
+}
+
+// Validate checks the constraints the paper places on the parameters.
+func (c Config) Validate() error {
+	if !(c.C > 0) || math.IsInf(c.C, 0) || math.IsNaN(c.C) {
+		return fmt.Errorf("core: C must be positive and finite, got %v", c.C)
+	}
+	if !(c.WMin > 2) || math.IsInf(c.WMin, 0) {
+		return fmt.Errorf("core: WMin must be > 2, got %v", c.WMin)
+	}
+	if !(c.LnPower >= 0) || math.IsNaN(c.LnPower) {
+		return fmt.Errorf("core: LnPower must be >= 0, got %v", c.LnPower)
+	}
+	if p := c.C * math.Pow(math.Log(c.WMin), c.LnPower) / c.WMin; p > 1 {
+		return fmt.Errorf("core: access probability at WMin is %v > 1; need C·ln^k(WMin) <= WMin", p)
+	}
+	if c.Update != UpdatePaper && c.Update != UpdateDoubling {
+		return fmt.Errorf("core: unknown update rule %d", c.Update)
+	}
+	return nil
+}
+
+// AccessProb returns the probability that a packet with window w accesses
+// (listens to) the channel in a slot: min(1, c·ln^k(w)/w).
+func (c Config) AccessProb(w float64) float64 {
+	p := c.C * math.Pow(math.Log(w), c.LnPower) / w
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// SendProbGivenAccess returns the probability that an accessing packet also
+// sends: min(1, 1/(c·ln^k(w))). The unconditional send probability is the
+// product AccessProb(w)·SendProbGivenAccess(w), which equals 1/w whenever
+// neither factor is clamped.
+func (c Config) SendProbGivenAccess(w float64) float64 {
+	p := 1 / (c.C * math.Pow(math.Log(w), c.LnPower))
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// UpdateFactor returns the multiplicative step 1 + 1/(c·ln w) used by both
+// back-off (grow) and back-on (shrink).
+func (c Config) UpdateFactor(w float64) float64 {
+	return 1 + 1/(c.C*math.Log(w))
+}
+
+// Backoff returns the window after hearing a noisy slot.
+func (c Config) Backoff(w float64) float64 {
+	if c.Update == UpdateDoubling {
+		return w * 2
+	}
+	return w * c.UpdateFactor(w)
+}
+
+// Backon returns the window after hearing a silent slot, floored at WMin.
+func (c Config) Backon(w float64) float64 {
+	var w2 float64
+	if c.Update == UpdateDoubling {
+		w2 = w / 2
+	} else {
+		w2 = w / c.UpdateFactor(w)
+	}
+	if w2 < c.WMin {
+		return c.WMin
+	}
+	return w2
+}
+
+// Packet is one packet running LOW-SENSING BACKOFF. It implements
+// sim.Station (event-driven scheduling) as well as the per-slot Decide
+// interface used by the real-time livenet substrate. A Packet is not safe
+// for concurrent use.
+type Packet struct {
+	cfg Config
+	w   float64
+}
+
+var (
+	_ sim.Station  = (*Packet)(nil)
+	_ sim.Windowed = (*Packet)(nil)
+)
+
+// NewPacket returns a packet in its initial state (window WMin). It returns
+// an error if the configuration is invalid.
+func NewPacket(cfg Config) (*Packet, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Packet{cfg: cfg, w: cfg.WMin}, nil
+}
+
+// NewFactory validates cfg once and returns a sim.StationFactory producing
+// LOW-SENSING BACKOFF packets.
+func NewFactory(cfg Config) (sim.StationFactory, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return func(_ int64, _ *prng.Source) sim.Station {
+		return &Packet{cfg: cfg, w: cfg.WMin}
+	}, nil
+}
+
+// MustFactory is NewFactory for known-good configurations; it panics on an
+// invalid config. Intended for examples and tests.
+func MustFactory(cfg Config) sim.StationFactory {
+	f, err := NewFactory(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Window returns the packet's current window size.
+func (p *Packet) Window() float64 { return p.w }
+
+// Config returns the packet's configuration.
+func (p *Packet) Config() Config { return p.cfg }
+
+// ScheduleNext implements sim.Station. The access probability is constant
+// between accesses (the window changes only on access), so the gap to the
+// next access is exactly Geometric(AccessProb(w)).
+func (p *Packet) ScheduleNext(from int64, rng *prng.Source) (int64, bool) {
+	gap := dist.Geometric(rng, p.cfg.AccessProb(p.w))
+	send := rng.Bernoulli(p.cfg.SendProbGivenAccess(p.w))
+	return from + gap - 1, send
+}
+
+// Decide makes the per-slot decision directly: whether the packet accesses
+// the channel this slot and, if so, whether it sends. It is equivalent in
+// distribution to ScheduleNext and is used by per-slot substrates (livenet)
+// and by the reference engine in tests.
+func (p *Packet) Decide(rng *prng.Source) (access, send bool) {
+	if !rng.Bernoulli(p.cfg.AccessProb(p.w)) {
+		return false, false
+	}
+	return true, rng.Bernoulli(p.cfg.SendProbGivenAccess(p.w))
+}
+
+// Observe implements sim.Station: apply the multiplicative window update
+// for the observed outcome. A packet that sent and did not succeed knows
+// the slot was noisy without listening (paper footnote 2); a heard success
+// (someone else's) leaves the window unchanged.
+func (p *Packet) Observe(obs sim.Observation) {
+	switch {
+	case obs.Succeeded:
+		// Departing; no state to maintain.
+	case obs.Outcome == sim.OutcomeNoisy:
+		p.w = p.cfg.Backoff(p.w)
+	case obs.Outcome == sim.OutcomeEmpty:
+		p.w = p.cfg.Backon(p.w)
+	case obs.Outcome == sim.OutcomeSuccess:
+		// Someone else succeeded: no change.
+	}
+}

@@ -1,0 +1,277 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+
+	"lowsensing/internal/arrivals"
+	"lowsensing/internal/core"
+	"lowsensing/internal/jamming"
+	"lowsensing/internal/metrics"
+	"lowsensing/internal/protocols"
+	"lowsensing/internal/sim"
+	"lowsensing/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E2",
+		Title: "Per-packet channel accesses vs N",
+		Claim: "Thm 1.6: every packet makes O(polylog N) channel accesses",
+		Run:   runE2,
+	})
+	register(Experiment{
+		ID:    "E6",
+		Title: "Reactive jamming targeted at one packet",
+		Claim: "Thm 1.9: the target pays O((J+1)·polylog N) accesses but the average stays O(polylog N)",
+		Run:   runE6,
+	})
+	register(Experiment{
+		ID:    "E7",
+		Title: "Energy comparison across protocols",
+		Claim: "LSB is the only constant-throughput protocol with polylog listens (full energy efficiency)",
+		Run:   runE7,
+	})
+}
+
+func runE2(rc RunConfig) (*Table, error) {
+	if err := rc.Validate(); err != nil {
+		return nil, err
+	}
+	ns := pick(rc, []int64{64, 128, 256, 512}, []int64{256, 1024, 4096, 16384, 65536})
+
+	t := &Table{
+		ID:      "E2",
+		Title:   "LSB per-packet channel accesses vs N (batch)",
+		Claim:   "mean and max accesses grow polylogarithmically",
+		Columns: []string{"N", "meanAcc", "p99Acc", "maxAcc", "ln^2 N", "ln^3 N"},
+	}
+
+	var xs, means, maxes []float64
+	for _, n := range ns {
+		spec := runSpec{
+			arrivals: func() sim.ArrivalSource { return arrivals.NewBatch(n) },
+			factory:  lsbFactory,
+			maxSlots: capFor(n, 0),
+		}
+		var meanAcc, p99, maxAcc float64
+		for rep := 0; rep < rc.Reps; rep++ {
+			s := spec
+			s.seed = rc.Seed + uint64(rep)*0x9e37
+			r, err := runOnce(s)
+			if err != nil {
+				return nil, err
+			}
+			es := metrics.SummarizeEnergy(r)
+			meanAcc += es.Accesses.Mean
+			p99 += es.Accesses.P99
+			if es.Accesses.Max > maxAcc {
+				maxAcc = es.Accesses.Max
+			}
+		}
+		meanAcc /= float64(rc.Reps)
+		p99 /= float64(rc.Reps)
+		ln := math.Log(float64(n))
+		t.AddRow(d(n), f(meanAcc), f(p99), f(maxAcc), f(ln*ln), f(ln*ln*ln))
+		xs = append(xs, float64(n))
+		means = append(means, meanAcc)
+		maxes = append(maxes, maxAcc)
+	}
+
+	meanFit := stats.ClassifyGrowth(xs, means)
+	maxFit := stats.ClassifyGrowth(xs, maxes)
+	t.AddNote("mean accesses growth: %s (polylog exponent %.2f, power exponent %.3f)",
+		meanFit.Class, meanFit.PolylogExponent, meanFit.PowerExponent)
+	t.AddNote("max accesses growth: %s (polylog exponent %.2f, power exponent %.3f)",
+		maxFit.Class, maxFit.PolylogExponent, maxFit.PowerExponent)
+	t.AddNote("paper predicts polylog for both; polynomial would falsify Thm 1.6")
+	return t, nil
+}
+
+func runE6(rc RunConfig) (*Table, error) {
+	if err := rc.Validate(); err != nil {
+		return nil, err
+	}
+	n := pick(rc, int64(256), int64(1024))
+	budgets := []int64{0, 4, 16, 64, 256}
+
+	t := &Table{
+		ID:      "E6",
+		Title:   fmt.Sprintf("Reactive jamming (N=%d batch): targeted at packet 0, and global", n),
+		Claim:   "target accesses grow with J; average accesses stay O((J/N+1)·polylog)",
+		Columns: []string{"jammer", "J", "targetAcc", "meanAcc", "maxAcc", "jamsSpent", "delivered"},
+	}
+
+	var js, targetAccs, meanAccs []float64
+	for _, budget := range budgets {
+		var targetAcc, meanAcc, maxAcc, spent, deliv float64
+		for rep := 0; rep < rc.Reps; rep++ {
+			var jam *jamming.ReactiveTargeted
+			spec := runSpec{
+				seed:     rc.Seed + uint64(rep)*0x9e37,
+				arrivals: func() sim.ArrivalSource { return arrivals.NewBatch(n) },
+				factory:  lsbFactory,
+				maxSlots: capFor(n, budget),
+			}
+			if budget > 0 {
+				b := budget
+				spec.jammer = func() sim.Jammer {
+					var err error
+					jam, err = jamming.NewReactiveTargeted(0, b)
+					if err != nil {
+						panic(err)
+					}
+					return jam
+				}
+			}
+			r, err := runOnce(spec)
+			if err != nil {
+				return nil, err
+			}
+			targetAcc += float64(r.Packets[0].Accesses())
+			meanAcc += r.MeanAccesses()
+			if m := float64(r.MaxAccesses()); m > maxAcc {
+				maxAcc = m
+			}
+			if jam != nil {
+				spent += float64(jam.Spent())
+			}
+			deliv += float64(r.Completed) / float64(r.Arrived)
+		}
+		reps := float64(rc.Reps)
+		t.AddRow("targeted", d(budget), f(targetAcc/reps), f(meanAcc/reps), f(maxAcc), f(spent/reps), f(deliv/reps))
+		js = append(js, float64(budget)+1)
+		targetAccs = append(targetAccs, targetAcc/reps)
+		meanAccs = append(meanAccs, meanAcc/reps)
+	}
+
+	// Second clause of Thm 1.9: a *global* reactive jammer (jams every
+	// slot in which anyone sends, budget J). The average access count may
+	// grow only like (J/N + 1)·polylog.
+	var globalMeans []float64
+	for _, budget := range []int64{0, n / 4, n, 4 * n} {
+		var meanAcc, maxAcc, spent, deliv float64
+		for rep := 0; rep < rc.Reps; rep++ {
+			var jam *jamming.ReactiveAll
+			spec := runSpec{
+				seed:     rc.Seed + uint64(rep)*0x9e37,
+				arrivals: func() sim.ArrivalSource { return arrivals.NewBatch(n) },
+				factory:  lsbFactory,
+				maxSlots: capFor(n, budget),
+			}
+			if budget > 0 {
+				b := budget
+				spec.jammer = func() sim.Jammer {
+					jam = jamming.NewReactiveAll(b)
+					return jam
+				}
+			}
+			r, err := runOnce(spec)
+			if err != nil {
+				return nil, err
+			}
+			meanAcc += r.MeanAccesses()
+			if m := float64(r.MaxAccesses()); m > maxAcc {
+				maxAcc = m
+			}
+			if jam != nil {
+				spent += float64(jam.Spent())
+			}
+			deliv += float64(r.Completed) / float64(r.Arrived)
+		}
+		reps := float64(rc.Reps)
+		t.AddRow("global", d(budget), "-", f(meanAcc/reps), f(maxAcc), f(spent/reps), f(deliv/reps))
+		globalMeans = append(globalMeans, meanAcc/reps)
+	}
+
+	t.AddNote("targeted: victim accesses grow %.1fx from J=0 to J=%d while the mean moves %.2fx",
+		targetAccs[len(targetAccs)-1]/targetAccs[0], budgets[len(budgets)-1],
+		meanAccs[len(meanAccs)-1]/meanAccs[0])
+	t.AddNote("global: J=4N inflates the MEAN only %.1fx — the (J/N+1) factor of Thm 1.9",
+		globalMeans[len(globalMeans)-1]/globalMeans[0])
+	_ = js
+	return t, nil
+}
+
+func runE7(rc RunConfig) (*Table, error) {
+	if err := rc.Validate(); err != nil {
+		return nil, err
+	}
+	n := pick(rc, int64(256), int64(2048))
+
+	alohaF := func() sim.StationFactory {
+		fa, err := protocols.NewAlohaFactory(1 / float64(n))
+		if err != nil {
+			panic(err)
+		}
+		return fa
+	}
+	polyF := func() sim.StationFactory {
+		fp, err := protocols.NewPolyFactory(2, 2)
+		if err != nil {
+			panic(err)
+		}
+		return fp
+	}
+	rows := []struct {
+		name    string
+		factory func() sim.StationFactory
+	}{
+		{"LSB", lsbFactory},
+		{"BEB", bebFactory},
+		{"Poly(a=2)", polyF},
+		{"ALOHA 1/N", alohaF},
+		{"MWU", mwuFactory},
+		{"Genie", protocols.NewGenieAlohaFactory},
+	}
+
+	t := &Table{
+		ID:      "E7",
+		Title:   fmt.Sprintf("Protocol comparison (N=%d batch)", n),
+		Claim:   "only LSB combines Θ(1) throughput with polylog sends AND listens",
+		Columns: []string{"protocol", "tput", "S", "sends/pkt", "listens/pkt", "acc/pkt", "maxAcc"},
+	}
+
+	var lsbListens, mwuListens float64
+	for _, row := range rows {
+		var tput, activeS, sends, listens, acc, maxAcc float64
+		for rep := 0; rep < rc.Reps; rep++ {
+			spec := runSpec{
+				seed:     rc.Seed + uint64(rep)*0x9e37,
+				arrivals: func() sim.ArrivalSource { return arrivals.NewBatch(n) },
+				factory:  row.factory,
+				maxSlots: capFor(n, 0) * 20, // fixed-rate ALOHA needs ~N·ln N slots
+			}
+			r, err := runOnce(spec)
+			if err != nil {
+				return nil, err
+			}
+			es := metrics.SummarizeEnergy(r)
+			tput += r.Throughput()
+			activeS += float64(r.ActiveSlots)
+			sends += es.Sends.Mean
+			listens += es.Listens.Mean
+			acc += es.Accesses.Mean
+			if es.Accesses.Max > maxAcc {
+				maxAcc = es.Accesses.Max
+			}
+		}
+		reps := float64(rc.Reps)
+		t.AddRow(row.name, f(tput/reps), f(activeS/reps), f(sends/reps), f(listens/reps), f(acc/reps), f(maxAcc))
+		switch row.name {
+		case "LSB":
+			lsbListens = listens / reps
+		case "MWU":
+			mwuListens = listens / reps
+		}
+	}
+	t.AddNote("LSB listens/packet = %.1f vs full-sensing MWU = %.1f (%.0fx reduction); genie energy is not meaningful (oracle)",
+		lsbListens, mwuListens, mwuListens/math.Max(lsbListens, 1))
+	return t, nil
+}
+
+// potentialProbe is shared by E8 and tests: a collector plus the regime
+// bounds used to label samples.
+func potentialCollector() (*metrics.Collector, core.RegimeBounds) {
+	return &metrics.Collector{}, core.DefaultRegimeBounds(core.Default())
+}

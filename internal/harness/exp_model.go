@@ -1,0 +1,222 @@
+package harness
+
+import (
+	"fmt"
+
+	"lowsensing/internal/arrivals"
+	"lowsensing/internal/core"
+	"lowsensing/internal/metrics"
+	"lowsensing/internal/protocols"
+	"lowsensing/internal/sim"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E11",
+		Title: "Oblivious sawtooth backoff: batch vs dynamic arrivals",
+		Claim: "related work [23]: obliviousness suffices for batches; the paper's feedback loop is what survives dynamic adversarial arrivals",
+		Run:   runE11,
+	})
+	register(Experiment{
+		ID:    "E12",
+		Title: "Ternary feedback ablation (no collision detection)",
+		Claim: "the ternary model matters: conflating empty/noisy breaks LSB in either direction (cf. the Θ(1/log n) no-CD barrier line of work)",
+		Run:   runE12,
+	})
+	register(Experiment{
+		ID:    "E13",
+		Title: "Capacity under steady Bernoulli arrivals",
+		Claim: "Obs 1.2 / Cor 1.5 flavor: stable for arrival rates below the achieved constant throughput; saturates above it",
+		Run:   runE13,
+	})
+}
+
+func runE11(rc RunConfig) (*Table, error) {
+	if err := rc.Validate(); err != nil {
+		return nil, err
+	}
+	n := pick(rc, int64(256), int64(2048))
+
+	t := &Table{
+		ID:      "E11",
+		Title:   fmt.Sprintf("Sawtooth (oblivious) vs LSB across workloads (N=%d)", n),
+		Claim:   "sawtooth matches LSB on a batch but degrades under dynamic arrivals",
+		Columns: []string{"workload", "protocol", "tput", "delivered", "meanAcc", "p99Lat"},
+	}
+
+	workloads := []struct {
+		name string
+		mk   func(seed uint64) sim.ArrivalSource
+	}{
+		{"batch", func(uint64) sim.ArrivalSource { return arrivals.NewBatch(n) }},
+		{"bernoulli 0.1", func(seed uint64) sim.ArrivalSource {
+			src, err := arrivals.NewBernoulli(0.1, n, seed)
+			if err != nil {
+				panic(err)
+			}
+			return src
+		}},
+		{"aqt bursts", func(seed uint64) sim.ArrivalSource {
+			s := pick(rc, int64(256), int64(1024))
+			src, err := arrivals.NewAQT(s, 0.1, n/max64(1, int64(0.1*float64(s))), arrivals.AQTBurst, seed)
+			if err != nil {
+				panic(err)
+			}
+			return src
+		}},
+	}
+	protos := []struct {
+		name string
+		mk   func() sim.StationFactory
+	}{
+		{"LSB", lsbFactory},
+		{"Sawtooth", func() sim.StationFactory { return protocols.NewSawtoothFactory() }},
+	}
+
+	for _, w := range workloads {
+		for _, p := range protos {
+			var tput, deliv, acc, p99 float64
+			for rep := 0; rep < rc.Reps; rep++ {
+				seed := rc.Seed + uint64(rep)*0x9e37
+				r, err := runOnce(runSpec{
+					seed:     seed,
+					arrivals: func() sim.ArrivalSource { return w.mk(seed) },
+					factory:  p.mk,
+					maxSlots: capFor(n, 0) * 4,
+				})
+				if err != nil {
+					return nil, err
+				}
+				es := metrics.SummarizeEnergy(r)
+				tput += r.Throughput()
+				deliv += float64(r.Completed) / float64(r.Arrived)
+				acc += es.Accesses.Mean
+				p99 += es.Latency.P99
+			}
+			reps := float64(rc.Reps)
+			t.AddRow(w.name, p.name, f(tput/reps), f(deliv/reps), f(acc/reps), f(p99/reps))
+		}
+	}
+	t.AddNote("sawtooth is fully oblivious (never listens); its batch guarantee is SPAA'05 [23]")
+	return t, nil
+}
+
+func runE12(rc RunConfig) (*Table, error) {
+	if err := rc.Validate(); err != nil {
+		return nil, err
+	}
+	n := pick(rc, int64(128), int64(512))
+	// Degraded variants stall and run to the cap, so the cap is the run
+	// cost; 200·N is ~65x what the ternary baseline needs — ample room to
+	// show the collapse without burning minutes on a stalled channel.
+	maxSlots := 200 * n
+
+	t := &Table{
+		ID:      "E12",
+		Title:   fmt.Sprintf("LSB under degraded (binary) feedback (N=%d batch)", n),
+		Claim:   "removing collision detection breaks the window feedback loop in either conflation",
+		Columns: []string{"feedback", "delivered", "tput", "activeSlots", "meanAcc"},
+	}
+
+	variants := []struct {
+		name string
+		mk   func() sim.StationFactory
+	}{
+		{"ternary (paper)", lsbFactory},
+		{"non-success=empty", func() sim.StationFactory {
+			f, err := protocols.NewNoCDFactory(core.MustFactory(core.Default()), protocols.CDAsEmpty)
+			if err != nil {
+				panic(err)
+			}
+			return f
+		}},
+		{"non-success=noisy", func() sim.StationFactory {
+			f, err := protocols.NewNoCDFactory(core.MustFactory(core.Default()), protocols.CDAsNoisy)
+			if err != nil {
+				panic(err)
+			}
+			return f
+		}},
+	}
+
+	var ternarySlots float64
+	for _, v := range variants {
+		var deliv, tput, slots, acc float64
+		for rep := 0; rep < rc.Reps; rep++ {
+			r, err := runOnce(runSpec{
+				seed:     rc.Seed + uint64(rep)*0x9e37,
+				arrivals: func() sim.ArrivalSource { return arrivals.NewBatch(n) },
+				factory:  v.mk,
+				maxSlots: maxSlots,
+			})
+			if err != nil {
+				return nil, err
+			}
+			deliv += float64(r.Completed) / float64(r.Arrived)
+			tput += r.Throughput()
+			slots += float64(r.ActiveSlots)
+			acc += r.MeanAccesses()
+		}
+		reps := float64(rc.Reps)
+		t.AddRow(v.name, f(deliv/reps), f(tput/reps), f(slots/reps), f(acc/reps))
+		if v.name == "ternary (paper)" {
+			ternarySlots = slots / reps
+		}
+	}
+	t.AddNote("runs capped at %d slots (ternary needs ~%.0f); shortfalls in 'delivered' are stalls, not crashes",
+		maxSlots, ternarySlots)
+	return t, nil
+}
+
+func runE13(rc RunConfig) (*Table, error) {
+	if err := rc.Validate(); err != nil {
+		return nil, err
+	}
+	n := pick(rc, int64(2000), int64(10000))
+	rates := []float64{0.05, 0.1, 0.2, 0.3, 0.35, 0.4, 0.45}
+
+	t := &Table{
+		ID:      "E13",
+		Title:   fmt.Sprintf("Capacity sweep: Bernoulli arrivals, %d packets", n),
+		Claim:   "stable while λ is below LSB's achieved constant; saturation beyond",
+		Columns: []string{"lambda", "delivered", "maxBacklog", "meanLat", "p99Lat", "meanAcc"},
+	}
+
+	for _, lambda := range rates {
+		var deliv, maxB, lat, p99, acc float64
+		for rep := 0; rep < rc.Reps; rep++ {
+			seed := rc.Seed + uint64(rep)*0x9e37
+			col := &metrics.Collector{Every: 64}
+			src, err := arrivals.NewBernoulli(lambda, n, seed)
+			if err != nil {
+				return nil, err
+			}
+			e, err := sim.NewEngine(sim.Params{
+				Seed:       seed,
+				Arrivals:   src,
+				NewStation: lsbFactory(),
+				MaxSlots:   int64(float64(n)/lambda) + (1 << 18),
+				Probe:      col.Probe,
+			})
+			if err != nil {
+				return nil, err
+			}
+			r, err := e.Run()
+			if err != nil {
+				return nil, err
+			}
+			es := metrics.SummarizeEnergy(r)
+			deliv += float64(r.Completed) / float64(r.Arrived)
+			if b := float64(col.MaxBacklog()); b > maxB {
+				maxB = b
+			}
+			lat += es.Latency.Mean
+			p99 += es.Latency.P99
+			acc += es.Accesses.Mean
+		}
+		reps := float64(rc.Reps)
+		t.AddRow(f(lambda), f(deliv/reps), f(maxB), f(lat/reps), f(p99/reps), f(acc/reps))
+	}
+	t.AddNote("stable region ends near λ≈0.35–0.40: smoother-than-batch arrivals buy capacity above E1's batch constant (~0.27), then latency and backlog blow up")
+	return t, nil
+}

@@ -1,0 +1,158 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"lowsensing/internal/sim"
+	"lowsensing/internal/stats"
+)
+
+// Scale selects how large the experiment sweeps are. Tests and benchmarks
+// use ScaleSmall; cmd/experiments regenerates EXPERIMENTS.md at ScaleFull.
+type Scale int
+
+// Experiment scales.
+const (
+	// ScaleSmall shrinks sweeps so every experiment finishes in seconds.
+	ScaleSmall Scale = iota + 1
+	// ScaleFull is the sweep recorded in EXPERIMENTS.md.
+	ScaleFull
+)
+
+// RunConfig parameterizes one experiment invocation.
+type RunConfig struct {
+	Seed  uint64
+	Reps  int
+	Scale Scale
+}
+
+// DefaultRunConfig returns the configuration used by cmd/experiments.
+func DefaultRunConfig() RunConfig {
+	return RunConfig{Seed: 20240617, Reps: 5, Scale: ScaleFull}
+}
+
+// SmallRunConfig returns a fast configuration for tests and benchmarks.
+func SmallRunConfig() RunConfig {
+	return RunConfig{Seed: 20240617, Reps: 2, Scale: ScaleSmall}
+}
+
+// Validate checks a RunConfig.
+func (rc RunConfig) Validate() error {
+	if rc.Reps < 1 {
+		return fmt.Errorf("harness: Reps must be >= 1, got %d", rc.Reps)
+	}
+	if rc.Scale != ScaleSmall && rc.Scale != ScaleFull {
+		return fmt.Errorf("harness: unknown scale %d", rc.Scale)
+	}
+	return nil
+}
+
+// Experiment is one reproducible table/figure of the paper.
+type Experiment struct {
+	ID    string
+	Title string
+	Claim string
+	Run   func(rc RunConfig) (*Table, error)
+}
+
+// registry holds all experiments keyed by ID.
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("harness: duplicate experiment " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// All returns every registered experiment in ID order.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID looks up one experiment.
+func ByID(id string) (Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return Experiment{}, fmt.Errorf("harness: unknown experiment %q (have %v)", id, ids())
+	}
+	return e, nil
+}
+
+func ids() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// runSpec bundles everything needed for one engine run.
+type runSpec struct {
+	seed     uint64
+	arrivals func() sim.ArrivalSource
+	factory  func() sim.StationFactory
+	jammer   func() sim.Jammer // nil means none
+	maxSlots int64
+	probe    func(*sim.Engine, int64)
+}
+
+// runOnce executes a single simulation.
+func runOnce(spec runSpec) (sim.Result, error) {
+	var jam sim.Jammer
+	if spec.jammer != nil {
+		jam = spec.jammer()
+	}
+	e, err := sim.NewEngine(sim.Params{
+		Seed:       spec.seed,
+		Arrivals:   spec.arrivals(),
+		NewStation: spec.factory(),
+		Jammer:     jam,
+		MaxSlots:   spec.maxSlots,
+		Probe:      spec.probe,
+	})
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return e.Run()
+}
+
+// replicate runs spec Reps times with derived seeds and returns the
+// per-replication measurement extracted by measure.
+func replicate(rc RunConfig, spec runSpec, measure func(sim.Result) float64) ([]float64, error) {
+	out := make([]float64, 0, rc.Reps)
+	for rep := 0; rep < rc.Reps; rep++ {
+		s := spec
+		s.seed = rc.Seed + uint64(rep)*0x9e37
+		r, err := runOnce(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, measure(r))
+	}
+	return out, nil
+}
+
+// meanOf replicates and returns the mean measurement.
+func meanOf(rc RunConfig, spec runSpec, measure func(sim.Result) float64) (float64, error) {
+	xs, err := replicate(rc, spec, measure)
+	if err != nil {
+		return 0, err
+	}
+	return stats.Mean(xs), nil
+}
+
+// pick returns small for ScaleSmall and full otherwise.
+func pick[T any](rc RunConfig, small, full T) T {
+	if rc.Scale == ScaleSmall {
+		return small
+	}
+	return full
+}

@@ -1,0 +1,473 @@
+package harness
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"A1", "A2", "A3", "E1", "E10", "E11", "E12", "E13", "E14", "E15", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d: %v", len(all), len(want), ids())
+	}
+	for i, id := range want {
+		if all[i].ID != id {
+			t.Fatalf("experiment %d = %s, want %s", i, all[i].ID, id)
+		}
+		if all[i].Title == "" || all[i].Claim == "" || all[i].Run == nil {
+			t.Fatalf("experiment %s incomplete", id)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, err := ByID("E1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByID("E99"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunConfigValidate(t *testing.T) {
+	if err := DefaultRunConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := SmallRunConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (RunConfig{Reps: 0, Scale: ScaleSmall}).Validate(); err == nil {
+		t.Fatal("Reps=0 accepted")
+	}
+	if err := (RunConfig{Reps: 1, Scale: 0}).Validate(); err == nil {
+		t.Fatal("invalid scale accepted")
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tab := &Table{
+		ID:      "T",
+		Title:   "demo",
+		Claim:   "c",
+		Columns: []string{"a", "b"},
+	}
+	tab.AddRow("1", "2")
+	tab.AddNote("hello %d", 5)
+	s := tab.String()
+	for _, frag := range []string{"T: demo", "claim: c", "a  b", "-  -", "1  2", "note: hello 5"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("ASCII missing %q:\n%s", frag, s)
+		}
+	}
+	csv := tab.CSV()
+	if !strings.HasPrefix(csv, "a,b\n1,2\n") {
+		t.Fatalf("CSV = %q", csv)
+	}
+	if !strings.Contains(csv, "# hello 5") {
+		t.Fatalf("CSV missing note: %q", csv)
+	}
+}
+
+func TestTableCSVQuoting(t *testing.T) {
+	tab := &Table{Columns: []string{"x"}}
+	tab.AddRow(`va"l,ue`)
+	if got := tab.CSV(); !strings.Contains(got, `"va""l,ue"`) {
+		t.Fatalf("CSV quoting wrong: %q", got)
+	}
+}
+
+func TestTableRowWidthPanics(t *testing.T) {
+	tab := &Table{ID: "T", Columns: []string{"a", "b"}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("row width mismatch did not panic")
+		}
+	}()
+	tab.AddRow("only-one")
+}
+
+func TestFormatHelpers(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		0.3333:  "0.333",
+		12.34:   "12.3",
+		12345.6: "12346",
+	}
+	for v, want := range cases {
+		if got := f(v); got != want {
+			t.Fatalf("f(%v) = %q, want %q", v, got, want)
+		}
+	}
+	if d(42) != "42" {
+		t.Fatal("d broken")
+	}
+}
+
+// cell parses a numeric table cell produced by f/d.
+func cell(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q not numeric: %v", s, err)
+	}
+	return v
+}
+
+// runSmall executes an experiment at small scale and returns its table.
+func runSmall(t *testing.T, id string) *Table {
+	t.Helper()
+	exp, err := ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := exp.Run(SmallRunConfig())
+	if err != nil {
+		t.Fatalf("%s failed: %v", id, err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatalf("%s produced no rows", id)
+	}
+	return tab
+}
+
+func TestE1SmallShape(t *testing.T) {
+	tab := runSmall(t, "E1")
+	// LSB throughput must stay above 0.1 at every N and never collapse
+	// with N; BEB must be strictly below the genie at the largest N with
+	// full columns.
+	for _, row := range tab.Rows {
+		lsb := cell(t, row[1])
+		if lsb < 0.1 {
+			t.Fatalf("LSB throughput %v too low in row %v", lsb, row)
+		}
+	}
+	first := cell(t, tab.Rows[0][1])
+	last := cell(t, tab.Rows[len(tab.Rows)-1][1])
+	if last < first/2 {
+		t.Fatalf("LSB throughput halved across sweep: %v -> %v", first, last)
+	}
+}
+
+func TestE2SmallShape(t *testing.T) {
+	tab := runSmall(t, "E2")
+	// Mean accesses must grow sublinearly: doubling N from the first to
+	// the last row (8x) must not multiply accesses by more than 4x.
+	first := cell(t, tab.Rows[0][1])
+	last := cell(t, tab.Rows[len(tab.Rows)-1][1])
+	if last > 4*first {
+		t.Fatalf("accesses grew too fast: %v -> %v", first, last)
+	}
+	notes := strings.Join(tab.Notes, "\n")
+	if strings.Contains(notes, "polynomial") && !strings.Contains(notes, "would falsify") {
+		t.Fatalf("energy growth classified polynomial:\n%s", notes)
+	}
+}
+
+func TestE3SmallShape(t *testing.T) {
+	tab := runSmall(t, "E3")
+	for _, row := range tab.Rows {
+		tput := cell(t, row[2])
+		if tput < 0.1 {
+			t.Fatalf("jammed throughput collapsed in row %v", row)
+		}
+		deliv := cell(t, row[4])
+		if deliv < 0.999 {
+			t.Fatalf("not all packets delivered in row %v", row)
+		}
+	}
+}
+
+func TestE4SmallShape(t *testing.T) {
+	tab := runSmall(t, "E4")
+	for _, row := range tab.Rows {
+		ratio := cell(t, row[4])
+		if ratio > 3 {
+			t.Fatalf("backlog/S = %v too large in row %v", ratio, row)
+		}
+	}
+}
+
+func TestE5SmallShape(t *testing.T) {
+	tab := runSmall(t, "E5")
+	first := cell(t, tab.Rows[0][1])
+	last := cell(t, tab.Rows[len(tab.Rows)-1][1])
+	// S quadruples across the small sweep. The predicted shape is
+	// ~ln³(λS), which at these tiny burst sizes (12 → 51 packets) still
+	// grows by ln³(51)/ln³(12) ≈ 3.9x, so the sublinearity margin only
+	// opens up at full scale; here we just require it not exceed the
+	// linear ratio.
+	if last > 5*first {
+		t.Fatalf("queue energy grew too fast: %v -> %v", first, last)
+	}
+}
+
+func TestE6SmallShape(t *testing.T) {
+	tab := runSmall(t, "E6")
+	var targeted, global [][]string
+	for _, row := range tab.Rows {
+		switch row[0] {
+		case "targeted":
+			targeted = append(targeted, row)
+		case "global":
+			global = append(global, row)
+		default:
+			t.Fatalf("unknown jammer row %v", row)
+		}
+		if cell(t, row[6]) < 0.999 {
+			t.Fatalf("packets lost under reactive jamming: %v", row)
+		}
+	}
+	if len(targeted) < 2 || len(global) < 2 {
+		t.Fatalf("missing sections: %d targeted, %d global", len(targeted), len(global))
+	}
+	baseTarget := cell(t, targeted[0][2])
+	lastTarget := cell(t, targeted[len(targeted)-1][2])
+	if lastTarget <= baseTarget {
+		t.Fatalf("reactive jamming did not inflate target accesses: %v -> %v", baseTarget, lastTarget)
+	}
+	baseMean := cell(t, targeted[0][3])
+	lastMean := cell(t, targeted[len(targeted)-1][3])
+	if lastMean > 3*baseMean {
+		t.Fatalf("targeted mean accesses inflated too much: %v -> %v", baseMean, lastMean)
+	}
+	// Global jammer with J=4N may inflate the mean by O(J/N)=O(4), not by
+	// O(J).
+	gBase := cell(t, global[0][3])
+	gLast := cell(t, global[len(global)-1][3])
+	if gLast > 20*gBase {
+		t.Fatalf("global mean accesses inflated too much: %v -> %v", gBase, gLast)
+	}
+}
+
+func TestE7SmallShape(t *testing.T) {
+	tab := runSmall(t, "E7")
+	byName := map[string][]string{}
+	for _, row := range tab.Rows {
+		byName[row[0]] = row
+	}
+	lsb, ok := byName["LSB"]
+	if !ok {
+		t.Fatal("no LSB row")
+	}
+	mwu := byName["MWU"]
+	// LSB listens far less than MWU.
+	if cell(t, lsb[4]) >= cell(t, mwu[4])/2 {
+		t.Fatalf("LSB listens %v not well below MWU %v", lsb[4], mwu[4])
+	}
+	// And keeps comparable throughput.
+	if cell(t, lsb[1]) < 0.1 {
+		t.Fatalf("LSB throughput %v", lsb[1])
+	}
+}
+
+func TestE8SmallShape(t *testing.T) {
+	tab := runSmall(t, "E8")
+	// Phi at the first checkpoint must exceed Phi at the last.
+	first := cell(t, tab.Rows[0][4])
+	last := cell(t, tab.Rows[len(tab.Rows)-1][4])
+	if first <= last {
+		t.Fatalf("potential did not drain: %v -> %v", first, last)
+	}
+}
+
+func TestE9SmallShape(t *testing.T) {
+	tab := runSmall(t, "E9")
+	if tab.Rows[0][0] != "success" || cell(t, tab.Rows[0][1]) != 8 {
+		t.Fatalf("trace successes row = %v", tab.Rows[0])
+	}
+	if len(tab.Notes) == 0 {
+		t.Fatal("no timeline notes")
+	}
+}
+
+func TestE10SmallShape(t *testing.T) {
+	tab := runSmall(t, "E10")
+	byName := map[string][]string{}
+	for _, row := range tab.Rows {
+		byName[row[0]] = row
+	}
+	for _, name := range []string{"LSB", "BEB", "MWU", "Genie"} {
+		row, ok := byName[name]
+		if !ok {
+			t.Fatalf("missing row %s", name)
+		}
+		j := cell(t, row[1])
+		if j <= 0 || j > 1 {
+			t.Fatalf("%s Jain index %v out of (0,1]", name, j)
+		}
+	}
+}
+
+func TestE11SmallShape(t *testing.T) {
+	tab := runSmall(t, "E11")
+	var lsbBatch, sawBatch float64
+	for _, row := range tab.Rows {
+		if row[0] == "batch" {
+			switch row[1] {
+			case "LSB":
+				lsbBatch = cell(t, row[2])
+			case "Sawtooth":
+				sawBatch = cell(t, row[2])
+			}
+		}
+		if cell(t, row[3]) < 0.999 {
+			t.Fatalf("undelivered packets in row %v", row)
+		}
+	}
+	if lsbBatch <= 0 || sawBatch <= 0 {
+		t.Fatal("missing batch rows")
+	}
+	// Both are Θ(1) on a batch; neither may collapse.
+	if sawBatch < 0.02 {
+		t.Fatalf("sawtooth batch throughput collapsed: %v", sawBatch)
+	}
+}
+
+func TestE12SmallShape(t *testing.T) {
+	tab := runSmall(t, "E12")
+	byName := map[string][]string{}
+	for _, row := range tab.Rows {
+		byName[row[0]] = row
+	}
+	ternary := byName["ternary (paper)"]
+	if cell(t, ternary[1]) < 0.999 {
+		t.Fatalf("ternary baseline incomplete: %v", ternary)
+	}
+	for _, name := range []string{"non-success=empty", "non-success=noisy"} {
+		row := byName[name]
+		if cell(t, row[1]) > 0.9 {
+			t.Fatalf("degraded feedback %s did not degrade: %v", name, row)
+		}
+	}
+}
+
+func TestE13SmallShape(t *testing.T) {
+	tab := runSmall(t, "E13")
+	// Latency must be monotone-ish: the highest rate's p99 latency far
+	// above the lowest rate's.
+	first := cell(t, tab.Rows[0][4])
+	last := cell(t, tab.Rows[len(tab.Rows)-1][4])
+	if last < 5*first {
+		t.Fatalf("no saturation knee: p99 %v -> %v", first, last)
+	}
+	for _, row := range tab.Rows {
+		if cell(t, row[1]) < 0.999 {
+			t.Fatalf("packets lost in row %v", row)
+		}
+	}
+}
+
+func TestE14SmallShape(t *testing.T) {
+	tab := runSmall(t, "E14")
+	for _, row := range tab.Rows {
+		impl := cell(t, row[4])
+		if impl < 0.1 {
+			t.Fatalf("implicit throughput collapsed at checkpoint: %v", row)
+		}
+	}
+	// Checkpoints must be increasing in slot and Nt.
+	for i := 1; i < len(tab.Rows); i++ {
+		if cell(t, tab.Rows[i][0]) <= cell(t, tab.Rows[i-1][0]) {
+			t.Fatal("checkpoints not increasing")
+		}
+	}
+}
+
+func TestE15SmallShape(t *testing.T) {
+	tab := runSmall(t, "E15")
+	// Miss rates are valid probabilities and weakly ordered across
+	// deadline multiples (2x >= 5x >= 10x) within each row.
+	for _, row := range tab.Rows {
+		m2, m5, m10 := cell(t, row[2]), cell(t, row[3]), cell(t, row[4])
+		for _, m := range []float64{m2, m5, m10} {
+			if m < 0 || m > 1 {
+				t.Fatalf("miss rate out of range: %v", row)
+			}
+		}
+		if m5 > m2+1e-9 || m10 > m5+1e-9 {
+			t.Fatalf("miss rates not monotone in deadline: %v", row)
+		}
+	}
+	// The unjammed row's 10x miss rate must be ~0.
+	if cell(t, tab.Rows[0][4]) > 0.01 {
+		t.Fatalf("unjammed 10x misses: %v", tab.Rows[0])
+	}
+}
+
+func TestA1SmallShape(t *testing.T) {
+	tab := runSmall(t, "A1")
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if cell(t, row[1]) < 0.05 {
+			t.Fatalf("ablation run collapsed: %v", row)
+		}
+	}
+}
+
+func TestA2SmallShape(t *testing.T) {
+	tab := runSmall(t, "A2")
+	valid, invalid := 0, 0
+	for _, row := range tab.Rows {
+		switch row[2] {
+		case "yes":
+			valid++
+			if cell(t, row[3]) <= 0 {
+				t.Fatalf("valid combo with zero throughput: %v", row)
+			}
+		case "no":
+			invalid++
+		default:
+			t.Fatalf("bad validity cell: %v", row)
+		}
+	}
+	if valid == 0 || invalid == 0 {
+		t.Fatalf("sweep should contain both valid and invalid combos: %d/%d", valid, invalid)
+	}
+}
+
+func TestA3SmallShape(t *testing.T) {
+	tab := runSmall(t, "A3")
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	var k0Listens, k3Tput float64
+	for _, row := range tab.Rows {
+		switch row[0] {
+		case "0":
+			k0Listens = cell(t, row[5])
+		case "3.000":
+			k3Tput = cell(t, row[3])
+		}
+	}
+	// k=0: access prob equals send prob, so pure listens are impossible
+	// only if send-given-access is 1 — with c=0.5 it is clamped to 1, so
+	// listens must be 0.
+	if k0Listens != 0 {
+		t.Fatalf("k=0 listens = %v, want 0", k0Listens)
+	}
+	if k3Tput < 0.1 {
+		t.Fatalf("k=3 throughput = %v", k3Tput)
+	}
+}
+
+func TestExperimentsDeterministic(t *testing.T) {
+	exp, err := ByID("E9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := exp.Run(SmallRunConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := exp.Run(SmallRunConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("E9 not deterministic:\n%s\nvs\n%s", a, b)
+	}
+}

@@ -1,0 +1,237 @@
+// Package livenet runs contention-resolution policies on a live, concurrent
+// slotted channel: one goroutine per device, synchronized slot by slot by a
+// coordinator goroutine. It is the "real system" counterpart of the
+// discrete-event simulator — the same per-slot decision code (for example
+// core.Packet.Decide/Observe) executes under genuine concurrency, with the
+// coordinator playing the role of the shared medium.
+//
+// The package exists to demonstrate that the library's policies are directly
+// usable as the arbitration layer of a concurrent system (contended resource
+// acquisition, broadcast slots), not only inside the simulator; the
+// examples/goroutines program builds on it.
+package livenet
+
+import (
+	"fmt"
+	"sync"
+
+	"lowsensing/internal/prng"
+	"lowsensing/internal/sim"
+)
+
+// Device is the per-slot policy interface a device runs. core.Packet
+// implements it.
+type Device interface {
+	// Decide returns whether the device accesses the channel this slot,
+	// and if so whether it transmits.
+	Decide(rng *prng.Source) (access, send bool)
+	// Observe delivers ternary feedback for a slot the device accessed.
+	Observe(obs sim.Observation)
+}
+
+// DeviceFactory builds the Device for station id with its private stream.
+type DeviceFactory func(id int, rng *prng.Source) Device
+
+// Config configures a live network run.
+type Config struct {
+	// Seed drives all per-device randomness.
+	Seed uint64
+	// NewDevice is required.
+	NewDevice DeviceFactory
+	// Jammer optionally jams slots (nil means none). Only the Jammed
+	// method is used; livenet resolves every slot.
+	Jammer sim.Jammer
+	// MaxSlots bounds the run; 0 means DefaultMaxSlots.
+	MaxSlots int64
+	// JoinSlots optionally staggers device start times: device i joins the
+	// channel at slot JoinSlots[i] (its goroutine is spawned then). Nil
+	// means all devices join at slot 0; otherwise the length must equal
+	// the device count passed to Run.
+	JoinSlots []int64
+}
+
+// DefaultMaxSlots bounds live runs when Config.MaxSlots is zero.
+const DefaultMaxSlots = 1 << 22
+
+// DeviceStats reports one device's run.
+type DeviceStats struct {
+	Sends       int64
+	Listens     int64
+	DeliveredAt int64 // slot of success, -1 if still undelivered
+}
+
+// Accesses returns the device's total channel accesses.
+func (d DeviceStats) Accesses() int64 { return d.Sends + d.Listens }
+
+// Result summarizes a live run.
+type Result struct {
+	Slots     int64 // slots elapsed (== active slots: all devices start at 0)
+	Delivered int
+	Devices   []DeviceStats
+}
+
+type action struct {
+	id     int
+	access bool
+	send   bool
+}
+
+type deviceState struct {
+	start chan int64
+	obs   chan sim.Observation
+	stats DeviceStats
+	alive bool
+}
+
+// Run races n concurrent devices for the channel until every one has
+// delivered its message or MaxSlots elapse. It returns an error on
+// misconfiguration; truncation is reported through Result.Delivered.
+func Run(n int, cfg Config) (Result, error) {
+	if n <= 0 {
+		return Result{}, fmt.Errorf("livenet: need n > 0 devices, got %d", n)
+	}
+	if cfg.NewDevice == nil {
+		return Result{}, fmt.Errorf("livenet: Config.NewDevice is required")
+	}
+	maxSlots := cfg.MaxSlots
+	if maxSlots <= 0 {
+		maxSlots = DefaultMaxSlots
+	}
+	if cfg.JoinSlots != nil && len(cfg.JoinSlots) != n {
+		return Result{}, fmt.Errorf("livenet: JoinSlots has %d entries for %d devices", len(cfg.JoinSlots), n)
+	}
+	for i, j := range cfg.JoinSlots {
+		if j < 0 {
+			return Result{}, fmt.Errorf("livenet: device %d has negative join slot %d", i, j)
+		}
+	}
+	jammer := cfg.Jammer
+	if jammer == nil {
+		jammer = sim.NoJammer{}
+	}
+
+	states := make([]*deviceState, n)
+	actions := make(chan action, n)
+	var wg sync.WaitGroup
+	spawn := func(i int) {
+		st := &deviceState{
+			start: make(chan int64),
+			obs:   make(chan sim.Observation),
+			stats: DeviceStats{DeliveredAt: -1},
+			alive: true,
+		}
+		states[i] = st
+		rng := prng.NewStream(cfg.Seed, uint64(i)+1)
+		dev := cfg.NewDevice(i, rng)
+		wg.Add(1)
+		go func(id int, st *deviceState, dev Device, rng *prng.Source) {
+			defer wg.Done()
+			for range st.start {
+				access, send := dev.Decide(rng)
+				actions <- action{id: id, access: access, send: send}
+				if !access && !send {
+					continue
+				}
+				obs := <-st.obs
+				dev.Observe(obs)
+				if obs.Succeeded {
+					return
+				}
+			}
+		}(i, st, dev, rng)
+	}
+
+	joined := 0
+	if cfg.JoinSlots == nil {
+		for i := 0; i < n; i++ {
+			spawn(i)
+		}
+		joined = n
+	}
+
+	res := Result{Devices: make([]DeviceStats, n)}
+	alive := joined
+	var slot int64
+	for ; (alive > 0 || joined < n) && slot < maxSlots; slot++ {
+		// Spawn devices whose join slot has arrived.
+		if joined < n {
+			for i := 0; i < n; i++ {
+				if states[i] == nil && cfg.JoinSlots[i] <= slot {
+					spawn(i)
+					joined++
+					alive++
+				}
+			}
+		}
+		if alive == 0 {
+			continue // waiting for future joiners; channel is idle
+		}
+		// Start the slot on every living device and gather their actions.
+		for _, st := range states {
+			if st != nil && st.alive {
+				st.start <- slot
+			}
+		}
+		accessors := make([]action, 0, 4)
+		senders := 0
+		for i := 0; i < alive; i++ {
+			a := <-actions
+			if a.access || a.send {
+				accessors = append(accessors, a)
+			}
+			if a.send {
+				senders++
+			}
+		}
+
+		var outcome sim.Outcome
+		switch {
+		case jammer.Jammed(slot):
+			outcome = sim.OutcomeNoisy
+		case senders == 0:
+			outcome = sim.OutcomeEmpty
+		case senders == 1:
+			outcome = sim.OutcomeSuccess
+		default:
+			outcome = sim.OutcomeNoisy
+		}
+
+		for _, a := range accessors {
+			st := states[a.id]
+			if a.send {
+				st.stats.Sends++
+			} else {
+				st.stats.Listens++
+			}
+			succeeded := a.send && outcome == sim.OutcomeSuccess
+			st.obs <- sim.Observation{Slot: slot, Outcome: outcome, Sent: a.send, Succeeded: succeeded}
+			if succeeded {
+				st.stats.DeliveredAt = slot
+				st.alive = false
+				close(st.start)
+				alive--
+				res.Delivered++
+			}
+		}
+	}
+
+	// Shut down survivors (truncation path).
+	for _, st := range states {
+		if st != nil && st.alive {
+			close(st.start)
+			st.alive = false
+		}
+	}
+	wg.Wait()
+
+	res.Slots = slot
+	for i, st := range states {
+		if st == nil {
+			// Device never joined (truncated before its join slot).
+			res.Devices[i] = DeviceStats{DeliveredAt: -1}
+			continue
+		}
+		res.Devices[i] = st.stats
+	}
+	return res, nil
+}

@@ -1,0 +1,234 @@
+package livenet
+
+import (
+	"math"
+	"testing"
+
+	"lowsensing/internal/core"
+	"lowsensing/internal/jamming"
+	"lowsensing/internal/prng"
+	"lowsensing/internal/sim"
+)
+
+func lsbDevices() DeviceFactory {
+	cfg := core.Default()
+	return func(_ int, _ *prng.Source) Device {
+		p, err := core.NewPacket(cfg)
+		if err != nil {
+			panic(err)
+		}
+		return p
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(0, Config{NewDevice: lsbDevices()}); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := Run(3, Config{}); err == nil {
+		t.Fatal("missing factory accepted")
+	}
+}
+
+func TestAllDevicesDeliver(t *testing.T) {
+	const n = 24
+	res, err := Run(n, Config{Seed: 5, NewDevice: lsbDevices()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != n {
+		t.Fatalf("delivered = %d, want %d", res.Delivered, n)
+	}
+	if res.Slots <= 0 {
+		t.Fatalf("slots = %d", res.Slots)
+	}
+	for i, d := range res.Devices {
+		if d.DeliveredAt < 0 || d.DeliveredAt >= res.Slots {
+			t.Fatalf("device %d delivered at %d (slots %d)", i, d.DeliveredAt, res.Slots)
+		}
+		if d.Sends < 1 {
+			t.Fatalf("device %d never sent", i)
+		}
+		if d.Accesses() != d.Sends+d.Listens {
+			t.Fatalf("device %d accesses inconsistent", i)
+		}
+	}
+}
+
+func TestEnergyStaysSane(t *testing.T) {
+	const n = 64
+	res, err := Run(n, Config{Seed: 7, NewDevice: lsbDevices()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != n {
+		t.Fatalf("delivered = %d", res.Delivered)
+	}
+	var total float64
+	for _, d := range res.Devices {
+		total += float64(d.Accesses())
+	}
+	mean := total / n
+	ln := math.Log(n)
+	if mean > 20*ln*ln {
+		t.Fatalf("mean accesses %v not polylog-ish", mean)
+	}
+	// Throughput on the live channel: n successes over res.Slots.
+	if tput := float64(n) / float64(res.Slots); tput < 0.05 {
+		t.Fatalf("live throughput %v collapsed", tput)
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	iv, err := jamming.NewInterval(0, 1<<60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(4, Config{Seed: 3, NewDevice: lsbDevices(), Jammer: iv, MaxSlots: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 0 {
+		t.Fatalf("delivered under full jamming = %d", res.Delivered)
+	}
+	if res.Slots != 200 {
+		t.Fatalf("slots = %d", res.Slots)
+	}
+	for i, d := range res.Devices {
+		if d.DeliveredAt != -1 {
+			t.Fatalf("device %d marked delivered", i)
+		}
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	// The coordinator's channel scheduling is concurrent, but all
+	// randomness is per-device and slot-synchronized, so results must be
+	// identical across runs with the same seed.
+	a, err := Run(16, Config{Seed: 11, NewDevice: lsbDevices()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(16, Config{Seed: 11, NewDevice: lsbDevices()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Slots != b.Slots || a.Delivered != b.Delivered {
+		t.Fatalf("runs differ: %+v vs %+v", a, b)
+	}
+	for i := range a.Devices {
+		if a.Devices[i] != b.Devices[i] {
+			t.Fatalf("device %d differs: %+v vs %+v", i, a.Devices[i], b.Devices[i])
+		}
+	}
+}
+
+// flakyDevice sends in every slot; two of them livelock until MaxSlots.
+type flakyDevice struct{}
+
+func (flakyDevice) Decide(*prng.Source) (bool, bool) { return true, true }
+func (flakyDevice) Observe(sim.Observation)          {}
+
+func TestPermanentCollisionTruncates(t *testing.T) {
+	res, err := Run(2, Config{
+		Seed:      1,
+		NewDevice: func(int, *prng.Source) Device { return flakyDevice{} },
+		MaxSlots:  64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 0 || res.Slots != 64 {
+		t.Fatalf("result = %+v", res)
+	}
+	for _, d := range res.Devices {
+		if d.Sends != 64 {
+			t.Fatalf("sends = %d, want 64", d.Sends)
+		}
+	}
+}
+
+func TestStaggeredJoins(t *testing.T) {
+	const n = 16
+	joins := make([]int64, n)
+	for i := range joins {
+		joins[i] = int64(i * 20)
+	}
+	res, err := Run(n, Config{Seed: 21, NewDevice: lsbDevices(), JoinSlots: joins})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != n {
+		t.Fatalf("delivered = %d", res.Delivered)
+	}
+	for i, d := range res.Devices {
+		if d.DeliveredAt < joins[i] {
+			t.Fatalf("device %d delivered at %d before joining at %d", i, d.DeliveredAt, joins[i])
+		}
+	}
+}
+
+func TestJoinSlotsValidation(t *testing.T) {
+	if _, err := Run(3, Config{NewDevice: lsbDevices(), JoinSlots: []int64{0}}); err == nil {
+		t.Fatal("mismatched JoinSlots accepted")
+	}
+	if _, err := Run(2, Config{NewDevice: lsbDevices(), JoinSlots: []int64{0, -5}}); err == nil {
+		t.Fatal("negative join slot accepted")
+	}
+}
+
+func TestTruncationBeforeJoin(t *testing.T) {
+	res, err := Run(2, Config{
+		Seed:      5,
+		NewDevice: lsbDevices(),
+		JoinSlots: []int64{0, 1000},
+		MaxSlots:  50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Device 0 should deliver alone quickly; device 1 never joins.
+	if res.Devices[0].DeliveredAt < 0 {
+		t.Fatal("device 0 undelivered")
+	}
+	if res.Devices[1].DeliveredAt != -1 || res.Devices[1].Accesses() != 0 {
+		t.Fatalf("never-joined device has stats: %+v", res.Devices[1])
+	}
+	if res.Delivered != 1 {
+		t.Fatalf("delivered = %d", res.Delivered)
+	}
+}
+
+func TestStaggeredDeterminism(t *testing.T) {
+	joins := []int64{0, 5, 5, 30, 100}
+	run := func() Result {
+		r, err := Run(5, Config{Seed: 9, NewDevice: lsbDevices(), JoinSlots: joins})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	if a.Slots != b.Slots || a.Delivered != b.Delivered {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+	for i := range a.Devices {
+		if a.Devices[i] != b.Devices[i] {
+			t.Fatalf("device %d differs", i)
+		}
+	}
+}
+
+func TestSingleDeviceFastDelivery(t *testing.T) {
+	res, err := Run(1, Config{Seed: 2, NewDevice: lsbDevices()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 1 {
+		t.Fatal("single device failed")
+	}
+	// Alone on the channel, the device needs exactly one send.
+	if res.Devices[0].Sends != 1 {
+		t.Fatalf("sends = %d", res.Devices[0].Sends)
+	}
+}

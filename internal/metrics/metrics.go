@@ -1,0 +1,250 @@
+// Package metrics collects time series and per-run summaries from
+// simulations: backlog, implicit throughput, contention, the paper's
+// potential function Φ(t), and per-packet energy statistics.
+package metrics
+
+import (
+	"fmt"
+
+	"lowsensing/internal/core"
+	"lowsensing/internal/sim"
+	"lowsensing/internal/stats"
+)
+
+// Sample is one probe observation. Slot numbers refer to resolved slots
+// (slots in which some station accessed the channel); quantities are as of
+// the end of that slot.
+type Sample struct {
+	Slot               int64
+	Backlog            int64
+	Arrived            int64
+	Completed          int64
+	Jammed             int64
+	ActiveSlots        int64
+	ImplicitThroughput float64
+	Contention         float64
+	Potential          core.Potential
+}
+
+// Collector samples engine state during a run. Attach its Probe method via
+// sim.Params.Probe. The zero value samples every resolved slot with the
+// default potential coefficients; set Every to thin the series.
+type Collector struct {
+	// Every is the minimum number of slots between samples (0 or 1 means
+	// sample every resolved slot).
+	Every int64
+	// Params are the potential-function coefficients; zero-value uses
+	// core.DefaultPotentialParams.
+	Params core.PotentialParams
+
+	samples []Sample
+	nextAt  int64
+	winBuf  []float64
+}
+
+// Probe implements the sim.Params.Probe signature.
+func (c *Collector) Probe(e *sim.Engine, slot int64) {
+	if slot < c.nextAt {
+		return
+	}
+	every := c.Every
+	if every < 1 {
+		every = 1
+	}
+	c.nextAt = slot + every
+
+	params := c.Params
+	if params == (core.PotentialParams{}) {
+		params = core.DefaultPotentialParams()
+	}
+	c.winBuf = c.winBuf[:0]
+	e.VisitActiveWindows(func(w float64) { c.winBuf = append(c.winBuf, w) })
+
+	c.samples = append(c.samples, Sample{
+		Slot:               slot,
+		Backlog:            e.Backlog(),
+		Arrived:            e.Arrived(),
+		Completed:          e.Completed(),
+		Jammed:             e.JammedSoFar(),
+		ActiveSlots:        e.ActiveSlotsSoFar(),
+		ImplicitThroughput: e.ImplicitThroughputNow(),
+		Contention:         core.Contention(c.winBuf),
+		Potential:          core.Measure(c.winBuf, params),
+	})
+}
+
+// Samples returns the collected series.
+func (c *Collector) Samples() []Sample { return c.samples }
+
+// MaxBacklog returns the largest sampled backlog.
+func (c *Collector) MaxBacklog() int64 {
+	var m int64
+	for _, s := range c.samples {
+		if s.Backlog > m {
+			m = s.Backlog
+		}
+	}
+	return m
+}
+
+// MinImplicitThroughput returns the smallest sampled implicit throughput,
+// or 1 if nothing was sampled.
+func (c *Collector) MinImplicitThroughput() float64 {
+	m := 1.0
+	for _, s := range c.samples {
+		if s.ImplicitThroughput < m {
+			m = s.ImplicitThroughput
+		}
+	}
+	return m
+}
+
+// Series extracts one named field of the samples as a float64 slice. Valid
+// names: "slot", "backlog", "implicit", "contention", "phi", "potN",
+// "potH", "potL". It panics on an unknown name (caller bug).
+func (c *Collector) Series(name string) []float64 {
+	out := make([]float64, len(c.samples))
+	for i, s := range c.samples {
+		switch name {
+		case "slot":
+			out[i] = float64(s.Slot)
+		case "backlog":
+			out[i] = float64(s.Backlog)
+		case "implicit":
+			out[i] = s.ImplicitThroughput
+		case "contention":
+			out[i] = s.Contention
+		case "phi":
+			out[i] = s.Potential.Phi
+		case "potN":
+			out[i] = s.Potential.N
+		case "potH":
+			out[i] = s.Potential.H
+		case "potL":
+			out[i] = s.Potential.L
+		default:
+			panic(fmt.Sprintf("metrics: unknown series %q", name))
+		}
+	}
+	return out
+}
+
+// EnergyModel converts channel-access counts into physical energy, for
+// battery-lifetime projections (see examples/sensor_energy). All values
+// are in joules.
+type EnergyModel struct {
+	// SendJ is the cost of transmitting for one slot.
+	SendJ float64
+	// ListenJ is the cost of receiving/listening for one slot.
+	ListenJ float64
+	// SleepJ is the cost of sleeping through one slot (often ~0 but not
+	// zero on real radios).
+	SleepJ float64
+}
+
+// DefaultEnergyModel returns order-of-magnitude numbers for an
+// 802.15.4-class radio: 60 µJ to transmit or receive for one slot, 60 nJ
+// to sleep through one.
+func DefaultEnergyModel() EnergyModel {
+	return EnergyModel{SendJ: 60e-6, ListenJ: 60e-6, SleepJ: 60e-9}
+}
+
+// PacketJoules returns the energy one packet spent from arrival to
+// departure (or to end-of-run for undelivered packets, using lastSlot).
+func (m EnergyModel) PacketJoules(p sim.PacketStats, lastSlot int64) float64 {
+	end := p.Departure
+	if end < 0 {
+		end = lastSlot
+	}
+	alive := end - p.Arrival + 1
+	if alive < 0 {
+		alive = 0
+	}
+	sleeping := alive - p.Sends - p.Listens
+	if sleeping < 0 {
+		sleeping = 0
+	}
+	return float64(p.Sends)*m.SendJ + float64(p.Listens)*m.ListenJ + float64(sleeping)*m.SleepJ
+}
+
+// RunJoules sums PacketJoules over a run and also returns the mean per
+// packet (0 if no packets).
+func (m EnergyModel) RunJoules(r sim.Result) (total, meanPerPacket float64) {
+	for _, p := range r.Packets {
+		total += m.PacketJoules(p, r.LastSlot)
+	}
+	if len(r.Packets) > 0 {
+		meanPerPacket = total / float64(len(r.Packets))
+	}
+	return total, meanPerPacket
+}
+
+// JainIndex computes Jain's fairness index (Σx)²/(n·Σx²) of a sample:
+// 1 means perfectly equal, 1/n means one packet took everything. It is the
+// standard measure for the fairness question the paper's conclusion raises
+// (LOW-SENSING BACKOFF is not guaranteed fair).
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// LatencySample extracts the latency of every delivered packet.
+func LatencySample(r sim.Result) []float64 {
+	out := make([]float64, 0, len(r.Packets))
+	for _, p := range r.Packets {
+		if lat := p.Latency(); lat >= 0 {
+			out = append(out, float64(lat))
+		}
+	}
+	return out
+}
+
+// EnergySummary aggregates per-packet channel-access statistics of a
+// completed run.
+type EnergySummary struct {
+	Sends    stats.Summary
+	Listens  stats.Summary
+	Accesses stats.Summary
+	// Latency summarizes slots-to-success over delivered packets only.
+	Latency stats.Summary
+	// Undelivered counts packets still in the system at the end.
+	Undelivered int
+}
+
+// SummarizeEnergy computes per-packet energy and latency statistics from a
+// run result.
+func SummarizeEnergy(r sim.Result) EnergySummary {
+	n := len(r.Packets)
+	sends := make([]float64, 0, n)
+	listens := make([]float64, 0, n)
+	accesses := make([]float64, 0, n)
+	latencies := make([]float64, 0, n)
+	undelivered := 0
+	for _, p := range r.Packets {
+		sends = append(sends, float64(p.Sends))
+		listens = append(listens, float64(p.Listens))
+		accesses = append(accesses, float64(p.Accesses()))
+		if lat := p.Latency(); lat >= 0 {
+			latencies = append(latencies, float64(lat))
+		} else {
+			undelivered++
+		}
+	}
+	return EnergySummary{
+		Sends:       stats.Summarize(sends),
+		Listens:     stats.Summarize(listens),
+		Accesses:    stats.Summarize(accesses),
+		Latency:     stats.Summarize(latencies),
+		Undelivered: undelivered,
+	}
+}

@@ -1,0 +1,242 @@
+package metrics
+
+import (
+	"testing"
+
+	"lowsensing/internal/arrivals"
+	"lowsensing/internal/core"
+	"lowsensing/internal/sim"
+)
+
+func runWithCollector(t *testing.T, c *Collector, n int64) sim.Result {
+	t.Helper()
+	e, err := sim.NewEngine(sim.Params{
+		Seed:       21,
+		Arrivals:   arrivals.NewBatch(n),
+		NewStation: core.MustFactory(core.Default()),
+		MaxSlots:   1 << 22,
+		Probe:      c.Probe,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestCollectorSamples(t *testing.T) {
+	c := &Collector{}
+	r := runWithCollector(t, c, 64)
+	if r.Completed != 64 {
+		t.Fatalf("completed = %d", r.Completed)
+	}
+	samples := c.Samples()
+	if len(samples) == 0 {
+		t.Fatal("no samples collected")
+	}
+	first := samples[0]
+	if first.Arrived != 64 {
+		t.Fatalf("first sample arrived = %d", first.Arrived)
+	}
+	if first.Backlog > 64 || first.Backlog < 63 {
+		t.Fatalf("first sample backlog = %d", first.Backlog)
+	}
+	if first.Contention <= 0 {
+		t.Fatal("contention not positive at start")
+	}
+	last := samples[len(samples)-1]
+	if last.Backlog != 0 {
+		t.Fatalf("final backlog = %d", last.Backlog)
+	}
+	if last.Potential.Phi != 0 {
+		t.Fatalf("final potential = %v", last.Potential.Phi)
+	}
+	// Slots strictly increase.
+	for i := 1; i < len(samples); i++ {
+		if samples[i].Slot <= samples[i-1].Slot {
+			t.Fatalf("sample slots not increasing at %d", i)
+		}
+	}
+}
+
+func TestCollectorEveryThins(t *testing.T) {
+	dense := &Collector{}
+	runWithCollector(t, dense, 64)
+	sparse := &Collector{Every: 50}
+	runWithCollector(t, sparse, 64)
+	if len(sparse.Samples()) >= len(dense.Samples()) {
+		t.Fatalf("thinning failed: %d vs %d", len(sparse.Samples()), len(dense.Samples()))
+	}
+	for i := 1; i < len(sparse.Samples()); i++ {
+		if sparse.Samples()[i].Slot-sparse.Samples()[i-1].Slot < 50 {
+			t.Fatalf("samples closer than Every: %d then %d",
+				sparse.Samples()[i-1].Slot, sparse.Samples()[i].Slot)
+		}
+	}
+}
+
+func TestMaxBacklogAndMinImplicit(t *testing.T) {
+	c := &Collector{}
+	runWithCollector(t, c, 128)
+	if mb := c.MaxBacklog(); mb < 120 || mb > 128 {
+		t.Fatalf("max backlog = %d", mb)
+	}
+	if m := c.MinImplicitThroughput(); m <= 0 || m > 1.01 {
+		t.Fatalf("min implicit throughput = %v", m)
+	}
+	empty := &Collector{}
+	if empty.MinImplicitThroughput() != 1 || empty.MaxBacklog() != 0 {
+		t.Fatal("empty collector defaults wrong")
+	}
+}
+
+func TestSeriesExtraction(t *testing.T) {
+	c := &Collector{}
+	runWithCollector(t, c, 32)
+	n := len(c.Samples())
+	for _, name := range []string{"slot", "backlog", "implicit", "contention", "phi", "potN", "potH", "potL"} {
+		s := c.Series(name)
+		if len(s) != n {
+			t.Fatalf("series %q length %d, want %d", name, len(s), n)
+		}
+	}
+	// phi must equal the weighted sum of its parts at every sample.
+	p := core.DefaultPotentialParams()
+	for i, s := range c.Samples() {
+		want := p.Alpha1*s.Potential.N + p.Alpha2*s.Potential.H + p.Alpha3*s.Potential.L
+		if diff := want - s.Potential.Phi; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("sample %d: phi inconsistent", i)
+		}
+	}
+}
+
+func TestSeriesUnknownPanics(t *testing.T) {
+	c := &Collector{}
+	runWithCollector(t, c, 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown series did not panic")
+		}
+	}()
+	c.Series("nope")
+}
+
+func TestSummarizeEnergy(t *testing.T) {
+	c := &Collector{}
+	r := runWithCollector(t, c, 64)
+	es := SummarizeEnergy(r)
+	if es.Undelivered != 0 {
+		t.Fatalf("undelivered = %d", es.Undelivered)
+	}
+	if es.Sends.N != 64 || es.Accesses.N != 64 || es.Latency.N != 64 {
+		t.Fatalf("summary sizes: %+v", es)
+	}
+	// Every packet sends at least once (its success).
+	if es.Sends.Min < 1 {
+		t.Fatalf("min sends = %v", es.Sends.Min)
+	}
+	// Accesses = sends + listens, so the means must add up.
+	if diff := es.Accesses.Mean - es.Sends.Mean - es.Listens.Mean; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("access mean %v != sends %v + listens %v", es.Accesses.Mean, es.Sends.Mean, es.Listens.Mean)
+	}
+	if es.Latency.Min < 1 {
+		t.Fatalf("min latency = %v", es.Latency.Min)
+	}
+}
+
+func TestEnergyModelPacketJoules(t *testing.T) {
+	m := EnergyModel{SendJ: 10, ListenJ: 1, SleepJ: 0.5}
+	// Packet alive slots 0..9 (10 slots): 2 sends, 3 listens, 5 sleeps.
+	p := sim.PacketStats{Arrival: 0, Departure: 9, Sends: 2, Listens: 3}
+	want := 2*10.0 + 3*1.0 + 5*0.5
+	if got := m.PacketJoules(p, 100); got != want {
+		t.Fatalf("PacketJoules = %v, want %v", got, want)
+	}
+	// Undelivered packet: alive through lastSlot.
+	p2 := sim.PacketStats{Arrival: 5, Departure: -1, Sends: 1, Listens: 0}
+	want2 := 10.0 + 5*0.5 // alive slots 5..10 = 6, sleeping 5
+	if got := m.PacketJoules(p2, 10); got != want2 {
+		t.Fatalf("undelivered PacketJoules = %v, want %v", got, want2)
+	}
+}
+
+func TestEnergyModelRunJoules(t *testing.T) {
+	m := EnergyModel{SendJ: 1, ListenJ: 1}
+	r := sim.Result{
+		LastSlot: 10,
+		Packets: []sim.PacketStats{
+			{Arrival: 0, Departure: 0, Sends: 1},
+			{Arrival: 0, Departure: 2, Sends: 1, Listens: 2},
+		},
+	}
+	total, mean := m.RunJoules(r)
+	if total != 4 || mean != 2 {
+		t.Fatalf("RunJoules = %v, %v", total, mean)
+	}
+	if tot, mean := m.RunJoules(sim.Result{}); tot != 0 || mean != 0 {
+		t.Fatal("empty run joules nonzero")
+	}
+}
+
+func TestDefaultEnergyModelOrdering(t *testing.T) {
+	m := DefaultEnergyModel()
+	if !(m.SendJ > 0 && m.ListenJ > 0 && m.SleepJ > 0) {
+		t.Fatalf("non-positive costs: %+v", m)
+	}
+	if m.SleepJ >= m.ListenJ {
+		t.Fatal("sleeping should be far cheaper than listening")
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if got := JainIndex(nil); got != 1 {
+		t.Fatalf("empty = %v", got)
+	}
+	if got := JainIndex([]float64{5, 5, 5, 5}); got != 1 {
+		t.Fatalf("equal = %v", got)
+	}
+	if got := JainIndex([]float64{0, 0, 0}); got != 1 {
+		t.Fatalf("all-zero = %v", got)
+	}
+	// One packet takes everything: index = 1/n.
+	if got := JainIndex([]float64{10, 0, 0, 0}); got != 0.25 {
+		t.Fatalf("monopoly = %v, want 0.25", got)
+	}
+	// Mild skew sits in between.
+	got := JainIndex([]float64{1, 2, 3, 4})
+	if got <= 0.25 || got >= 1 {
+		t.Fatalf("skewed = %v", got)
+	}
+}
+
+func TestLatencySample(t *testing.T) {
+	r := sim.Result{Packets: []sim.PacketStats{
+		{Arrival: 0, Departure: 4},
+		{Arrival: 2, Departure: -1},
+		{Arrival: 3, Departure: 3},
+	}}
+	got := LatencySample(r)
+	if len(got) != 2 || got[0] != 5 || got[1] != 1 {
+		t.Fatalf("latencies = %v", got)
+	}
+}
+
+func TestSummarizeEnergyUndelivered(t *testing.T) {
+	r := sim.Result{Packets: []sim.PacketStats{
+		{Arrival: 0, Departure: 5, Sends: 2, Listens: 3},
+		{Arrival: 0, Departure: -1, Sends: 7, Listens: 1},
+	}}
+	es := SummarizeEnergy(r)
+	if es.Undelivered != 1 {
+		t.Fatalf("undelivered = %d", es.Undelivered)
+	}
+	if es.Latency.N != 1 || es.Latency.Mean != 6 {
+		t.Fatalf("latency summary = %+v", es.Latency)
+	}
+	if es.Accesses.Max != 8 {
+		t.Fatalf("max accesses = %v", es.Accesses.Max)
+	}
+}

@@ -1,0 +1,52 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func FuzzSparkline(f *testing.F) {
+	f.Add([]byte{0, 128, 255})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		ys := make([]float64, len(raw))
+		for i, b := range raw {
+			ys[i] = float64(b)
+		}
+		s := Sparkline(ys)
+		if len(s) != len(ys) {
+			t.Fatalf("length %d, want %d", len(s), len(ys))
+		}
+	})
+}
+
+func FuzzChartRender(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, []byte{9, 4, 7}, 30, 10, false)
+	f.Add([]byte{200}, []byte{1}, 8, 8, true)
+	f.Fuzz(func(t *testing.T, xsRaw, ysRaw []byte, w, h int, logX bool) {
+		n := len(xsRaw)
+		if len(ysRaw) < n {
+			n = len(ysRaw)
+		}
+		if n == 0 || w > 500 || h > 500 {
+			t.Skip()
+		}
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := 0; i < n; i++ {
+			xs[i] = float64(xsRaw[i]) + 1 // keep positive for log axes
+			ys[i] = float64(ysRaw[i])
+		}
+		ch := New("fuzz", w, h)
+		if logX {
+			ch.LogX()
+		}
+		out := ch.Add("s", '*', xs, ys).Render()
+		if !strings.Contains(out, "fuzz") {
+			t.Fatal("title missing")
+		}
+		if !strings.Contains(out, "*") {
+			t.Fatal("no points plotted")
+		}
+	})
+}

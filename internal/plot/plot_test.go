@@ -1,0 +1,121 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartBasics(t *testing.T) {
+	ch := New("demo", 40, 10).
+		XLabel("slot").
+		YLabel("backlog").
+		Add("a", '*', []float64{0, 1, 2, 3}, []float64{0, 1, 2, 3})
+	out := ch.Render()
+	for _, frag := range []string{"demo", "backlog", "slot", "*", "legend: *=a"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("render missing %q:\n%s", frag, out)
+		}
+	}
+	// Monotone series: topmost plotted glyph must be right of the
+	// bottommost one.
+	lines := strings.Split(out, "\n")
+	var topCol, botCol int
+	topCol, botCol = -1, -1
+	for _, line := range lines {
+		if i := strings.IndexByte(line, '*'); i >= 0 {
+			if topCol == -1 {
+				topCol = i
+			}
+			botCol = i
+		}
+	}
+	if topCol <= botCol {
+		t.Fatalf("increasing series rendered non-increasing: top %d bot %d\n%s", topCol, botCol, out)
+	}
+}
+
+func TestChartMultipleSeries(t *testing.T) {
+	out := New("two", 30, 8).
+		Add("flat", 'o', []float64{1, 2, 3}, []float64{5, 5, 5}).
+		Add("rise", 'x', []float64{1, 2, 3}, []float64{1, 5, 9}).
+		Render()
+	if !strings.Contains(out, "o") || !strings.Contains(out, "x") {
+		t.Fatalf("missing glyphs:\n%s", out)
+	}
+	if !strings.Contains(out, "legend: o=flat  x=rise") {
+		t.Fatalf("legend wrong:\n%s", out)
+	}
+}
+
+func TestChartLogX(t *testing.T) {
+	out := New("logx", 40, 8).
+		LogX().
+		XLabel("N").
+		Add("", '#', []float64{256, 1024, 4096, 16384}, []float64{1, 2, 3, 4}).
+		Render()
+	if !strings.Contains(out, "log scale") {
+		t.Fatalf("log-x annotation missing:\n%s", out)
+	}
+	// On a log axis, the equally-ratioed xs land equally spaced: glyph
+	// columns should be approximately evenly spread.
+	var cols []int
+	for _, line := range strings.Split(out, "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			cols = append(cols, i)
+		}
+	}
+	if len(cols) != 4 {
+		t.Fatalf("want 4 plotted points, got %d:\n%s", len(cols), out)
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	out := New("const", 20, 8).
+		Add("", '=', []float64{1, 2, 3}, []float64{7, 7, 7}).
+		Render()
+	if !strings.Contains(out, "=") {
+		t.Fatalf("constant series missing:\n%s", out)
+	}
+}
+
+func TestChartNoData(t *testing.T) {
+	out := New("empty", 20, 8).Render()
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart = %q", out)
+	}
+}
+
+func TestChartAddPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched series accepted")
+		}
+	}()
+	New("bad", 20, 8).Add("", '*', []float64{1, 2}, []float64{1})
+}
+
+func TestChartMinimumSize(t *testing.T) {
+	out := New("tiny", 1, 1).
+		Add("", '*', []float64{0, 1}, []float64{0, 1}).
+		Render()
+	if len(strings.Split(out, "\n")) < 8 {
+		t.Fatalf("size clamp failed:\n%s", out)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if got := Sparkline(nil); got != "" {
+		t.Fatalf("empty sparkline = %q", got)
+	}
+	got := Sparkline([]float64{0, 5, 10})
+	if len(got) != 3 {
+		t.Fatalf("length = %d", len(got))
+	}
+	if got[0] != ' ' || got[2] != '@' {
+		t.Fatalf("extremes wrong: %q", got)
+	}
+	flat := Sparkline([]float64{3, 3, 3, 3})
+	if len(flat) != 4 || strings.Count(flat, string(flat[0])) != 4 {
+		t.Fatalf("flat sparkline = %q", flat)
+	}
+}

@@ -1,0 +1,267 @@
+package prng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64ReferenceVector(t *testing.T) {
+	// Reference outputs for SplitMix64 seeded with 1234567, from the
+	// published reference implementation.
+	state := uint64(1234567)
+	want := []uint64{
+		6457827717110365317,
+		3203168211198807973,
+		9817491932198370423,
+		4593380528125082431,
+		16408922859458223821,
+	}
+	for i, w := range want {
+		var out uint64
+		state, out = SplitMix64(state)
+		if out != w {
+			t.Fatalf("SplitMix64 output %d = %d, want %d", i, out, w)
+		}
+	}
+}
+
+func TestMix64Bijective(t *testing.T) {
+	// Spot-check injectivity on a dense low range plus scattered values;
+	// collisions would indicate a broken finalizer.
+	seen := make(map[uint64]uint64, 20000)
+	for i := uint64(0); i < 10000; i++ {
+		h := Mix64(i)
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("Mix64 collision: Mix64(%d) == Mix64(%d)", i, prev)
+		}
+		seen[h] = i
+	}
+	for i := 0; i < 10000; i++ {
+		x := uint64(i) * 0x9e3779b97f4a7c15
+		h := Mix64(x)
+		if prev, ok := seen[h]; ok && prev != x {
+			t.Fatalf("Mix64 collision: Mix64(%d) == Mix64(%d)", x, prev)
+		}
+		seen[h] = x
+	}
+}
+
+func TestNewDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("streams diverged at draw %d: %d != %d", i, av, bv)
+		}
+	}
+}
+
+func TestNewStreamIndependence(t *testing.T) {
+	a := NewStream(42, 0)
+	b := NewStream(42, 1)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("streams 0 and 1 collided on %d of 1000 draws", same)
+	}
+}
+
+func TestSeedResets(t *testing.T) {
+	s := New(7)
+	first := make([]uint64, 16)
+	for i := range first {
+		first[i] = s.Uint64()
+	}
+	s.Seed(7)
+	for i := range first {
+		if got := s.Uint64(); got != first[i] {
+			t.Fatalf("after reseed, draw %d = %d, want %d", i, got, first[i])
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(99)
+	for i := 0; i < 100000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64OpenNeverZeroOrOne(t *testing.T) {
+	s := New(99)
+	for i := 0; i < 100000; i++ {
+		f := s.Float64Open()
+		if f <= 0 || f >= 1 {
+			t.Fatalf("Float64Open out of range: %v", f)
+		}
+		if math.IsInf(math.Log(f), 0) {
+			t.Fatalf("log of Float64Open is infinite for %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(5)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestUint64nUniformity(t *testing.T) {
+	s := New(11)
+	const buckets = 10
+	const n = 100000
+	counts := make([]int, buckets)
+	for i := 0; i < n; i++ {
+		counts[s.Uint64n(buckets)]++
+	}
+	want := float64(n) / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("bucket %d count %d too far from %v", b, c, want)
+		}
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	s := New(3)
+	f := func(n uint64) bool {
+		if n == 0 {
+			return true
+		}
+		v := s.Uint64n(n)
+		return v < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestInt63nBounds(t *testing.T) {
+	s := New(8)
+	for _, n := range []int64{1, 2, 3, 10, 1 << 40, math.MaxInt64} {
+		for i := 0; i < 100; i++ {
+			v := s.Int63n(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Int63n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	s := New(13)
+	for i := 0; i < 1000; i++ {
+		if s.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !s.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+		if s.Bernoulli(-0.5) {
+			t.Fatal("Bernoulli(-0.5) returned true")
+		}
+		if !s.Bernoulli(1.5) {
+			t.Fatal("Bernoulli(1.5) returned false")
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	s := New(17)
+	const n = 200000
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		hits := 0
+		for i := 0; i < n; i++ {
+			if s.Bernoulli(p) {
+				hits++
+			}
+		}
+		got := float64(hits) / n
+		if math.Abs(got-p) > 0.01 {
+			t.Fatalf("Bernoulli(%v) rate = %v", p, got)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	s := New(19)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := s.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestMul64AgainstBig(t *testing.T) {
+	cases := []struct{ x, y uint64 }{
+		{0, 0}, {1, 1}, {math.MaxUint64, math.MaxUint64},
+		{math.MaxUint64, 2}, {1 << 32, 1 << 32}, {0xdeadbeefcafebabe, 0x123456789abcdef0},
+	}
+	for _, c := range cases {
+		hi, lo := mul64(c.x, c.y)
+		// Verify via 4-limb schoolbook with 32-bit limbs.
+		x0, x1 := c.x&0xffffffff, c.x>>32
+		y0, y1 := c.y&0xffffffff, c.y>>32
+		ll := x0 * y0
+		lh := x0 * y1
+		hl := x1 * y0
+		hh := x1 * y1
+		carry := (ll>>32 + lh&0xffffffff + hl&0xffffffff) >> 32
+		wantLo := c.x * c.y
+		wantHi := hh + lh>>32 + hl>>32 + carry
+		if hi != wantHi || lo != wantLo {
+			t.Fatalf("mul64(%d,%d) = (%d,%d), want (%d,%d)", c.x, c.y, hi, lo, wantHi, wantLo)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= s.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkFloat64(b *testing.B) {
+	s := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += s.Float64()
+	}
+	_ = sink
+}

@@ -1,0 +1,315 @@
+// Package protocols implements the baseline contention-resolution
+// algorithms the experiments compare LOW-SENSING BACKOFF against:
+//
+//   - Binary exponential backoff (Metcalfe–Boggs 1976): oblivious, windowed;
+//     the paper cites its Θ(1/ln N) batch throughput as the motivating
+//     failure.
+//   - Polynomial backoff (Håstad–Leighton–Rogoff 1987): windowed with
+//     polynomially growing windows.
+//   - Slotted ALOHA with a fixed rate, and a genie-assisted variant that
+//     always knows the exact backlog (an oracle upper bound, not a
+//     realizable protocol).
+//   - Full-sensing multiplicative weights in the style of Chang–Jin–Pettie
+//     (SOSA 2019): listens in every slot and nudges its sending probability
+//     after each one. Constant throughput, but energy linear in the number
+//     of active slots — the short-feedback-loop regime the paper escapes.
+//   - Fixed-probability sender, as an ablation control.
+//
+// All protocols implement sim.Station and are exercised by the same engine
+// and metrics as the core algorithm.
+package protocols
+
+import (
+	"fmt"
+	"math"
+
+	"lowsensing/internal/dist"
+	"lowsensing/internal/prng"
+	"lowsensing/internal/sim"
+)
+
+// BEB is one packet running binary exponential backoff: it picks a uniform
+// slot within its current window, transmits there, and doubles the window
+// after every collision. It never listens (its only feedback is whether its
+// own transmission succeeded), making it oblivious in the paper's sense.
+type BEB struct {
+	window int64
+	max    int64
+}
+
+// NewBEBFactory returns a factory for binary exponential backoff stations
+// with the given initial window (classically 2). maxWindow caps growth
+// (<= 0 means uncapped).
+func NewBEBFactory(initialWindow, maxWindow int64) (sim.StationFactory, error) {
+	if initialWindow < 1 {
+		return nil, fmt.Errorf("protocols: BEB initial window must be >= 1, got %d", initialWindow)
+	}
+	if maxWindow > 0 && maxWindow < initialWindow {
+		return nil, fmt.Errorf("protocols: BEB max window %d < initial %d", maxWindow, initialWindow)
+	}
+	return func(_ int64, _ *prng.Source) sim.Station {
+		return &BEB{window: initialWindow, max: maxWindow}
+	}, nil
+}
+
+// Window returns the current window (for probes).
+func (b *BEB) Window() float64 { return float64(b.window) }
+
+// ScheduleNext implements sim.Station.
+func (b *BEB) ScheduleNext(from int64, rng *prng.Source) (int64, bool) {
+	return from + rng.Int63n(b.window), true
+}
+
+// Observe implements sim.Station: double the window after a failed send.
+func (b *BEB) Observe(obs sim.Observation) {
+	if obs.Sent && !obs.Succeeded {
+		b.window *= 2
+		if b.max > 0 && b.window > b.max {
+			b.window = b.max
+		}
+	}
+}
+
+var (
+	_ sim.Station  = (*BEB)(nil)
+	_ sim.Windowed = (*BEB)(nil)
+)
+
+// Poly is polynomial backoff: after the k-th collision the window is
+// w0·(k+1)^alpha. Like BEB it is oblivious and send-only.
+type Poly struct {
+	w0         int64
+	alpha      float64
+	collisions int64
+}
+
+// NewPolyFactory returns a factory for polynomial backoff with window
+// w0·(k+1)^alpha after k collisions. alpha must be positive.
+func NewPolyFactory(w0 int64, alpha float64) (sim.StationFactory, error) {
+	if w0 < 1 {
+		return nil, fmt.Errorf("protocols: Poly w0 must be >= 1, got %d", w0)
+	}
+	if !(alpha > 0) {
+		return nil, fmt.Errorf("protocols: Poly alpha must be > 0, got %v", alpha)
+	}
+	return func(_ int64, _ *prng.Source) sim.Station {
+		return &Poly{w0: w0, alpha: alpha}
+	}, nil
+}
+
+// Window returns the current window.
+func (p *Poly) Window() float64 {
+	return float64(p.w0) * math.Pow(float64(p.collisions+1), p.alpha)
+}
+
+// ScheduleNext implements sim.Station.
+func (p *Poly) ScheduleNext(from int64, rng *prng.Source) (int64, bool) {
+	w := int64(p.Window())
+	if w < 1 {
+		w = 1
+	}
+	return from + rng.Int63n(w), true
+}
+
+// Observe implements sim.Station.
+func (p *Poly) Observe(obs sim.Observation) {
+	if obs.Sent && !obs.Succeeded {
+		p.collisions++
+	}
+}
+
+var _ sim.Station = (*Poly)(nil)
+
+// Aloha is slotted ALOHA with a fixed transmission probability: each slot,
+// send with probability p. Send-only, no adaptation.
+type Aloha struct {
+	p float64
+}
+
+// NewAlohaFactory returns fixed-rate slotted ALOHA stations. p must be in
+// (0, 1].
+func NewAlohaFactory(p float64) (sim.StationFactory, error) {
+	if !(p > 0 && p <= 1) {
+		return nil, fmt.Errorf("protocols: Aloha p must be in (0,1], got %v", p)
+	}
+	return func(_ int64, _ *prng.Source) sim.Station {
+		return &Aloha{p: p}
+	}, nil
+}
+
+// ScheduleNext implements sim.Station.
+func (a *Aloha) ScheduleNext(from int64, rng *prng.Source) (int64, bool) {
+	return from + dist.Geometric(rng, a.p) - 1, true
+}
+
+// Observe implements sim.Station (fixed-rate ALOHA never adapts).
+func (a *Aloha) Observe(sim.Observation) {}
+
+var _ sim.Station = (*Aloha)(nil)
+
+// GenieAloha is slotted ALOHA where every station magically knows the exact
+// current backlog k and sends with probability 1/k in every slot. It is an
+// oracle — no distributed protocol can realize it — and serves as the
+// throughput ceiling (≈ 1/e) against which realizable protocols are judged.
+//
+// Because the oracle's rate changes whenever any packet departs, stations
+// must re-decide every slot rather than pre-commit to a geometric gap; the
+// engine therefore charges them one access per active slot. Their energy
+// numbers are meaningless (the oracle is free), and experiments report
+// GenieAloha for throughput only.
+type GenieAloha struct {
+	shared *genieState
+}
+
+type genieState struct {
+	backlog int64
+}
+
+// NewGenieAlohaFactory returns a factory whose stations share one backlog
+// oracle. The factory is single-run: do not reuse it across engines.
+func NewGenieAlohaFactory() sim.StationFactory {
+	state := &genieState{}
+	return func(_ int64, _ *prng.Source) sim.Station {
+		state.backlog++
+		return &GenieAloha{shared: state}
+	}
+}
+
+// ScheduleNext implements sim.Station: access every slot, send with
+// probability 1/backlog.
+func (g *GenieAloha) ScheduleNext(from int64, rng *prng.Source) (int64, bool) {
+	k := g.shared.backlog
+	if k < 1 {
+		k = 1
+	}
+	return from, rng.Bernoulli(1 / float64(k))
+}
+
+// Observe implements sim.Station: a departing station updates the oracle.
+func (g *GenieAloha) Observe(obs sim.Observation) {
+	if obs.Succeeded {
+		g.shared.backlog--
+	}
+}
+
+var _ sim.Station = (*GenieAloha)(nil)
+
+// MWU is a full-sensing multiplicative-weights protocol in the style of
+// Chang, Jin, and Pettie (SOSA 2019): it listens in every slot and updates
+// its sending probability multiplicatively — up on silence, down on noise,
+// unchanged on success. It achieves constant throughput with a short
+// feedback loop; its listening cost is one access per active slot, which is
+// exactly what LOW-SENSING BACKOFF eliminates.
+type MWU struct {
+	p    float64
+	pMax float64
+	step float64
+}
+
+// MWUConfig parameterizes the MWU baseline.
+type MWUConfig struct {
+	// PInit is the initial sending probability.
+	PInit float64
+	// PMax caps the sending probability (typically 1/2).
+	PMax float64
+	// Step is the multiplicative update factor (> 1).
+	Step float64
+}
+
+// DefaultMWUConfig returns the configuration used by the experiments.
+func DefaultMWUConfig() MWUConfig {
+	return MWUConfig{PInit: 0.25, PMax: 0.5, Step: 1.25}
+}
+
+// Validate checks the MWU parameters.
+func (c MWUConfig) Validate() error {
+	if !(c.PInit > 0 && c.PInit <= 1) {
+		return fmt.Errorf("protocols: MWU PInit must be in (0,1], got %v", c.PInit)
+	}
+	if !(c.PMax > 0 && c.PMax <= 1) || c.PMax < c.PInit {
+		return fmt.Errorf("protocols: MWU PMax must be in [PInit,1], got %v", c.PMax)
+	}
+	if !(c.Step > 1) {
+		return fmt.Errorf("protocols: MWU Step must be > 1, got %v", c.Step)
+	}
+	return nil
+}
+
+// NewMWUFactory returns a factory for full-sensing MWU stations.
+func NewMWUFactory(cfg MWUConfig) (sim.StationFactory, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return func(_ int64, _ *prng.Source) sim.Station {
+		return &MWU{p: cfg.PInit, pMax: cfg.PMax, step: cfg.Step}
+	}, nil
+}
+
+// Window reports 1/p so MWU can participate in window-based probes.
+func (m *MWU) Window() float64 { return 1 / m.p }
+
+// ScheduleNext implements sim.Station: MWU accesses (listens in) every
+// slot.
+func (m *MWU) ScheduleNext(from int64, rng *prng.Source) (int64, bool) {
+	return from, rng.Bernoulli(m.p)
+}
+
+// Observe implements sim.Station.
+func (m *MWU) Observe(obs sim.Observation) {
+	switch obs.Outcome {
+	case sim.OutcomeEmpty:
+		m.p *= m.step
+		if m.p > m.pMax {
+			m.p = m.pMax
+		}
+	case sim.OutcomeNoisy:
+		m.p /= m.step
+	case sim.OutcomeSuccess:
+		// Unchanged.
+	}
+}
+
+var (
+	_ sim.Station  = (*MWU)(nil)
+	_ sim.Windowed = (*MWU)(nil)
+)
+
+// Fixed sends with a constant probability p each slot and also listens with
+// constant probability q (possibly 0). It is the no-feedback ablation
+// control: identical energy profile shape to ALOHA but with configurable
+// listening.
+type Fixed struct {
+	pSend   float64
+	pListen float64
+}
+
+// NewFixedFactory returns stations that send with probability pSend and
+// additionally listen with probability pListen (both per slot). pSend must
+// be in (0,1]; pListen in [0,1].
+func NewFixedFactory(pSend, pListen float64) (sim.StationFactory, error) {
+	if !(pSend > 0 && pSend <= 1) {
+		return nil, fmt.Errorf("protocols: Fixed pSend must be in (0,1], got %v", pSend)
+	}
+	if !(pListen >= 0 && pListen <= 1) {
+		return nil, fmt.Errorf("protocols: Fixed pListen must be in [0,1], got %v", pListen)
+	}
+	return func(_ int64, _ *prng.Source) sim.Station {
+		return &Fixed{pSend: pSend, pListen: pListen}
+	}, nil
+}
+
+// ScheduleNext implements sim.Station. The access probability is
+// pSend + pListen - pSend·pListen (send and listen decisions independent);
+// conditioned on accessing, the send flag is set with the conditional
+// probability of a send given access.
+func (f *Fixed) ScheduleNext(from int64, rng *prng.Source) (int64, bool) {
+	pAccess := f.pSend + f.pListen - f.pSend*f.pListen
+	gap := dist.Geometric(rng, pAccess)
+	send := rng.Bernoulli(f.pSend / pAccess)
+	return from + gap - 1, send
+}
+
+// Observe implements sim.Station (no adaptation).
+func (f *Fixed) Observe(sim.Observation) {}
+
+var _ sim.Station = (*Fixed)(nil)

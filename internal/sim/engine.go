@@ -1,0 +1,409 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"lowsensing/internal/prng"
+)
+
+// Params configures a simulation run. Arrivals and NewStation are required;
+// a nil Jammer means no jamming. MaxSlots bounds the run (0 means the
+// default cap); a run that still has packets at MaxSlots is truncated, not
+// an error, so experiments can measure steady state on infinite streams.
+type Params struct {
+	Seed       uint64
+	Arrivals   ArrivalSource
+	Jammer     Jammer
+	NewStation StationFactory
+	MaxSlots   int64
+	// Probe, if non-nil, is invoked after every resolved slot with the
+	// engine and the slot number. Probes may inspect the engine through
+	// its read accessors but must not mutate it.
+	Probe func(e *Engine, slot int64)
+}
+
+// DefaultMaxSlots is the safety cap applied when Params.MaxSlots is zero.
+const DefaultMaxSlots = int64(1) << 40
+
+// Engine runs the slotted-channel simulation. Construct with NewEngine and
+// drive with Run; an Engine is single-use and not safe for concurrent use.
+type Engine struct {
+	params Params
+	jammer Jammer
+	react  ReactiveJammer // non-nil if jammer is reactive
+
+	stations []stationState
+	events   eventHeap
+
+	// Pending arrival batch (peeked from the source).
+	pendSlot  int64
+	pendCount int64
+	pendOK    bool
+
+	// Busy-period accounting.
+	activeCount  int64
+	busy         bool
+	busyStart    int64
+	jamCursor    int64
+	closedActive int64 // active slots in closed busy periods
+	jammedSlots  int64
+	completed    int64
+	curSlot      int64
+
+	// Scratch buffers reused across slots.
+	slotStations []int32
+	slotSenders  []int64
+
+	// Last resolved slot, for probes.
+	lastOutcome   Outcome
+	lastSenders   int
+	lastAccessors int
+	lastJammed    bool
+
+	ran bool
+}
+
+type stationState struct {
+	st       Station
+	rng      *prng.Source
+	arrival  int64
+	depart   int64
+	sends    int64
+	listens  int64
+	nextSlot int64
+	willSend bool
+	active   bool
+}
+
+// NewEngine validates params and builds an engine. It returns an error if
+// Arrivals or NewStation is missing or MaxSlots is negative.
+func NewEngine(p Params) (*Engine, error) {
+	if p.Arrivals == nil {
+		return nil, fmt.Errorf("sim: Params.Arrivals is required")
+	}
+	if p.NewStation == nil {
+		return nil, fmt.Errorf("sim: Params.NewStation is required")
+	}
+	if p.MaxSlots < 0 {
+		return nil, fmt.Errorf("sim: Params.MaxSlots must be >= 0, got %d", p.MaxSlots)
+	}
+	if p.MaxSlots == 0 {
+		p.MaxSlots = DefaultMaxSlots
+	}
+	e := &Engine{params: p, jammer: p.Jammer}
+	if e.jammer == nil {
+		e.jammer = NoJammer{}
+	}
+	if rj, ok := e.jammer.(ReactiveJammer); ok {
+		e.react = rj
+	}
+	// Adaptive adversary components receive a handle to the engine so they
+	// can observe public history (backlog, counts) when making decisions.
+	if b, ok := e.jammer.(EngineBound); ok {
+		b.Bind(e)
+	}
+	if b, ok := p.Arrivals.(EngineBound); ok {
+		b.Bind(e)
+	}
+	e.pendSlot, e.pendCount, e.pendOK = p.Arrivals.Next()
+	return e, nil
+}
+
+// EngineBound is implemented by adversary components (arrival sources,
+// jammers) that adapt to the observable state of the system. The engine
+// calls Bind once, before the run starts. Bound components must use only
+// the engine's read accessors.
+type EngineBound interface {
+	Bind(e *Engine)
+}
+
+// Run executes the simulation to completion (arrivals exhausted and all
+// packets delivered) or until MaxSlots, and returns the result. Run may be
+// called once.
+func (e *Engine) Run() (Result, error) {
+	if e.ran {
+		return Result{}, fmt.Errorf("sim: Engine.Run called twice")
+	}
+	e.ran = true
+
+	for {
+		tEvent := int64(math.MaxInt64)
+		if len(e.events) > 0 {
+			tEvent = e.events[0].slot
+		}
+		tArrival := int64(math.MaxInt64)
+		if e.pendOK {
+			tArrival = e.pendSlot
+		}
+		t := tEvent
+		if tArrival < t {
+			t = tArrival
+		}
+		if t == math.MaxInt64 {
+			break // no events, no arrivals: done
+		}
+		if t > e.params.MaxSlots {
+			break
+		}
+		e.curSlot = t
+
+		// Inject arrivals first so a packet arriving at slot t can act in
+		// slot t, as the model allows.
+		if e.pendOK && e.pendSlot == t {
+			e.inject(t)
+		}
+
+		// Resolve the channel only if some station accesses slot t.
+		if len(e.events) > 0 && e.events[0].slot == t {
+			e.resolveSlot(t)
+			if e.params.Probe != nil {
+				e.params.Probe(e, t)
+			}
+		}
+	}
+
+	return e.result(), nil
+}
+
+// inject creates stations for the pending arrival batch at slot t and
+// advances the arrival source.
+func (e *Engine) inject(t int64) {
+	count := e.pendCount
+	for i := int64(0); i < count; i++ {
+		id := int64(len(e.stations))
+		rng := prng.NewStream(e.params.Seed, uint64(id)+1)
+		st := e.params.NewStation(id, rng)
+		next, send := st.ScheduleNext(t, rng)
+		if next < t {
+			panic(fmt.Sprintf("sim: station %d scheduled slot %d before current slot %d", id, next, t))
+		}
+		e.stations = append(e.stations, stationState{
+			st:       st,
+			rng:      rng,
+			arrival:  t,
+			depart:   -1,
+			nextSlot: next,
+			willSend: send,
+			active:   true,
+		})
+		heap.Push(&e.events, event{slot: next, station: int32(id)})
+		if e.activeCount == 0 {
+			e.busy = true
+			e.busyStart = t
+			e.jamCursor = t
+		}
+		e.activeCount++
+	}
+	// Advance to the next batch. The source may consult an engine View at
+	// this point (adaptive arrivals); history reflects slots < t.
+	nextSlot, nextCount, ok := e.params.Arrivals.Next()
+	if ok && nextSlot < t {
+		panic(fmt.Sprintf("sim: arrival source went backwards: %d after %d", nextSlot, t))
+	}
+	e.pendSlot, e.pendCount, e.pendOK = nextSlot, nextCount, ok
+}
+
+// resolveSlot pops every station accessing slot t, resolves the channel,
+// delivers observations, and reschedules survivors.
+func (e *Engine) resolveSlot(t int64) {
+	e.slotStations = e.slotStations[:0]
+	e.slotSenders = e.slotSenders[:0]
+	for len(e.events) > 0 && e.events[0].slot == t {
+		ev := heap.Pop(&e.events).(event)
+		e.slotStations = append(e.slotStations, ev.station)
+		if e.stations[ev.station].willSend {
+			e.slotSenders = append(e.slotSenders, int64(ev.station))
+		}
+	}
+
+	// Account jamming over the skipped active range (jamCursor, t).
+	if e.busy && t > e.jamCursor {
+		e.jammedSlots += e.jammer.CountRange(e.jamCursor, t)
+	}
+	var jammed bool
+	if e.react != nil {
+		jammed = e.react.JammedReactive(t, e.slotSenders)
+	} else {
+		jammed = e.jammer.Jammed(t)
+	}
+	if jammed {
+		e.jammedSlots++
+	}
+	e.jamCursor = t + 1
+
+	var outcome Outcome
+	switch {
+	case jammed:
+		outcome = OutcomeNoisy
+	case len(e.slotSenders) == 0:
+		outcome = OutcomeEmpty
+	case len(e.slotSenders) == 1:
+		outcome = OutcomeSuccess
+	default:
+		outcome = OutcomeNoisy
+	}
+	e.lastOutcome = outcome
+	e.lastSenders = len(e.slotSenders)
+	e.lastAccessors = len(e.slotStations)
+	e.lastJammed = jammed
+
+	for _, idx := range e.slotStations {
+		ss := &e.stations[idx]
+		sent := ss.willSend
+		succeeded := sent && outcome == OutcomeSuccess
+		if sent {
+			ss.sends++
+		} else {
+			ss.listens++
+		}
+		ss.st.Observe(Observation{Slot: t, Outcome: outcome, Sent: sent, Succeeded: succeeded})
+		if succeeded {
+			ss.active = false
+			ss.depart = t
+			e.completed++
+			e.activeCount--
+			continue
+		}
+		next, send := ss.st.ScheduleNext(t+1, ss.rng)
+		if next <= t {
+			panic(fmt.Sprintf("sim: station %d rescheduled slot %d not after %d", idx, next, t))
+		}
+		ss.nextSlot = next
+		ss.willSend = send
+		heap.Push(&e.events, event{slot: next, station: idx})
+	}
+
+	if e.activeCount == 0 && e.busy {
+		e.closedActive += t - e.busyStart + 1
+		e.busy = false
+	}
+}
+
+func (e *Engine) result() Result {
+	r := Result{
+		Arrived:     int64(len(e.stations)),
+		Completed:   e.completed,
+		ActiveSlots: e.closedActive,
+		JammedSlots: e.jammedSlots,
+		LastSlot:    e.curSlot,
+	}
+	if e.busy {
+		// Truncated: count the open busy period and its unobserved jams.
+		r.Truncated = true
+		r.ActiveSlots += e.curSlot - e.busyStart + 1
+		if e.curSlot+1 > e.jamCursor {
+			r.JammedSlots += e.jammer.CountRange(e.jamCursor, e.curSlot+1)
+		}
+	}
+	r.Packets = make([]PacketStats, len(e.stations))
+	for i := range e.stations {
+		ss := &e.stations[i]
+		r.Packets[i] = PacketStats{
+			Arrival:   ss.arrival,
+			Departure: ss.depart,
+			Sends:     ss.sends,
+			Listens:   ss.listens,
+		}
+	}
+	return r
+}
+
+// --- read accessors for probes and adaptive adversaries ---
+
+// Backlog returns the number of packets currently in the system.
+func (e *Engine) Backlog() int64 { return e.activeCount }
+
+// Arrived returns the number of packets injected so far.
+func (e *Engine) Arrived() int64 { return int64(len(e.stations)) }
+
+// Completed returns the number of packets delivered so far.
+func (e *Engine) Completed() int64 { return e.completed }
+
+// JammedSoFar returns the number of jammed active slots accounted so far.
+func (e *Engine) JammedSoFar() int64 { return e.jammedSlots }
+
+// CurrentSlot returns the slot the engine most recently worked on.
+func (e *Engine) CurrentSlot() int64 { return e.curSlot }
+
+// ActiveSlotsSoFar returns S_t as of the current slot, counting the open
+// busy period if one is in progress.
+func (e *Engine) ActiveSlotsSoFar() int64 {
+	s := e.closedActive
+	if e.busy {
+		s += e.curSlot - e.busyStart + 1
+	}
+	return s
+}
+
+// ImplicitThroughputNow returns (N_t + J_t) / S_t at the current slot, or 1
+// if there have been no active slots yet.
+func (e *Engine) ImplicitThroughputNow() float64 {
+	s := e.ActiveSlotsSoFar()
+	if s == 0 {
+		return 1
+	}
+	return float64(e.Arrived()+e.jammedSlots) / float64(s)
+}
+
+// LastOutcome returns the outcome of the most recently resolved slot; only
+// meaningful inside a Probe callback.
+func (e *Engine) LastOutcome() Outcome { return e.lastOutcome }
+
+// LastSenders returns the number of stations that transmitted in the most
+// recently resolved slot.
+func (e *Engine) LastSenders() int { return e.lastSenders }
+
+// LastAccessors returns the number of stations that accessed the channel in
+// the most recently resolved slot.
+func (e *Engine) LastAccessors() int { return e.lastAccessors }
+
+// LastJammed reports whether the most recently resolved slot was jammed.
+func (e *Engine) LastJammed() bool { return e.lastJammed }
+
+// VisitActiveWindows calls fn with the window of every active station that
+// exposes one. It is intended for probes computing contention or the
+// paper's potential function; cost is linear in the number of stations ever
+// created.
+func (e *Engine) VisitActiveWindows(fn func(w float64)) {
+	for i := range e.stations {
+		ss := &e.stations[i]
+		if !ss.active {
+			continue
+		}
+		if w, ok := ss.st.(Windowed); ok {
+			fn(w.Window())
+		}
+	}
+}
+
+// --- event heap ---
+
+type event struct {
+	slot    int64
+	station int32
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].slot != h[j].slot {
+		return h[i].slot < h[j].slot
+	}
+	return h[i].station < h[j].station
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+var _ heap.Interface = (*eventHeap)(nil)

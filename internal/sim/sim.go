@@ -1,0 +1,215 @@
+// Package sim implements the slotted multiple-access channel model of
+// Bender et al. (PODC 2024), §1.1: synchronized slots, ternary feedback
+// (empty / success / noisy), adversarial packet arrivals, and adversarial
+// jamming, against adaptive and reactive adversaries.
+//
+// The engine is event-driven. A station's action probabilities change only
+// when it accesses the channel, so the gap to its next access has a fixed
+// distribution and can be sampled up front; the engine keeps a min-heap of
+// next-access events and skips slots in which no station acts. Skipped
+// active slots still count toward the active-slot total, and jammed slots
+// inside skipped ranges are accounted through Jammer.CountRange. This makes
+// runs with large windows (the common case for LOW-SENSING BACKOFF) cost
+// O(total channel accesses), not O(total slots).
+package sim
+
+import (
+	"lowsensing/internal/prng"
+)
+
+// Outcome is the ternary channel feedback for one slot.
+type Outcome uint8
+
+// The three channel outcomes of the ternary-feedback model. A jammed slot
+// is always Noisy regardless of how many packets sent.
+const (
+	// OutcomeEmpty means no packet sent and the slot was not jammed.
+	OutcomeEmpty Outcome = iota + 1
+	// OutcomeSuccess means exactly one packet sent in an unjammed slot.
+	OutcomeSuccess
+	// OutcomeNoisy means two or more packets sent, or the slot was jammed.
+	OutcomeNoisy
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeEmpty:
+		return "empty"
+	case OutcomeSuccess:
+		return "success"
+	case OutcomeNoisy:
+		return "noisy"
+	default:
+		return "unknown"
+	}
+}
+
+// Observation is what a station learns at a slot in which it accessed the
+// channel. Sent reports whether the station itself transmitted; Succeeded
+// reports whether that transmission was the slot's unique unjammed send.
+// A station that sent and did not succeed knows the slot was Noisy without
+// listening (paper footnote 2).
+type Observation struct {
+	Slot      int64
+	Outcome   Outcome
+	Sent      bool
+	Succeeded bool
+}
+
+// Station is the per-packet protocol state machine. The engine drives it
+// with the following contract:
+//
+//  1. ScheduleNext(from, rng) returns the first slot >= from at which the
+//     station will access the channel, and whether that access includes a
+//     transmission. The station must commit to this decision: it will not
+//     be consulted again until that slot.
+//  2. At that slot the engine resolves the channel and calls Observe with
+//     the ternary feedback. If the station succeeded it is removed;
+//     otherwise ScheduleNext is called again with from = slot+1.
+//
+// Station implementations must be deterministic given the rng stream.
+type Station interface {
+	ScheduleNext(from int64, rng *prng.Source) (slot int64, send bool)
+	Observe(obs Observation)
+}
+
+// Windowed is implemented by stations that expose a backoff window, which
+// probes use to compute contention and the paper's potential function.
+type Windowed interface {
+	Window() float64
+}
+
+// StationFactory builds the Station for a newly injected packet. The id is
+// the packet's global index in arrival order (0-based); rng is the packet's
+// private deterministic stream.
+type StationFactory func(id int64, rng *prng.Source) Station
+
+// ArrivalSource produces the (slot, count) arrival schedule in nondecreasing
+// slot order. Next is called once per batch, after the previous batch has
+// been injected; adaptive sources may consult an engine View at that point.
+type ArrivalSource interface {
+	Next() (slot int64, count int64, ok bool)
+}
+
+// Jammer decides which slots the adversary jams.
+//
+// Jammed is called for slots the engine actually resolves (some station
+// accesses the channel) and must be a deterministic function of the slot
+// and the jammer's own state. CountRange accounts for jammed slots inside
+// a skipped range [from, to) that no station observed; implementations may
+// sample the count from the correct distribution rather than materialize
+// per-slot decisions, because those slots are unobservable by everyone.
+type Jammer interface {
+	Jammed(slot int64) bool
+	CountRange(from, to int64) int64
+}
+
+// ReactiveJammer is a Jammer that additionally sees, and may react to, the
+// set of packets transmitting in the current slot before the channel is
+// resolved (paper §1.3). The engine calls JammedReactive instead of Jammed
+// for resolved slots; CountRange still covers unobserved slots.
+type ReactiveJammer interface {
+	Jammer
+	JammedReactive(slot int64, senders []int64) bool
+}
+
+// PacketStats records the lifetime and energy of one packet. Departure is
+// -1 if the packet was still in the system when the run ended. Energy in
+// the paper's sense is Sends + Listens: each slot in which the packet
+// accessed the channel costs one unit (a sending packet need not also
+// listen, so a send-and-listen slot costs one access, counted as a send).
+type PacketStats struct {
+	Arrival   int64
+	Departure int64
+	Sends     int64
+	Listens   int64
+}
+
+// Accesses returns the packet's total channel accesses.
+func (p PacketStats) Accesses() int64 { return p.Sends + p.Listens }
+
+// Latency returns the number of slots from arrival to success inclusive,
+// or -1 if the packet never departed.
+func (p PacketStats) Latency() int64 {
+	if p.Departure < 0 {
+		return -1
+	}
+	return p.Departure - p.Arrival + 1
+}
+
+// Result summarizes a finished run.
+type Result struct {
+	// Arrived is the number of packets injected (N_t).
+	Arrived int64
+	// Completed is the number of packets that succeeded (T_t).
+	Completed int64
+	// ActiveSlots is the number of slots with at least one packet in the
+	// system (S_t). Inactive slots are ignored, as in the paper.
+	ActiveSlots int64
+	// JammedSlots is the number of jammed active slots (J_t). Jamming
+	// during inactive slots affects nothing in the model and is not
+	// counted.
+	JammedSlots int64
+	// LastSlot is the last slot the engine accounted for.
+	LastSlot int64
+	// Truncated reports that the run hit MaxSlots with packets still in
+	// the system.
+	Truncated bool
+	// Packets holds per-packet statistics indexed by packet id.
+	Packets []PacketStats
+}
+
+// Throughput returns the paper's overall throughput (T+J)/S for the run,
+// or 1 if there were no active slots.
+func (r Result) Throughput() float64 {
+	if r.ActiveSlots == 0 {
+		return 1
+	}
+	return float64(r.Completed+r.JammedSlots) / float64(r.ActiveSlots)
+}
+
+// ImplicitThroughput returns (N+J)/S at the end of the run, or 1 if there
+// were no active slots. On a completed finite run this equals Throughput.
+func (r Result) ImplicitThroughput() float64 {
+	if r.ActiveSlots == 0 {
+		return 1
+	}
+	return float64(r.Arrived+r.JammedSlots) / float64(r.ActiveSlots)
+}
+
+// MeanAccesses returns the mean number of channel accesses per packet, or
+// 0 if no packets arrived.
+func (r Result) MeanAccesses() float64 {
+	if len(r.Packets) == 0 {
+		return 0
+	}
+	var total int64
+	for _, p := range r.Packets {
+		total += p.Accesses()
+	}
+	return float64(total) / float64(len(r.Packets))
+}
+
+// MaxAccesses returns the largest number of channel accesses made by any
+// single packet.
+func (r Result) MaxAccesses() int64 {
+	var m int64
+	for _, p := range r.Packets {
+		if a := p.Accesses(); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// NoJammer is a Jammer that never jams. The zero value is ready to use.
+type NoJammer struct{}
+
+// Jammed always reports false.
+func (NoJammer) Jammed(int64) bool { return false }
+
+// CountRange always returns 0.
+func (NoJammer) CountRange(int64, int64) int64 { return 0 }
+
+var _ Jammer = NoJammer{}

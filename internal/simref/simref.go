@@ -1,0 +1,197 @@
+// Package simref is a deliberately naive reference implementation of the
+// slotted-channel model: it walks every slot one by one, with no event heap
+// and no idle-slot skipping. It exists purely to differentially test the
+// optimized engine in package sim.
+//
+// The two engines share the Station contract, consume station RNG streams
+// in exactly the same order (stations are processed in id order within a
+// slot), and make identical jam-accounting calls (the same CountRange
+// arguments in the same order), so for identical Params they must produce
+// bit-identical Results — a much stronger check than statistical
+// agreement. Cost is O(MaxSlots × stations); use small instances.
+package simref
+
+import (
+	"fmt"
+
+	"lowsensing/internal/prng"
+	"lowsensing/internal/sim"
+)
+
+// Run executes the model slot by slot and returns a result identical to
+// sim.Engine.Run on the same Params. MaxSlots must be positive.
+func Run(p sim.Params) (sim.Result, error) {
+	if p.Arrivals == nil {
+		return sim.Result{}, fmt.Errorf("simref: Params.Arrivals is required")
+	}
+	if p.NewStation == nil {
+		return sim.Result{}, fmt.Errorf("simref: Params.NewStation is required")
+	}
+	if p.MaxSlots <= 0 {
+		return sim.Result{}, fmt.Errorf("simref: Params.MaxSlots must be positive (naive engine walks every slot)")
+	}
+	jammer := p.Jammer
+	if jammer == nil {
+		jammer = sim.NoJammer{}
+	}
+	react, _ := jammer.(sim.ReactiveJammer)
+	if b, ok := jammer.(sim.EngineBound); ok {
+		// Reference runs cannot serve engine-bound adversaries: there is
+		// no engine to observe. Reject loudly rather than run a silently
+		// different adversary.
+		_ = b
+		return sim.Result{}, fmt.Errorf("simref: engine-bound jammers are not supported")
+	}
+	if _, ok := p.Arrivals.(sim.EngineBound); ok {
+		return sim.Result{}, fmt.Errorf("simref: engine-bound arrival sources are not supported")
+	}
+
+	type st struct {
+		station  sim.Station
+		rng      *prng.Source
+		arrival  int64
+		depart   int64
+		sends    int64
+		listens  int64
+		nextSlot int64
+		willSend bool
+		active   bool
+	}
+	var stations []*st
+
+	pendSlot, pendCount, pendOK := p.Arrivals.Next()
+
+	res := sim.Result{}
+	active := int64(0)
+	busy := false
+	var busyStart, jamCursor, lastWorked int64
+	lastWorked = -1
+
+	for slot := int64(0); slot <= p.MaxSlots; slot++ {
+		// Inject arrivals due at this slot (mirrors the engine: arrivals
+		// first, so new packets can act immediately).
+		injected := false
+		for pendOK && pendSlot == slot {
+			injected = pendCount > 0 || injected
+			for i := int64(0); i < pendCount; i++ {
+				id := int64(len(stations))
+				rng := prng.NewStream(p.Seed, uint64(id)+1)
+				station := p.NewStation(id, rng)
+				next, send := station.ScheduleNext(slot, rng)
+				if next < slot {
+					panic("simref: station scheduled in the past")
+				}
+				stations = append(stations, &st{
+					station: station, rng: rng, arrival: slot, depart: -1,
+					nextSlot: next, willSend: send, active: true,
+				})
+				if active == 0 {
+					busy, busyStart, jamCursor = true, slot, slot
+				}
+				active++
+			}
+			pendSlot, pendCount, pendOK = p.Arrivals.Next()
+			if pendOK && pendSlot < slot {
+				panic("simref: arrival source went backwards")
+			}
+		}
+		if injected {
+			lastWorked = slot
+		}
+		if active == 0 {
+			if !pendOK {
+				break
+			}
+			continue
+		}
+
+		// Who acts this slot? (id order, matching the engine's heap.)
+		var accessors []*st
+		var senders []int64
+		for id, s := range stations {
+			if s.active && s.nextSlot == slot {
+				accessors = append(accessors, s)
+				if s.willSend {
+					senders = append(senders, int64(id))
+				}
+			}
+		}
+		if len(accessors) == 0 {
+			continue // unobserved active slot; jams accounted lazily below
+		}
+		lastWorked = slot
+
+		// Jam accounting with the engine's exact call pattern.
+		if busy && slot > jamCursor {
+			res.JammedSlots += jammer.CountRange(jamCursor, slot)
+		}
+		var jammed bool
+		if react != nil {
+			jammed = react.JammedReactive(slot, senders)
+		} else {
+			jammed = jammer.Jammed(slot)
+		}
+		if jammed {
+			res.JammedSlots++
+		}
+		jamCursor = slot + 1
+
+		var outcome sim.Outcome
+		switch {
+		case jammed:
+			outcome = sim.OutcomeNoisy
+		case len(senders) == 0:
+			outcome = sim.OutcomeEmpty
+		case len(senders) == 1:
+			outcome = sim.OutcomeSuccess
+		default:
+			outcome = sim.OutcomeNoisy
+		}
+
+		for _, s := range accessors {
+			sent := s.willSend
+			succeeded := sent && outcome == sim.OutcomeSuccess
+			if sent {
+				s.sends++
+			} else {
+				s.listens++
+			}
+			s.station.Observe(sim.Observation{Slot: slot, Outcome: outcome, Sent: sent, Succeeded: succeeded})
+			if succeeded {
+				s.active = false
+				s.depart = slot
+				res.Completed++
+				active--
+				continue
+			}
+			next, send := s.station.ScheduleNext(slot+1, s.rng)
+			if next <= slot {
+				panic("simref: station rescheduled in the past")
+			}
+			s.nextSlot, s.willSend = next, send
+		}
+		if active == 0 && busy {
+			res.ActiveSlots += slot - busyStart + 1
+			busy = false
+		}
+	}
+
+	if busy {
+		res.Truncated = true
+		res.ActiveSlots += lastWorked - busyStart + 1
+		if lastWorked+1 > jamCursor {
+			res.JammedSlots += jammer.CountRange(jamCursor, lastWorked+1)
+		}
+	}
+	res.Arrived = int64(len(stations))
+	if lastWorked >= 0 {
+		res.LastSlot = lastWorked
+	}
+	res.Packets = make([]sim.PacketStats, len(stations))
+	for i, s := range stations {
+		res.Packets[i] = sim.PacketStats{
+			Arrival: s.arrival, Departure: s.depart, Sends: s.sends, Listens: s.listens,
+		}
+	}
+	return res, nil
+}

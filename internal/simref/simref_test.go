@@ -1,0 +1,269 @@
+package simref
+
+import (
+	"testing"
+
+	"lowsensing/internal/arrivals"
+	"lowsensing/internal/core"
+	"lowsensing/internal/jamming"
+	"lowsensing/internal/prng"
+	"lowsensing/internal/protocols"
+	"lowsensing/internal/sim"
+)
+
+// diff runs the same Params through the event-driven engine and the naive
+// reference and asserts bit-identical results. Params factories must be
+// rebuilt per run, so diff takes a builder.
+func diff(t *testing.T, name string, build func() sim.Params) {
+	t.Helper()
+	pRef := build()
+	ref, err := Run(pRef)
+	if err != nil {
+		t.Fatalf("%s: simref: %v", name, err)
+	}
+	pEng := build()
+	e, err := sim.NewEngine(pEng)
+	if err != nil {
+		t.Fatalf("%s: engine: %v", name, err)
+	}
+	eng, err := e.Run()
+	if err != nil {
+		t.Fatalf("%s: engine run: %v", name, err)
+	}
+
+	if ref.Arrived != eng.Arrived || ref.Completed != eng.Completed {
+		t.Fatalf("%s: arrived/completed %d/%d vs %d/%d", name, ref.Arrived, ref.Completed, eng.Arrived, eng.Completed)
+	}
+	if ref.ActiveSlots != eng.ActiveSlots {
+		t.Fatalf("%s: active slots %d vs %d", name, ref.ActiveSlots, eng.ActiveSlots)
+	}
+	if ref.JammedSlots != eng.JammedSlots {
+		t.Fatalf("%s: jammed slots %d vs %d", name, ref.JammedSlots, eng.JammedSlots)
+	}
+	if ref.LastSlot != eng.LastSlot {
+		t.Fatalf("%s: last slot %d vs %d", name, ref.LastSlot, eng.LastSlot)
+	}
+	if ref.Truncated != eng.Truncated {
+		t.Fatalf("%s: truncated %v vs %v", name, ref.Truncated, eng.Truncated)
+	}
+	for i := range ref.Packets {
+		if ref.Packets[i] != eng.Packets[i] {
+			t.Fatalf("%s: packet %d: %+v vs %+v", name, i, ref.Packets[i], eng.Packets[i])
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Run(sim.Params{}); err == nil {
+		t.Fatal("empty params accepted")
+	}
+	factory := core.MustFactory(core.Default())
+	if _, err := Run(sim.Params{Arrivals: arrivals.NewBatch(1), NewStation: factory}); err == nil {
+		t.Fatal("MaxSlots 0 accepted")
+	}
+	adaptive, err := jamming.NewAdaptive(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(sim.Params{
+		Arrivals: arrivals.NewBatch(1), NewStation: factory, MaxSlots: 10, Jammer: adaptive,
+	}); err == nil {
+		t.Fatal("engine-bound jammer accepted")
+	}
+}
+
+func TestDifferentialLSBBatch(t *testing.T) {
+	for _, n := range []int64{1, 2, 7, 32, 100} {
+		for seed := uint64(1); seed <= 5; seed++ {
+			n, seed := n, seed
+			diff(t, "batch", func() sim.Params {
+				return sim.Params{
+					Seed:       seed,
+					Arrivals:   arrivals.NewBatch(n),
+					NewStation: core.MustFactory(core.Default()),
+					MaxSlots:   1 << 16,
+				}
+			})
+		}
+	}
+}
+
+func TestDifferentialLSBWithTrace(t *testing.T) {
+	diff(t, "trace", func() sim.Params {
+		src, err := arrivals.NewTrace([]arrivals.TraceBatch{
+			{Slot: 0, Count: 5}, {Slot: 3, Count: 2}, {Slot: 50, Count: 10}, {Slot: 400, Count: 1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sim.Params{
+			Seed:       9,
+			Arrivals:   src,
+			NewStation: core.MustFactory(core.Default()),
+			MaxSlots:   1 << 16,
+		}
+	})
+}
+
+func TestDifferentialWithDeterministicJamming(t *testing.T) {
+	diff(t, "interval-jam", func() sim.Params {
+		iv, err := jamming.NewInterval(5, 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sim.Params{
+			Seed:       11,
+			Arrivals:   arrivals.NewBatch(20),
+			NewStation: core.MustFactory(core.Default()),
+			Jammer:     iv,
+			MaxSlots:   1 << 16,
+		}
+	})
+	diff(t, "periodic-jam", func() sim.Params {
+		pj, err := jamming.NewPeriodic(13, 4, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sim.Params{
+			Seed:       12,
+			Arrivals:   arrivals.NewBatch(16),
+			NewStation: core.MustFactory(core.Default()),
+			Jammer:     pj,
+			MaxSlots:   1 << 16,
+		}
+	})
+}
+
+func TestDifferentialWithRandomJammer(t *testing.T) {
+	// Random jammers consume their own streams; identical construction
+	// must give identical CountRange/Jammed sequences across engines
+	// because both engines issue the same calls in the same order.
+	diff(t, "random-jam", func() sim.Params {
+		jm, err := jamming.NewRandom(0.2, 0, 77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sim.Params{
+			Seed:       13,
+			Arrivals:   arrivals.NewBatch(24),
+			NewStation: core.MustFactory(core.Default()),
+			Jammer:     jm,
+			MaxSlots:   1 << 16,
+		}
+	})
+}
+
+func TestDifferentialReactiveJammer(t *testing.T) {
+	diff(t, "reactive", func() sim.Params {
+		jm, err := jamming.NewReactiveTargeted(0, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sim.Params{
+			Seed:       15,
+			Arrivals:   arrivals.NewBatch(12),
+			NewStation: core.MustFactory(core.Default()),
+			Jammer:     jm,
+			MaxSlots:   1 << 16,
+		}
+	})
+}
+
+func TestDifferentialTruncated(t *testing.T) {
+	// Full jamming forces truncation; both engines must agree on the
+	// truncated accounting too.
+	diff(t, "truncated", func() sim.Params {
+		iv, err := jamming.NewInterval(0, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sim.Params{
+			Seed:       16,
+			Arrivals:   arrivals.NewBatch(6),
+			NewStation: core.MustFactory(core.Default()),
+			Jammer:     iv,
+			MaxSlots:   512,
+		}
+	})
+}
+
+func TestDifferentialBaselines(t *testing.T) {
+	builders := map[string]func() sim.StationFactory{
+		"beb": func() sim.StationFactory {
+			f, err := protocols.NewBEBFactory(2, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return f
+		},
+		"poly": func() sim.StationFactory {
+			f, err := protocols.NewPolyFactory(2, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return f
+		},
+		"mwu": func() sim.StationFactory {
+			f, err := protocols.NewMWUFactory(protocols.DefaultMWUConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return f
+		},
+		"aloha": func() sim.StationFactory {
+			f, err := protocols.NewAlohaFactory(1.0 / 16)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return f
+		},
+	}
+	for name, mk := range builders {
+		mk := mk
+		diff(t, name, func() sim.Params {
+			return sim.Params{
+				Seed:       21,
+				Arrivals:   arrivals.NewBatch(16),
+				NewStation: mk(),
+				MaxSlots:   1 << 16,
+			}
+		})
+	}
+}
+
+func TestDifferentialBernoulliArrivals(t *testing.T) {
+	diff(t, "bernoulli", func() sim.Params {
+		src, err := arrivals.NewBernoulli(0.05, 40, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sim.Params{
+			Seed:       31,
+			Arrivals:   src,
+			NewStation: core.MustFactory(core.Default()),
+			MaxSlots:   1 << 16,
+		}
+	})
+}
+
+// chaos station for randomized differential sweeps.
+type chaosStation struct{}
+
+func (chaosStation) ScheduleNext(from int64, rng *prng.Source) (int64, bool) {
+	return from + int64(rng.Intn(4)), rng.Bernoulli(0.4)
+}
+func (chaosStation) Observe(sim.Observation) {}
+
+func TestDifferentialChaosSweep(t *testing.T) {
+	for seed := uint64(100); seed < 140; seed++ {
+		seed := seed
+		diff(t, "chaos", func() sim.Params {
+			return sim.Params{
+				Seed:       seed,
+				Arrivals:   arrivals.NewBatch(int64(seed%17) + 2),
+				NewStation: func(int64, *prng.Source) sim.Station { return chaosStation{} },
+				MaxSlots:   2048,
+			}
+		})
+	}
+}

@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func FuzzSummarize(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4})
+	f.Add([]byte{})
+	f.Add([]byte{255})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		xs := make([]float64, len(raw))
+		for i, b := range raw {
+			xs[i] = (float64(b) - 128) * 1e3
+		}
+		s := Summarize(xs)
+		if len(xs) == 0 {
+			if s.N != 0 {
+				t.Fatal("empty summary has N != 0")
+			}
+			return
+		}
+		if s.N != len(xs) {
+			t.Fatalf("N = %d", s.N)
+		}
+		if s.Min > s.Median || s.Median > s.Max {
+			t.Fatalf("order violated: %+v", s)
+		}
+		if s.Mean < s.Min || s.Mean > s.Max {
+			t.Fatalf("mean outside range: %+v", s)
+		}
+		if s.Var < 0 || math.IsNaN(s.Var) {
+			t.Fatalf("bad variance: %+v", s)
+		}
+		if s.P90 > s.P99 || s.P99 > s.Max {
+			t.Fatalf("quantile order violated: %+v", s)
+		}
+	})
+}
+
+func FuzzQuantile(f *testing.F) {
+	f.Add([]byte{5, 1, 9}, 0.5)
+	f.Add([]byte{1}, 0.99)
+	f.Fuzz(func(t *testing.T, raw []byte, q float64) {
+		if len(raw) == 0 || math.IsNaN(q) {
+			t.Skip()
+		}
+		xs := make([]float64, len(raw))
+		for i, b := range raw {
+			xs[i] = float64(b)
+		}
+		sort.Float64s(xs)
+		v := Quantile(xs, q)
+		if v < xs[0] || v > xs[len(xs)-1] {
+			t.Fatalf("Quantile(%v) = %v outside [%v, %v]", q, v, xs[0], xs[len(xs)-1])
+		}
+	})
+}
+
+func FuzzWelford(f *testing.F) {
+	f.Add([]byte{10, 20, 30})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		var w Welford
+		xs := make([]float64, len(raw))
+		for i, b := range raw {
+			xs[i] = float64(b)
+			w.Add(xs[i])
+		}
+		s := Summarize(xs)
+		if w.N() != int64(s.N) {
+			t.Fatal("N mismatch")
+		}
+		if len(xs) > 0 {
+			if math.Abs(w.Mean()-s.Mean) > 1e-9 {
+				t.Fatalf("mean %v vs %v", w.Mean(), s.Mean)
+			}
+			if math.Abs(w.Var()-s.Var) > 1e-6 {
+				t.Fatalf("var %v vs %v", w.Var(), s.Var)
+			}
+		}
+	})
+}

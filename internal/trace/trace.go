@@ -1,0 +1,141 @@
+// Package trace records per-slot channel events and renders them as ASCII
+// timelines, for debugging runs and for the lsbtrace tool (experiment E9:
+// direct visualization of the Figure-1 algorithm's behaviour).
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"lowsensing/internal/sim"
+)
+
+// Event is one resolved slot.
+type Event struct {
+	Slot      int64
+	Outcome   sim.Outcome
+	Jammed    bool
+	Senders   int
+	Accessors int
+	Backlog   int64
+}
+
+// Tracer records resolved slots via its Probe method. Limit bounds memory
+// (0 means DefaultLimit); once full, further events are dropped and the
+// Dropped counter grows.
+type Tracer struct {
+	Limit   int
+	events  []Event
+	dropped int64
+}
+
+// DefaultLimit is the event cap applied when Tracer.Limit is zero.
+const DefaultLimit = 1 << 20
+
+// Probe implements the sim.Params.Probe signature.
+func (tr *Tracer) Probe(e *sim.Engine, slot int64) {
+	limit := tr.Limit
+	if limit <= 0 {
+		limit = DefaultLimit
+	}
+	if len(tr.events) >= limit {
+		tr.dropped++
+		return
+	}
+	tr.events = append(tr.events, Event{
+		Slot:      slot,
+		Outcome:   e.LastOutcome(),
+		Jammed:    e.LastJammed(),
+		Senders:   e.LastSenders(),
+		Accessors: e.LastAccessors(),
+		Backlog:   e.Backlog(),
+	})
+}
+
+// Events returns the recorded events in slot order.
+func (tr *Tracer) Events() []Event { return tr.events }
+
+// Dropped returns how many events were discarded after the limit was hit.
+func (tr *Tracer) Dropped() int64 { return tr.dropped }
+
+// Glyph returns the single-character timeline symbol for an event:
+// '!' jammed, 'S' success, 'x' collision, '.' heard-empty.
+func (ev Event) Glyph() byte {
+	switch {
+	case ev.Jammed:
+		return '!'
+	case ev.Outcome == sim.OutcomeSuccess:
+		return 'S'
+	case ev.Outcome == sim.OutcomeNoisy:
+		return 'x'
+	default:
+		return '.'
+	}
+}
+
+// Timeline renders the recorded events as a compact ASCII strip. Runs of
+// slots with no channel access are rendered as "(+n)". Width limits the
+// line length (0 means 80); lines wrap.
+func (tr *Tracer) Timeline(width int) string {
+	if width <= 0 {
+		width = 80
+	}
+	var b strings.Builder
+	col := 0
+	emit := func(s string) {
+		if col+len(s) > width {
+			b.WriteByte('\n')
+			col = 0
+		}
+		b.WriteString(s)
+		col += len(s)
+	}
+	prev := int64(-1)
+	for _, ev := range tr.events {
+		if prev >= 0 && ev.Slot > prev+1 {
+			emit(fmt.Sprintf("(+%d)", ev.Slot-prev-1))
+		}
+		emit(string(ev.Glyph()))
+		prev = ev.Slot
+	}
+	if tr.dropped > 0 {
+		emit(fmt.Sprintf("[+%d dropped]", tr.dropped))
+	}
+	return b.String()
+}
+
+// Table renders the recorded events one per line with full detail.
+func (tr *Tracer) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10s  %-8s %4s %5s %7s %4s\n", "slot", "outcome", "jam", "send", "access", "bklg")
+	for _, ev := range tr.events {
+		jam := ""
+		if ev.Jammed {
+			jam = "jam"
+		}
+		fmt.Fprintf(&b, "%10d  %-8s %4s %5d %7d %4d\n",
+			ev.Slot, ev.Outcome, jam, ev.Senders, ev.Accessors, ev.Backlog)
+	}
+	if tr.dropped > 0 {
+		fmt.Fprintf(&b, "... %d events dropped after limit\n", tr.dropped)
+	}
+	return b.String()
+}
+
+// CountOutcomes tallies the recorded events by glyph category and returns
+// (successes, collisions, heardEmpty, jammed).
+func (tr *Tracer) CountOutcomes() (successes, collisions, empty, jammed int) {
+	for _, ev := range tr.events {
+		switch ev.Glyph() {
+		case 'S':
+			successes++
+		case 'x':
+			collisions++
+		case '.':
+			empty++
+		case '!':
+			jammed++
+		}
+	}
+	return successes, collisions, empty, jammed
+}

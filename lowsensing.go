@@ -1,0 +1,336 @@
+// Package lowsensing is a library implementation of LOW-SENSING BACKOFF —
+// the fully energy-efficient randomized backoff algorithm of Bender,
+// Fineman, Gilbert, Kuszmaul, and Young (PODC 2024) — together with the
+// slotted-channel simulator, adversaries (adaptive arrivals, jamming,
+// reactive jamming), baseline protocols, and the benchmark harness that
+// reproduces the paper's results.
+//
+// The quickest way in:
+//
+//	res, err := lowsensing.NewSimulation(
+//	    lowsensing.WithBatchArrivals(1024),
+//	    lowsensing.WithSeed(1),
+//	).Run()
+//	// res.Throughput() ≈ 0.3, res.MeanAccesses() = O(polylog N)
+//
+// Deeper control is available through the option set in this package; the
+// internal packages (sim, core, protocols, jamming, arrivals, metrics,
+// harness) carry the full machinery and are what the examples and
+// cmd/experiments build on.
+package lowsensing
+
+import (
+	"fmt"
+
+	"lowsensing/internal/arrivals"
+	"lowsensing/internal/core"
+	"lowsensing/internal/jamming"
+	"lowsensing/internal/livenet"
+	"lowsensing/internal/metrics"
+	"lowsensing/internal/prng"
+	"lowsensing/internal/protocols"
+	"lowsensing/internal/sim"
+	"lowsensing/internal/trace"
+)
+
+// Config holds the LOW-SENSING BACKOFF parameters (the constant c, the
+// minimum window, and the ln-exponent k). See core.Config for the details
+// and constraints.
+type Config = core.Config
+
+// Result summarizes a finished simulation; see sim.Result for all fields
+// and derived metrics (Throughput, ImplicitThroughput, MeanAccesses, ...).
+type Result = sim.Result
+
+// PacketStats is the per-packet lifetime/energy record inside Result.
+type PacketStats = sim.PacketStats
+
+// EnergySummary aggregates per-packet access statistics.
+type EnergySummary = metrics.EnergySummary
+
+// Collector samples backlog/throughput/potential time series during a run;
+// attach one with WithCollector.
+type Collector = metrics.Collector
+
+// Tracer records per-slot channel events; attach one with WithTracer.
+type Tracer = trace.Tracer
+
+// DefaultConfig returns the reference algorithm parameters used throughout
+// the experiments (c = 0.5, w_min = 8, k = 3).
+func DefaultConfig() Config { return core.Default() }
+
+// SummarizeEnergy computes per-packet energy and latency statistics.
+func SummarizeEnergy(r Result) EnergySummary { return metrics.SummarizeEnergy(r) }
+
+// Simulation is a configured run, built by NewSimulation.
+type Simulation struct {
+	err      error
+	seed     uint64
+	maxSlots int64
+	arrivals sim.ArrivalSource
+	factory  sim.StationFactory
+	jammer   sim.Jammer
+	probes   []func(*sim.Engine, int64)
+}
+
+// Option configures a Simulation.
+type Option func(*Simulation)
+
+// NewSimulation builds a simulation from options. Arrivals are required
+// (e.g. WithBatchArrivals); the protocol defaults to LOW-SENSING BACKOFF
+// with DefaultConfig. Configuration errors are deferred to Run so calls
+// chain cleanly.
+func NewSimulation(opts ...Option) *Simulation {
+	s := &Simulation{}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// Run executes the simulation.
+func (s *Simulation) Run() (Result, error) {
+	if s.err != nil {
+		return Result{}, s.err
+	}
+	if s.arrivals == nil {
+		return Result{}, fmt.Errorf("lowsensing: no arrival process configured (use WithBatchArrivals or friends)")
+	}
+	factory := s.factory
+	if factory == nil {
+		f, err := core.NewFactory(core.Default())
+		if err != nil {
+			return Result{}, err
+		}
+		factory = f
+	}
+	var probe func(*sim.Engine, int64)
+	if len(s.probes) == 1 {
+		probe = s.probes[0]
+	} else if len(s.probes) > 1 {
+		probes := s.probes
+		probe = func(e *sim.Engine, slot int64) {
+			for _, p := range probes {
+				p(e, slot)
+			}
+		}
+	}
+	e, err := sim.NewEngine(sim.Params{
+		Seed:       s.seed,
+		Arrivals:   s.arrivals,
+		NewStation: factory,
+		Jammer:     s.jammer,
+		MaxSlots:   s.maxSlots,
+		Probe:      probe,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	return e.Run()
+}
+
+func (s *Simulation) fail(err error) {
+	if s.err == nil && err != nil {
+		s.err = err
+	}
+}
+
+// WithSeed fixes the run's random seed; identical seeds give identical
+// runs.
+func WithSeed(seed uint64) Option { return func(s *Simulation) { s.seed = seed } }
+
+// WithMaxSlots caps the run length (0 means the engine default).
+func WithMaxSlots(n int64) Option { return func(s *Simulation) { s.maxSlots = n } }
+
+// WithBatchArrivals injects n packets at slot 0 — the classic batch
+// instance.
+func WithBatchArrivals(n int64) Option {
+	return func(s *Simulation) {
+		if n <= 0 {
+			s.fail(fmt.Errorf("lowsensing: batch size must be > 0, got %d", n))
+			return
+		}
+		s.arrivals = arrivals.NewBatch(n)
+	}
+}
+
+// WithBernoulliArrivals injects one packet per slot with the given
+// probability, stopping after total packets (total <= 0 means unbounded —
+// pair with WithMaxSlots).
+func WithBernoulliArrivals(rate float64, total int64) Option {
+	return func(s *Simulation) {
+		src, err := arrivals.NewBernoulli(rate, total, s.seed)
+		if err != nil {
+			s.fail(err)
+			return
+		}
+		s.arrivals = src
+	}
+}
+
+// WithPoissonArrivals injects Poisson(lambda) packets per slot, stopping
+// after total packets (total <= 0 means unbounded).
+func WithPoissonArrivals(lambda float64, total int64) Option {
+	return func(s *Simulation) {
+		src, err := arrivals.NewPoisson(lambda, total, s.seed)
+		if err != nil {
+			s.fail(err)
+			return
+		}
+		s.arrivals = src
+	}
+}
+
+// WithQueueArrivals injects adversarial-queuing-theory arrivals: in each of
+// `windows` consecutive windows of S slots, a burst of floor(lambda·S)
+// packets lands at the window start (the model's worst case).
+func WithQueueArrivals(S int64, lambda float64, windows int64) Option {
+	return func(s *Simulation) {
+		src, err := arrivals.NewAQT(S, lambda, windows, arrivals.AQTBurst, s.seed)
+		if err != nil {
+			s.fail(err)
+			return
+		}
+		s.arrivals = src
+	}
+}
+
+// WithArrivals supplies a custom arrival source.
+func WithArrivals(src sim.ArrivalSource) Option {
+	return func(s *Simulation) { s.arrivals = src }
+}
+
+// WithLowSensing runs LOW-SENSING BACKOFF with the given parameters (the
+// default protocol uses DefaultConfig).
+func WithLowSensing(cfg Config) Option {
+	return func(s *Simulation) {
+		f, err := core.NewFactory(cfg)
+		if err != nil {
+			s.fail(err)
+			return
+		}
+		s.factory = f
+	}
+}
+
+// WithBinaryExponentialBackoff runs the classic oblivious baseline instead
+// of LOW-SENSING BACKOFF.
+func WithBinaryExponentialBackoff() Option {
+	return func(s *Simulation) {
+		f, err := protocols.NewBEBFactory(2, 0)
+		if err != nil {
+			s.fail(err)
+			return
+		}
+		s.factory = f
+	}
+}
+
+// WithFullSensingMWU runs the short-feedback-loop multiplicative-weights
+// baseline (listens every slot).
+func WithFullSensingMWU() Option {
+	return func(s *Simulation) {
+		f, err := protocols.NewMWUFactory(protocols.DefaultMWUConfig())
+		if err != nil {
+			s.fail(err)
+			return
+		}
+		s.factory = f
+	}
+}
+
+// WithSawtoothBackoff runs the fully oblivious sawtooth-backoff baseline
+// (constant throughput on batches without any feedback; see experiment
+// E11 for how it fares under dynamic arrivals).
+func WithSawtoothBackoff() Option {
+	return func(s *Simulation) { s.factory = protocols.NewSawtoothFactory() }
+}
+
+// WithStations supplies a custom station factory (any sim.Station
+// implementation).
+func WithStations(f sim.StationFactory) Option {
+	return func(s *Simulation) { s.factory = f }
+}
+
+// WithRandomJamming jams each slot independently with the given rate, up to
+// budget jams (budget <= 0 means unbounded).
+func WithRandomJamming(rate float64, budget int64) Option {
+	return func(s *Simulation) {
+		j, err := jamming.NewRandom(rate, budget, s.seed^0x6a)
+		if err != nil {
+			s.fail(err)
+			return
+		}
+		s.jammer = j
+	}
+}
+
+// WithBurstJamming jams every slot in [from, to).
+func WithBurstJamming(from, to int64) Option {
+	return func(s *Simulation) {
+		j, err := jamming.NewInterval(from, to)
+		if err != nil {
+			s.fail(err)
+			return
+		}
+		s.jammer = j
+	}
+}
+
+// WithReactiveJamming adds a reactive adversary (paper §1.3) that jams
+// whenever the given packet transmits, up to budget jams.
+func WithReactiveJamming(target, budget int64) Option {
+	return func(s *Simulation) {
+		j, err := jamming.NewReactiveTargeted(target, budget)
+		if err != nil {
+			s.fail(err)
+			return
+		}
+		s.jammer = j
+	}
+}
+
+// WithJammer supplies a custom jammer.
+func WithJammer(j sim.Jammer) Option {
+	return func(s *Simulation) { s.jammer = j }
+}
+
+// WithCollector attaches a metrics collector that samples backlog,
+// contention, implicit throughput, and the potential function during the
+// run.
+func WithCollector(c *Collector) Option {
+	return func(s *Simulation) { s.probes = append(s.probes, c.Probe) }
+}
+
+// WithTracer attaches a per-slot event tracer.
+func WithTracer(tr *Tracer) Option {
+	return func(s *Simulation) { s.probes = append(s.probes, tr.Probe) }
+}
+
+// WithProbe attaches a raw engine probe, called after every resolved slot.
+func WithProbe(p func(e *sim.Engine, slot int64)) Option {
+	return func(s *Simulation) { s.probes = append(s.probes, p) }
+}
+
+// LiveResult is the outcome of a concurrent (goroutine-per-device) run.
+type LiveResult = livenet.Result
+
+// RunLive races n concurrent devices, each running LOW-SENSING BACKOFF
+// with the given parameters on a live coordinator-synchronized channel, and
+// returns when every device has delivered its message. It demonstrates the
+// policy as a real arbitration layer; see examples/goroutines.
+func RunLive(n int, cfg Config, seed uint64) (LiveResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return LiveResult{}, err
+	}
+	return livenet.Run(n, livenet.Config{
+		Seed: seed,
+		NewDevice: func(_ int, _ *prng.Source) livenet.Device {
+			p, err := core.NewPacket(cfg)
+			if err != nil {
+				panic(err) // validated above
+			}
+			return p
+		},
+	})
+}

@@ -1,0 +1,241 @@
+package lowsensing
+
+import (
+	"math"
+	"testing"
+
+	"lowsensing/internal/sim"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	res, err := NewSimulation(
+		WithSeed(1),
+		WithBatchArrivals(256),
+	).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 256 {
+		t.Fatalf("completed = %d", res.Completed)
+	}
+	if tp := res.Throughput(); tp < 0.1 {
+		t.Fatalf("throughput = %v", tp)
+	}
+	es := SummarizeEnergy(res)
+	if es.Accesses.Mean <= 0 || es.Undelivered != 0 {
+		t.Fatalf("energy summary = %+v", es)
+	}
+}
+
+func TestMissingArrivalsFails(t *testing.T) {
+	if _, err := NewSimulation(WithSeed(1)).Run(); err == nil {
+		t.Fatal("missing arrivals accepted")
+	}
+}
+
+func TestBadOptionSurfacesAtRun(t *testing.T) {
+	if _, err := NewSimulation(WithBatchArrivals(-5)).Run(); err == nil {
+		t.Fatal("negative batch accepted")
+	}
+	if _, err := NewSimulation(WithBatchArrivals(10), WithLowSensing(Config{})).Run(); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if _, err := NewSimulation(WithBatchArrivals(10), WithRandomJamming(2, 0)).Run(); err == nil {
+		t.Fatal("invalid jam rate accepted")
+	}
+	if _, err := NewSimulation(WithBatchArrivals(10), WithBurstJamming(5, 5)).Run(); err == nil {
+		t.Fatal("empty burst accepted")
+	}
+	if _, err := NewSimulation(WithBatchArrivals(10), WithReactiveJamming(-1, 0)).Run(); err == nil {
+		t.Fatal("bad reactive target accepted")
+	}
+	if _, err := NewSimulation(WithBatchArrivals(10), WithBernoulliArrivals(0, 1)).Run(); err == nil {
+		t.Fatal("bad bernoulli rate accepted")
+	}
+	if _, err := NewSimulation(WithBatchArrivals(10), WithPoissonArrivals(-1, 1)).Run(); err == nil {
+		t.Fatal("bad poisson rate accepted")
+	}
+	if _, err := NewSimulation(WithQueueArrivals(0, 0.1, 5)).Run(); err == nil {
+		t.Fatal("bad AQT granularity accepted")
+	}
+}
+
+func TestDeterminismViaSeed(t *testing.T) {
+	run := func() Result {
+		res, err := NewSimulation(WithSeed(42), WithBatchArrivals(64)).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.ActiveSlots != b.ActiveSlots || a.Completed != b.Completed {
+		t.Fatalf("runs differ: %+v vs %+v", a, b)
+	}
+	for i := range a.Packets {
+		if a.Packets[i] != b.Packets[i] {
+			t.Fatalf("packet %d differs", i)
+		}
+	}
+}
+
+func TestBaselineOptions(t *testing.T) {
+	beb, err := NewSimulation(WithSeed(2), WithBatchArrivals(128), WithBinaryExponentialBackoff()).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if beb.Completed != 128 {
+		t.Fatalf("BEB completed = %d", beb.Completed)
+	}
+	// BEB never listens.
+	for _, p := range beb.Packets {
+		if p.Listens != 0 {
+			t.Fatal("BEB listened")
+		}
+	}
+	mwu, err := NewSimulation(WithSeed(2), WithBatchArrivals(128), WithFullSensingMWU()).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mwu.Completed != 128 {
+		t.Fatalf("MWU completed = %d", mwu.Completed)
+	}
+	saw, err := NewSimulation(WithSeed(2), WithBatchArrivals(128), WithSawtoothBackoff()).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if saw.Completed != 128 {
+		t.Fatalf("Sawtooth completed = %d", saw.Completed)
+	}
+	for _, p := range saw.Packets {
+		if p.Listens != 0 {
+			t.Fatal("sawtooth listened")
+		}
+	}
+}
+
+func TestJammingOptions(t *testing.T) {
+	res, err := NewSimulation(
+		WithSeed(3),
+		WithBatchArrivals(64),
+		WithBurstJamming(0, 256),
+	).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 64 {
+		t.Fatalf("completed = %d", res.Completed)
+	}
+	if res.JammedSlots == 0 {
+		t.Fatal("no jams recorded")
+	}
+
+	res2, err := NewSimulation(
+		WithSeed(3),
+		WithBatchArrivals(64),
+		WithRandomJamming(0.2, 0),
+	).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Completed != 64 {
+		t.Fatalf("random-jam completed = %d", res2.Completed)
+	}
+
+	res3, err := NewSimulation(
+		WithSeed(3),
+		WithBatchArrivals(64),
+		WithReactiveJamming(0, 10),
+	).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.Completed != 64 {
+		t.Fatalf("reactive completed = %d", res3.Completed)
+	}
+	if res3.JammedSlots != 10 {
+		t.Fatalf("reactive jams = %d, want 10", res3.JammedSlots)
+	}
+}
+
+func TestQueueArrivalsAndCollector(t *testing.T) {
+	col := &Collector{Every: 8}
+	res, err := NewSimulation(
+		WithSeed(4),
+		WithQueueArrivals(256, 0.1, 10),
+		WithCollector(col),
+		WithMaxSlots(2560),
+	).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Arrived != 250 {
+		t.Fatalf("arrived = %d, want 10 windows x 25", res.Arrived)
+	}
+	if col.MaxBacklog() == 0 {
+		t.Fatal("collector saw nothing")
+	}
+	if float64(col.MaxBacklog()) > 3*256 {
+		t.Fatalf("backlog %d not O(S)", col.MaxBacklog())
+	}
+}
+
+func TestTracerAndMultipleProbes(t *testing.T) {
+	tr := &Tracer{}
+	col := &Collector{}
+	probed := 0
+	res, err := NewSimulation(
+		WithSeed(5),
+		WithBatchArrivals(16),
+		WithTracer(tr),
+		WithCollector(col),
+		WithProbe(func(e *sim.Engine, slot int64) { probed++ }),
+	).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 16 {
+		t.Fatalf("completed = %d", res.Completed)
+	}
+	if len(tr.Events()) == 0 || len(col.Samples()) == 0 || probed == 0 {
+		t.Fatalf("probes not all invoked: %d events, %d samples, %d raw",
+			len(tr.Events()), len(col.Samples()), probed)
+	}
+	if len(tr.Events()) != probed {
+		t.Fatalf("tracer %d events vs raw probe %d calls", len(tr.Events()), probed)
+	}
+}
+
+func TestCustomStationsOption(t *testing.T) {
+	res, err := NewSimulation(
+		WithSeed(6),
+		WithBatchArrivals(32),
+		WithLowSensing(Config{C: 1, WMin: 128, LnPower: 3}),
+	).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 32 {
+		t.Fatalf("completed = %d", res.Completed)
+	}
+}
+
+func TestRunLive(t *testing.T) {
+	res, err := RunLive(16, DefaultConfig(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 16 {
+		t.Fatalf("delivered = %d", res.Delivered)
+	}
+	var acc float64
+	for _, d := range res.Devices {
+		acc += float64(d.Accesses())
+	}
+	if mean := acc / 16; mean > 30*math.Log(16)*math.Log(16) {
+		t.Fatalf("live mean accesses = %v", mean)
+	}
+	if _, err := RunLive(4, Config{}, 1); err == nil {
+		t.Fatal("invalid config accepted by RunLive")
+	}
+}
