@@ -8,6 +8,7 @@ package lowsensing
 // simulator substrate itself.
 
 import (
+	"runtime"
 	"strconv"
 	"testing"
 
@@ -104,6 +105,36 @@ func BenchmarkA2ParameterSweep(b *testing.B) { benchExperiment(b, "A2") }
 // BenchmarkA3LnPowerAblation regenerates A3: the ln-exponent k of the
 // access probability.
 func BenchmarkA3LnPowerAblation(b *testing.B) { benchExperiment(b, "A3") }
+
+// BenchmarkParallelSweep measures how experiment sweeps scale with the
+// runner's worker count: the same E1 sweep (the largest embarrassingly
+// parallel experiment) at 1, 2, 4, ... workers up to the machine. ns/op
+// should fall roughly linearly with workers until the core count; the
+// tables produced are byte-identical at every width (enforced by
+// TestSerialParallelIdentical).
+func BenchmarkParallelSweep(b *testing.B) {
+	exp, err := harness.ByID("E1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	maxWorkers := runtime.NumCPU()
+	if maxWorkers < 4 {
+		maxWorkers = 4 // still exercise concurrent widths on small machines
+	}
+	for workers := 1; workers <= maxWorkers; workers *= 2 {
+		b.Run("workers="+strconv.Itoa(workers), func(b *testing.B) {
+			rc := harness.SmallRunConfig()
+			rc.Workers = workers
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rc.Seed = 20240617 + uint64(i)
+				if _, err := exp.Run(rc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
 
 // --- substrate micro-benchmarks ---
 

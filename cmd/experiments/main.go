@@ -5,8 +5,9 @@
 //
 // Examples:
 //
-//	experiments                       # everything, full scale
+//	experiments                       # everything, full scale, all cores
 //	experiments -id E1,E2 -scale small
+//	experiments -parallel 1           # serial; output identical to parallel
 //	experiments -outdir results/
 package main
 
@@ -16,6 +17,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -27,11 +29,12 @@ func main() {
 	log.SetPrefix("experiments: ")
 
 	var (
-		idList = flag.String("id", "all", "comma-separated experiment IDs, or \"all\"")
-		scale  = flag.String("scale", "full", "sweep scale: full or small")
-		reps   = flag.Int("reps", 0, "replications per data point (0 = scale default)")
-		seed   = flag.Uint64("seed", 0, "base seed (0 = default)")
-		outdir = flag.String("outdir", "", "directory to write per-experiment .txt/.csv (optional)")
+		idList   = flag.String("id", "all", "comma-separated experiment IDs, or \"all\"")
+		scale    = flag.String("scale", "full", "sweep scale: full or small")
+		reps     = flag.Int("reps", 0, "replications per data point (0 = scale default)")
+		seed     = flag.Uint64("seed", 0, "base seed (0 = default)")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "simulations run concurrently; tables are identical for every value")
+		outdir   = flag.String("outdir", "", "directory to write per-experiment .txt/.csv (optional)")
 	)
 	flag.Parse()
 
@@ -47,6 +50,10 @@ func main() {
 	if *seed != 0 {
 		rc.Seed = *seed
 	}
+	if *parallel < 1 {
+		log.Fatalf("-parallel must be >= 1, got %d", *parallel)
+	}
+	rc.Workers = *parallel
 
 	var exps []harness.Experiment
 	if *idList == "all" {

@@ -1,0 +1,3 @@
+module lowsensing
+
+go 1.24

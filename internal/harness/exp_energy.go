@@ -47,30 +47,31 @@ func runE2(rc RunConfig) (*Table, error) {
 		Columns: []string{"N", "meanAcc", "p99Acc", "maxAcc", "ln^2 N", "ln^3 N"},
 	}
 
-	var xs, means, maxes []float64
-	for _, n := range ns {
-		spec := runSpec{
+	type e2rep struct{ mean, p99, max float64 }
+	grouped, err := sweep(rc, "E2", len(ns), func(point, _ int, seed uint64) (e2rep, error) {
+		n := ns[point]
+		r, err := runOnce(runSpec{
+			seed:     seed,
 			arrivals: func() sim.ArrivalSource { return arrivals.NewBatch(n) },
 			factory:  lsbFactory,
 			maxSlots: capFor(n, 0),
+		})
+		if err != nil {
+			return e2rep{}, err
 		}
-		var meanAcc, p99, maxAcc float64
-		for rep := 0; rep < rc.Reps; rep++ {
-			s := spec
-			s.seed = rc.Seed + uint64(rep)*0x9e37
-			r, err := runOnce(s)
-			if err != nil {
-				return nil, err
-			}
-			es := metrics.SummarizeEnergy(r)
-			meanAcc += es.Accesses.Mean
-			p99 += es.Accesses.P99
-			if es.Accesses.Max > maxAcc {
-				maxAcc = es.Accesses.Max
-			}
-		}
-		meanAcc /= float64(rc.Reps)
-		p99 /= float64(rc.Reps)
+		es := metrics.SummarizeEnergy(r)
+		return e2rep{mean: es.Accesses.Mean, p99: es.Accesses.P99, max: es.Accesses.Max}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var xs, means, maxes []float64
+	for point, reps := range grouped {
+		n := ns[point]
+		meanAcc := repMean(reps, func(r e2rep) float64 { return r.mean })
+		p99 := repMean(reps, func(r e2rep) float64 { return r.p99 })
+		maxAcc := repMax(reps, func(r e2rep) float64 { return r.max })
 		ln := math.Log(float64(n))
 		t.AddRow(d(n), f(meanAcc), f(p99), f(maxAcc), f(ln*ln), f(ln*ln*ln))
 		xs = append(xs, float64(n))
@@ -94,6 +95,10 @@ func runE6(rc RunConfig) (*Table, error) {
 	}
 	n := pick(rc, int64(256), int64(1024))
 	budgets := []int64{0, 4, 16, 64, 256}
+	// Second clause of Thm 1.9: a *global* reactive jammer (jams every slot
+	// in which anyone sends, budget J). The average access count may grow
+	// only like (J/N + 1)·polylog.
+	globalBudgets := []int64{0, n / 4, n, 4 * n}
 
 	t := &Table{
 		ID:      "E6",
@@ -102,86 +107,75 @@ func runE6(rc RunConfig) (*Table, error) {
 		Columns: []string{"jammer", "J", "targetAcc", "meanAcc", "maxAcc", "jamsSpent", "delivered"},
 	}
 
-	var js, targetAccs, meanAccs []float64
-	for _, budget := range budgets {
-		var targetAcc, meanAcc, maxAcc, spent, deliv float64
-		for rep := 0; rep < rc.Reps; rep++ {
-			var jam *jamming.ReactiveTargeted
-			spec := runSpec{
-				seed:     rc.Seed + uint64(rep)*0x9e37,
-				arrivals: func() sim.ArrivalSource { return arrivals.NewBatch(n) },
-				factory:  lsbFactory,
-				maxSlots: capFor(n, budget),
-			}
-			if budget > 0 {
-				b := budget
-				spec.jammer = func() sim.Jammer {
-					var err error
-					jam, err = jamming.NewReactiveTargeted(0, b)
+	type e6rep struct {
+		targetAcc, meanAcc, maxAcc, spent, deliv float64
+	}
+	points := len(budgets) + len(globalBudgets)
+	grouped, err := sweep(rc, "E6", points, func(point, _ int, seed uint64) (e6rep, error) {
+		targeted := point < len(budgets)
+		var budget int64
+		if targeted {
+			budget = budgets[point]
+		} else {
+			budget = globalBudgets[point-len(budgets)]
+		}
+		var spent func() int64
+		spec := runSpec{
+			seed:     seed,
+			arrivals: func() sim.ArrivalSource { return arrivals.NewBatch(n) },
+			factory:  lsbFactory,
+			maxSlots: capFor(n, budget),
+		}
+		if budget > 0 {
+			spec.jammer = func() sim.Jammer {
+				if targeted {
+					jam, err := jamming.NewReactiveTargeted(0, budget)
 					if err != nil {
 						panic(err)
 					}
+					spent = jam.Spent
 					return jam
 				}
+				jam := jamming.NewReactiveAll(budget)
+				spent = jam.Spent
+				return jam
 			}
-			r, err := runOnce(spec)
-			if err != nil {
-				return nil, err
-			}
-			targetAcc += float64(r.Packets[0].Accesses())
-			meanAcc += r.MeanAccesses()
-			if m := float64(r.MaxAccesses()); m > maxAcc {
-				maxAcc = m
-			}
-			if jam != nil {
-				spent += float64(jam.Spent())
-			}
-			deliv += float64(r.Completed) / float64(r.Arrived)
 		}
-		reps := float64(rc.Reps)
-		t.AddRow("targeted", d(budget), f(targetAcc/reps), f(meanAcc/reps), f(maxAcc), f(spent/reps), f(deliv/reps))
-		js = append(js, float64(budget)+1)
-		targetAccs = append(targetAccs, targetAcc/reps)
-		meanAccs = append(meanAccs, meanAcc/reps)
+		r, err := runOnce(spec)
+		if err != nil {
+			return e6rep{}, err
+		}
+		out := e6rep{
+			targetAcc: float64(r.Packets[0].Accesses()),
+			meanAcc:   r.MeanAccesses(),
+			maxAcc:    float64(r.MaxAccesses()),
+			deliv:     float64(r.Completed) / float64(r.Arrived),
+		}
+		if spent != nil {
+			out.spent = float64(spent())
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
-	// Second clause of Thm 1.9: a *global* reactive jammer (jams every
-	// slot in which anyone sends, budget J). The average access count may
-	// grow only like (J/N + 1)·polylog.
-	var globalMeans []float64
-	for _, budget := range []int64{0, n / 4, n, 4 * n} {
-		var meanAcc, maxAcc, spent, deliv float64
-		for rep := 0; rep < rc.Reps; rep++ {
-			var jam *jamming.ReactiveAll
-			spec := runSpec{
-				seed:     rc.Seed + uint64(rep)*0x9e37,
-				arrivals: func() sim.ArrivalSource { return arrivals.NewBatch(n) },
-				factory:  lsbFactory,
-				maxSlots: capFor(n, budget),
-			}
-			if budget > 0 {
-				b := budget
-				spec.jammer = func() sim.Jammer {
-					jam = jamming.NewReactiveAll(b)
-					return jam
-				}
-			}
-			r, err := runOnce(spec)
-			if err != nil {
-				return nil, err
-			}
-			meanAcc += r.MeanAccesses()
-			if m := float64(r.MaxAccesses()); m > maxAcc {
-				maxAcc = m
-			}
-			if jam != nil {
-				spent += float64(jam.Spent())
-			}
-			deliv += float64(r.Completed) / float64(r.Arrived)
+	var targetAccs, meanAccs, globalMeans []float64
+	for point, reps := range grouped {
+		targeted := point < len(budgets)
+		meanAcc := repMean(reps, func(r e6rep) float64 { return r.meanAcc })
+		maxAcc := repMax(reps, func(r e6rep) float64 { return r.maxAcc })
+		spent := repMean(reps, func(r e6rep) float64 { return r.spent })
+		deliv := repMean(reps, func(r e6rep) float64 { return r.deliv })
+		if targeted {
+			targetAcc := repMean(reps, func(r e6rep) float64 { return r.targetAcc })
+			t.AddRow("targeted", d(budgets[point]), f(targetAcc), f(meanAcc), f(maxAcc), f(spent), f(deliv))
+			targetAccs = append(targetAccs, targetAcc)
+			meanAccs = append(meanAccs, meanAcc)
+		} else {
+			t.AddRow("global", d(globalBudgets[point-len(budgets)]), "-", f(meanAcc), f(maxAcc), f(spent), f(deliv))
+			globalMeans = append(globalMeans, meanAcc)
 		}
-		reps := float64(rc.Reps)
-		t.AddRow("global", d(budget), "-", f(meanAcc/reps), f(maxAcc), f(spent/reps), f(deliv/reps))
-		globalMeans = append(globalMeans, meanAcc/reps)
 	}
 
 	t.AddNote("targeted: victim accesses grow %.1fx from J=0 to J=%d while the mean moves %.2fx",
@@ -189,7 +183,6 @@ func runE6(rc RunConfig) (*Table, error) {
 		meanAccs[len(meanAccs)-1]/meanAccs[0])
 	t.AddNote("global: J=4N inflates the MEAN only %.1fx — the (J/N+1) factor of Thm 1.9",
 		globalMeans[len(globalMeans)-1]/globalMeans[0])
-	_ = js
 	return t, nil
 }
 
@@ -232,37 +225,48 @@ func runE7(rc RunConfig) (*Table, error) {
 		Columns: []string{"protocol", "tput", "S", "sends/pkt", "listens/pkt", "acc/pkt", "maxAcc"},
 	}
 
-	var lsbListens, mwuListens float64
-	for _, row := range rows {
-		var tput, activeS, sends, listens, acc, maxAcc float64
-		for rep := 0; rep < rc.Reps; rep++ {
-			spec := runSpec{
-				seed:     rc.Seed + uint64(rep)*0x9e37,
-				arrivals: func() sim.ArrivalSource { return arrivals.NewBatch(n) },
-				factory:  row.factory,
-				maxSlots: capFor(n, 0) * 20, // fixed-rate ALOHA needs ~N·ln N slots
-			}
-			r, err := runOnce(spec)
-			if err != nil {
-				return nil, err
-			}
-			es := metrics.SummarizeEnergy(r)
-			tput += r.Throughput()
-			activeS += float64(r.ActiveSlots)
-			sends += es.Sends.Mean
-			listens += es.Listens.Mean
-			acc += es.Accesses.Mean
-			if es.Accesses.Max > maxAcc {
-				maxAcc = es.Accesses.Max
-			}
+	type e7rep struct {
+		tput, activeS, sends, listens, acc, maxAcc float64
+	}
+	grouped, err := sweep(rc, "E7", len(rows), func(point, _ int, seed uint64) (e7rep, error) {
+		r, err := runOnce(runSpec{
+			seed:     seed,
+			arrivals: func() sim.ArrivalSource { return arrivals.NewBatch(n) },
+			factory:  rows[point].factory,
+			maxSlots: capFor(n, 0) * 20, // fixed-rate ALOHA needs ~N·ln N slots
+		})
+		if err != nil {
+			return e7rep{}, err
 		}
-		reps := float64(rc.Reps)
-		t.AddRow(row.name, f(tput/reps), f(activeS/reps), f(sends/reps), f(listens/reps), f(acc/reps), f(maxAcc))
-		switch row.name {
+		es := metrics.SummarizeEnergy(r)
+		return e7rep{
+			tput:    r.Throughput(),
+			activeS: float64(r.ActiveSlots),
+			sends:   es.Sends.Mean,
+			listens: es.Listens.Mean,
+			acc:     es.Accesses.Mean,
+			maxAcc:  es.Accesses.Max,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var lsbListens, mwuListens float64
+	for point, reps := range grouped {
+		listens := repMean(reps, func(r e7rep) float64 { return r.listens })
+		t.AddRow(rows[point].name,
+			f(repMean(reps, func(r e7rep) float64 { return r.tput })),
+			f(repMean(reps, func(r e7rep) float64 { return r.activeS })),
+			f(repMean(reps, func(r e7rep) float64 { return r.sends })),
+			f(listens),
+			f(repMean(reps, func(r e7rep) float64 { return r.acc })),
+			f(repMax(reps, func(r e7rep) float64 { return r.maxAcc })))
+		switch rows[point].name {
 		case "LSB":
-			lsbListens = listens / reps
+			lsbListens = listens
 		case "MWU":
-			mwuListens = listens / reps
+			mwuListens = listens
 		}
 	}
 	t.AddNote("LSB listens/packet = %.1f vs full-sensing MWU = %.1f (%.0fx reduction); genie energy is not meaningful (oracle)",

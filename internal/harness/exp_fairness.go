@@ -44,41 +44,54 @@ func runE10(rc RunConfig) (*Table, error) {
 		},
 	}
 
-	var lsbJain, genieJain float64
-	for _, row := range rows {
-		var jainLat, jainAcc, p50, p99, ratio float64
-		for rep := 0; rep < rc.Reps; rep++ {
-			spec := runSpec{
-				seed:     rc.Seed + uint64(rep)*0x9e37,
-				arrivals: func() sim.ArrivalSource { return arrivals.NewBatch(n) },
-				factory:  row.factory,
-				maxSlots: capFor(n, 0),
-			}
-			r, err := runOnce(spec)
-			if err != nil {
-				return nil, err
-			}
-			lats := metrics.LatencySample(r)
-			accs := make([]float64, len(r.Packets))
-			for i, p := range r.Packets {
-				accs[i] = float64(p.Accesses())
-			}
-			jainLat += metrics.JainIndex(lats)
-			jainAcc += metrics.JainIndex(accs)
-			s := stats.Summarize(lats)
-			p50 += s.Median
-			p99 += s.P99
-			if s.Median > 0 {
-				ratio += s.Max / s.Median
-			}
+	type e10rep struct {
+		jainLat, jainAcc, p50, p99, ratio float64
+	}
+	grouped, err := sweep(rc, "E10", len(rows), func(point, _ int, seed uint64) (e10rep, error) {
+		r, err := runOnce(runSpec{
+			seed:     seed,
+			arrivals: func() sim.ArrivalSource { return arrivals.NewBatch(n) },
+			factory:  rows[point].factory,
+			maxSlots: capFor(n, 0),
+		})
+		if err != nil {
+			return e10rep{}, err
 		}
-		reps := float64(rc.Reps)
-		t.AddRow(row.name, f(jainLat/reps), f(jainAcc/reps), f(p50/reps), f(p99/reps), f(ratio/reps))
-		switch row.name {
+		lats := metrics.LatencySample(r)
+		accs := make([]float64, len(r.Packets))
+		for i, p := range r.Packets {
+			accs[i] = float64(p.Accesses())
+		}
+		s := stats.Summarize(lats)
+		out := e10rep{
+			jainLat: metrics.JainIndex(lats),
+			jainAcc: metrics.JainIndex(accs),
+			p50:     s.Median,
+			p99:     s.P99,
+		}
+		if s.Median > 0 {
+			out.ratio = s.Max / s.Median
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var lsbJain, genieJain float64
+	for point, reps := range grouped {
+		jainLat := repMean(reps, func(r e10rep) float64 { return r.jainLat })
+		t.AddRow(rows[point].name,
+			f(jainLat),
+			f(repMean(reps, func(r e10rep) float64 { return r.jainAcc })),
+			f(repMean(reps, func(r e10rep) float64 { return r.p50 })),
+			f(repMean(reps, func(r e10rep) float64 { return r.p99 })),
+			f(repMean(reps, func(r e10rep) float64 { return r.ratio })))
+		switch rows[point].name {
 		case "LSB":
-			lsbJain = jainLat / reps
+			lsbJain = jainLat
 		case "Genie":
-			genieJain = jainLat / reps
+			genieJain = jainLat
 		}
 	}
 	t.AddNote("lower Jain index = less fair; LSB %.3f vs genie %.3f — the gap is the §6 open problem, not a bug", lsbJain, genieJain)

@@ -73,29 +73,38 @@ func runE11(rc RunConfig) (*Table, error) {
 		{"Sawtooth", func() sim.StationFactory { return protocols.NewSawtoothFactory() }},
 	}
 
-	for _, w := range workloads {
-		for _, p := range protos {
-			var tput, deliv, acc, p99 float64
-			for rep := 0; rep < rc.Reps; rep++ {
-				seed := rc.Seed + uint64(rep)*0x9e37
-				r, err := runOnce(runSpec{
-					seed:     seed,
-					arrivals: func() sim.ArrivalSource { return w.mk(seed) },
-					factory:  p.mk,
-					maxSlots: capFor(n, 0) * 4,
-				})
-				if err != nil {
-					return nil, err
-				}
-				es := metrics.SummarizeEnergy(r)
-				tput += r.Throughput()
-				deliv += float64(r.Completed) / float64(r.Arrived)
-				acc += es.Accesses.Mean
-				p99 += es.Latency.P99
-			}
-			reps := float64(rc.Reps)
-			t.AddRow(w.name, p.name, f(tput/reps), f(deliv/reps), f(acc/reps), f(p99/reps))
+	// Sweep points enumerate the (workload, protocol) grid row-major.
+	type e11rep struct{ tput, deliv, acc, p99 float64 }
+	grouped, err := sweep(rc, "E11", len(workloads)*len(protos), func(point, _ int, seed uint64) (e11rep, error) {
+		w := workloads[point/len(protos)]
+		p := protos[point%len(protos)]
+		r, err := runOnce(runSpec{
+			seed:     seed,
+			arrivals: func() sim.ArrivalSource { return w.mk(seed) },
+			factory:  p.mk,
+			maxSlots: capFor(n, 0) * 4,
+		})
+		if err != nil {
+			return e11rep{}, err
 		}
+		es := metrics.SummarizeEnergy(r)
+		return e11rep{
+			tput:  r.Throughput(),
+			deliv: float64(r.Completed) / float64(r.Arrived),
+			acc:   es.Accesses.Mean,
+			p99:   es.Latency.P99,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for point, reps := range grouped {
+		t.AddRow(workloads[point/len(protos)].name, protos[point%len(protos)].name,
+			f(repMean(reps, func(r e11rep) float64 { return r.tput })),
+			f(repMean(reps, func(r e11rep) float64 { return r.deliv })),
+			f(repMean(reps, func(r e11rep) float64 { return r.acc })),
+			f(repMean(reps, func(r e11rep) float64 { return r.p99 })))
 	}
 	t.AddNote("sawtooth is fully oblivious (never listens); its batch guarantee is SPAA'05 [23]")
 	return t, nil
@@ -139,28 +148,38 @@ func runE12(rc RunConfig) (*Table, error) {
 		}},
 	}
 
-	var ternarySlots float64
-	for _, v := range variants {
-		var deliv, tput, slots, acc float64
-		for rep := 0; rep < rc.Reps; rep++ {
-			r, err := runOnce(runSpec{
-				seed:     rc.Seed + uint64(rep)*0x9e37,
-				arrivals: func() sim.ArrivalSource { return arrivals.NewBatch(n) },
-				factory:  v.mk,
-				maxSlots: maxSlots,
-			})
-			if err != nil {
-				return nil, err
-			}
-			deliv += float64(r.Completed) / float64(r.Arrived)
-			tput += r.Throughput()
-			slots += float64(r.ActiveSlots)
-			acc += r.MeanAccesses()
+	type e12rep struct{ deliv, tput, slots, acc float64 }
+	grouped, err := sweep(rc, "E12", len(variants), func(point, _ int, seed uint64) (e12rep, error) {
+		r, err := runOnce(runSpec{
+			seed:     seed,
+			arrivals: func() sim.ArrivalSource { return arrivals.NewBatch(n) },
+			factory:  variants[point].mk,
+			maxSlots: maxSlots,
+		})
+		if err != nil {
+			return e12rep{}, err
 		}
-		reps := float64(rc.Reps)
-		t.AddRow(v.name, f(deliv/reps), f(tput/reps), f(slots/reps), f(acc/reps))
-		if v.name == "ternary (paper)" {
-			ternarySlots = slots / reps
+		return e12rep{
+			deliv: float64(r.Completed) / float64(r.Arrived),
+			tput:  r.Throughput(),
+			slots: float64(r.ActiveSlots),
+			acc:   r.MeanAccesses(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var ternarySlots float64
+	for point, reps := range grouped {
+		slots := repMean(reps, func(r e12rep) float64 { return r.slots })
+		t.AddRow(variants[point].name,
+			f(repMean(reps, func(r e12rep) float64 { return r.deliv })),
+			f(repMean(reps, func(r e12rep) float64 { return r.tput })),
+			f(slots),
+			f(repMean(reps, func(r e12rep) float64 { return r.acc })))
+		if variants[point].name == "ternary (paper)" {
+			ternarySlots = slots
 		}
 	}
 	t.AddNote("runs capped at %d slots (ternary needs ~%.0f); shortfalls in 'delivered' are stalls, not crashes",
@@ -182,40 +201,48 @@ func runE13(rc RunConfig) (*Table, error) {
 		Columns: []string{"lambda", "delivered", "maxBacklog", "meanLat", "p99Lat", "meanAcc"},
 	}
 
-	for _, lambda := range rates {
-		var deliv, maxB, lat, p99, acc float64
-		for rep := 0; rep < rc.Reps; rep++ {
-			seed := rc.Seed + uint64(rep)*0x9e37
-			col := &metrics.Collector{Every: 64}
-			src, err := arrivals.NewBernoulli(lambda, n, seed)
-			if err != nil {
-				return nil, err
-			}
-			e, err := sim.NewEngine(sim.Params{
-				Seed:       seed,
-				Arrivals:   src,
-				NewStation: lsbFactory(),
-				MaxSlots:   int64(float64(n)/lambda) + (1 << 18),
-				Probe:      col.Probe,
-			})
-			if err != nil {
-				return nil, err
-			}
-			r, err := e.Run()
-			if err != nil {
-				return nil, err
-			}
-			es := metrics.SummarizeEnergy(r)
-			deliv += float64(r.Completed) / float64(r.Arrived)
-			if b := float64(col.MaxBacklog()); b > maxB {
-				maxB = b
-			}
-			lat += es.Latency.Mean
-			p99 += es.Latency.P99
-			acc += es.Accesses.Mean
+	type e13rep struct{ deliv, maxB, lat, p99, acc float64 }
+	grouped, err := sweep(rc, "E13", len(rates), func(point, _ int, seed uint64) (e13rep, error) {
+		lambda := rates[point]
+		col := &metrics.Collector{Every: 64}
+		src, err := arrivals.NewBernoulli(lambda, n, seed)
+		if err != nil {
+			return e13rep{}, err
 		}
-		reps := float64(rc.Reps)
-		t.AddRow(f(lambda), f(deliv/reps), f(maxB), f(lat/reps), f(p99/reps), f(acc/reps))
+		e, err := sim.NewEngine(sim.Params{
+			Seed:       seed,
+			Arrivals:   src,
+			NewStation: lsbFactory(),
+			MaxSlots:   int64(float64(n)/lambda) + (1 << 18),
+			Probe:      col.Probe,
+		})
+		if err != nil {
+			return e13rep{}, err
+		}
+		r, err := e.Run()
+		if err != nil {
+			return e13rep{}, err
+		}
+		es := metrics.SummarizeEnergy(r)
+		return e13rep{
+			deliv: float64(r.Completed) / float64(r.Arrived),
+			maxB:  float64(col.MaxBacklog()),
+			lat:   es.Latency.Mean,
+			p99:   es.Latency.P99,
+			acc:   es.Accesses.Mean,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for point, reps := range grouped {
+		t.AddRow(f(rates[point]),
+			f(repMean(reps, func(r e13rep) float64 { return r.deliv })),
+			f(repMax(reps, func(r e13rep) float64 { return r.maxB })),
+			f(repMean(reps, func(r e13rep) float64 { return r.lat })),
+			f(repMean(reps, func(r e13rep) float64 { return r.p99 })),
+			f(repMean(reps, func(r e13rep) float64 { return r.acc })))
 	}
 	t.AddNote("stable region ends near λ≈0.35–0.40: smoother-than-batch arrivals buy capacity above E1's batch constant (~0.27), then latency and backlog blow up")
 	return t, nil

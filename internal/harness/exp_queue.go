@@ -96,21 +96,30 @@ func runE4(rc RunConfig) (*Table, error) {
 		Columns: []string{"lambda", "S", "quota/window", "maxBacklog", "backlog/S", "delivered"},
 	}
 
-	for _, lambda := range lambdas {
+	// Sweep points enumerate the (λ, S) grid row-major.
+	type e4rep struct{ maxB, deliv float64 }
+	grouped, err := sweep(rc, "E4", len(lambdas)*len(ss), func(point, _ int, seed uint64) (e4rep, error) {
+		lambda := lambdas[point/len(ss)]
+		s := ss[point%len(ss)]
+		col, r, err := aqtRun(seed, s, lambda, windows, max64(1, s/64))
+		if err != nil {
+			return e4rep{}, err
+		}
+		return e4rep{
+			maxB:  float64(col.MaxBacklog()),
+			deliv: float64(r.Completed) / float64(r.Arrived),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for li, lambda := range lambdas {
 		var xs, ratios []float64
-		for _, s := range ss {
-			var maxB, deliv float64
-			for rep := 0; rep < rc.Reps; rep++ {
-				col, r, err := aqtRun(rc.Seed+uint64(rep)*0x9e37, s, lambda, windows, max64(1, s/64))
-				if err != nil {
-					return nil, err
-				}
-				if b := float64(col.MaxBacklog()); b > maxB {
-					maxB = b
-				}
-				deliv += float64(r.Completed) / float64(r.Arrived)
-			}
-			deliv /= float64(rc.Reps)
+		for si, s := range ss {
+			reps := grouped[li*len(ss)+si]
+			maxB := repMax(reps, func(r e4rep) float64 { return r.maxB })
+			deliv := repMean(reps, func(r e4rep) float64 { return r.deliv })
 			quota := int64(lambda * float64(s))
 			t.AddRow(f(lambda), d(s), d(quota), f(maxB), f(maxB/float64(s)), f(deliv))
 			xs = append(xs, float64(s))
@@ -140,26 +149,35 @@ func runE5(rc RunConfig) (*Table, error) {
 		Columns: []string{"S", "meanAcc", "p99Acc", "maxAcc", "delivered"},
 	}
 
-	var xs, means []float64
-	for _, s := range ss {
-		var meanAcc, p99, maxAcc, deliv float64
-		for rep := 0; rep < rc.Reps; rep++ {
-			_, r, err := aqtRun(rc.Seed+uint64(rep)*0x9e37, s, lambda, windows, s)
-			if err != nil {
-				return nil, err
-			}
-			es := metrics.SummarizeEnergy(r)
-			meanAcc += es.Accesses.Mean
-			p99 += es.Accesses.P99
-			if es.Accesses.Max > maxAcc {
-				maxAcc = es.Accesses.Max
-			}
-			deliv += float64(r.Completed) / float64(r.Arrived)
+	type e5rep struct{ meanAcc, p99, maxAcc, deliv float64 }
+	grouped, err := sweep(rc, "E5", len(ss), func(point, _ int, seed uint64) (e5rep, error) {
+		s := ss[point]
+		_, r, err := aqtRun(seed, s, lambda, windows, s)
+		if err != nil {
+			return e5rep{}, err
 		}
-		reps := float64(rc.Reps)
-		t.AddRow(d(s), f(meanAcc/reps), f(p99/reps), f(maxAcc), f(deliv/reps))
-		xs = append(xs, float64(s))
-		means = append(means, meanAcc/reps)
+		es := metrics.SummarizeEnergy(r)
+		return e5rep{
+			meanAcc: es.Accesses.Mean,
+			p99:     es.Accesses.P99,
+			maxAcc:  es.Accesses.Max,
+			deliv:   float64(r.Completed) / float64(r.Arrived),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var xs, means []float64
+	for point, reps := range grouped {
+		meanAcc := repMean(reps, func(r e5rep) float64 { return r.meanAcc })
+		t.AddRow(d(ss[point]),
+			f(meanAcc),
+			f(repMean(reps, func(r e5rep) float64 { return r.p99 })),
+			f(repMax(reps, func(r e5rep) float64 { return r.maxAcc })),
+			f(repMean(reps, func(r e5rep) float64 { return r.deliv })))
+		xs = append(xs, float64(ss[point]))
+		means = append(means, meanAcc)
 	}
 	if len(xs) >= 3 {
 		fit := stats.ClassifyGrowth(xs, means)
@@ -175,14 +193,12 @@ func runE8(rc RunConfig) (*Table, error) {
 	}
 	n := pick(rc, int64(128), int64(1024))
 	col, bounds := potentialCollector()
-	spec := runSpec{
-		seed:     rc.Seed,
+	r, err := one(rc, "E8", runSpec{
 		arrivals: func() sim.ArrivalSource { return arrivals.NewBatch(n) },
 		factory:  lsbFactory,
 		maxSlots: capFor(n, 0),
 		probe:    col.Probe,
-	}
-	r, err := runOnce(spec)
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -231,14 +247,12 @@ func runE9(rc RunConfig) (*Table, error) {
 	}
 	const n = 8
 	tr := &trace.Tracer{}
-	spec := runSpec{
-		seed:     rc.Seed,
+	r, err := one(rc, "E9", runSpec{
 		arrivals: func() sim.ArrivalSource { return arrivals.NewBatch(n) },
 		factory:  lsbFactory,
 		maxSlots: capFor(n, 0),
 		probe:    tr.Probe,
-	}
-	r, err := runOnce(spec)
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -287,54 +301,59 @@ func runA1(rc RunConfig) (*Table, error) {
 		Columns: []string{"rule", "batchTput", "meanAcc", "maxAcc", "aqtMaxBacklog/S"},
 	}
 
-	for _, rule := range rules {
-		cfg := rule.cfg
+	// Each job runs one rule's batch rep AND its AQT burst-stability rep
+	// with the same seed, mirroring the paired structure of the old serial
+	// loops.
+	type a1rep struct{ tput, meanAcc, maxAcc, aqtMaxB float64 }
+	grouped, err := sweep(rc, "A1", len(rules), func(point, _ int, seed uint64) (a1rep, error) {
+		cfg := rules[point].cfg
 		factory := func() sim.StationFactory { return core.MustFactory(cfg) }
-		var tput, meanAcc, maxAcc float64
-		for rep := 0; rep < rc.Reps; rep++ {
-			r, err := runOnce(runSpec{
-				seed:     rc.Seed + uint64(rep)*0x9e37,
-				arrivals: func() sim.ArrivalSource { return arrivals.NewBatch(n) },
-				factory:  factory,
-				maxSlots: capFor(n, 0),
-			})
-			if err != nil {
-				return nil, err
-			}
-			tput += r.Throughput()
-			meanAcc += r.MeanAccesses()
-			if m := float64(r.MaxAccesses()); m > maxAcc {
-				maxAcc = m
-			}
+		r, err := runOnce(runSpec{
+			seed:     seed,
+			arrivals: func() sim.ArrivalSource { return arrivals.NewBatch(n) },
+			factory:  factory,
+			maxSlots: capFor(n, 0),
+		})
+		if err != nil {
+			return a1rep{}, err
+		}
+		out := a1rep{
+			tput:    r.Throughput(),
+			meanAcc: r.MeanAccesses(),
+			maxAcc:  float64(r.MaxAccesses()),
 		}
 		// Burst stability: AQT max backlog.
-		var maxB float64
-		for rep := 0; rep < rc.Reps; rep++ {
-			seed := rc.Seed + uint64(rep)*0x9e37
-			col := &metrics.Collector{Every: max64(1, aqtS/64)}
-			src, err := arrivals.NewAQT(aqtS, 0.1, windows, arrivals.AQTBurst, seed)
-			if err != nil {
-				return nil, err
-			}
-			e, err := sim.NewEngine(sim.Params{
-				Seed:       seed,
-				Arrivals:   src,
-				NewStation: factory(),
-				MaxSlots:   aqtS * windows,
-				Probe:      col.Probe,
-			})
-			if err != nil {
-				return nil, err
-			}
-			if _, err := e.Run(); err != nil {
-				return nil, err
-			}
-			if b := float64(col.MaxBacklog()); b > maxB {
-				maxB = b
-			}
+		col := &metrics.Collector{Every: max64(1, aqtS/64)}
+		src, err := arrivals.NewAQT(aqtS, 0.1, windows, arrivals.AQTBurst, seed)
+		if err != nil {
+			return a1rep{}, err
 		}
-		reps := float64(rc.Reps)
-		t.AddRow(rule.name, f(tput/reps), f(meanAcc/reps), f(maxAcc), f(maxB/float64(aqtS)))
+		e, err := sim.NewEngine(sim.Params{
+			Seed:       seed,
+			Arrivals:   src,
+			NewStation: factory(),
+			MaxSlots:   aqtS * windows,
+			Probe:      col.Probe,
+		})
+		if err != nil {
+			return a1rep{}, err
+		}
+		if _, err := e.Run(); err != nil {
+			return a1rep{}, err
+		}
+		out.aqtMaxB = float64(col.MaxBacklog())
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for point, reps := range grouped {
+		t.AddRow(rules[point].name,
+			f(repMean(reps, func(r a1rep) float64 { return r.tput })),
+			f(repMean(reps, func(r a1rep) float64 { return r.meanAcc })),
+			f(repMax(reps, func(r a1rep) float64 { return r.maxAcc })),
+			f(repMax(reps, func(r a1rep) float64 { return r.aqtMaxB })/float64(aqtS)))
 	}
 	return t, nil
 }
@@ -352,34 +371,50 @@ func runA2(rc RunConfig) (*Table, error) {
 		Columns: []string{"c", "w_min", "valid", "tput", "meanAcc", "maxAcc"},
 	}
 
+	type combo struct {
+		c, wmin float64
+		cfg     core.Config
+		valid   bool
+	}
+	var combos []combo
 	for _, c := range []float64{0.25, 0.5, 1, 2} {
 		for _, wmin := range []float64{8, 32, 128} {
 			cfg := core.Config{C: c, WMin: wmin, LnPower: 3}
-			if err := cfg.Validate(); err != nil {
-				t.AddRow(f(c), f(wmin), "no", "-", "-", "-")
-				continue
-			}
-			factory := func() sim.StationFactory { return core.MustFactory(cfg) }
-			var tput, meanAcc, maxAcc float64
-			for rep := 0; rep < rc.Reps; rep++ {
-				r, err := runOnce(runSpec{
-					seed:     rc.Seed + uint64(rep)*0x9e37,
-					arrivals: func() sim.ArrivalSource { return arrivals.NewBatch(n) },
-					factory:  factory,
-					maxSlots: capFor(n, 0) * 4,
-				})
-				if err != nil {
-					return nil, err
-				}
-				tput += r.Throughput()
-				meanAcc += r.MeanAccesses()
-				if m := float64(r.MaxAccesses()); m > maxAcc {
-					maxAcc = m
-				}
-			}
-			reps := float64(rc.Reps)
-			t.AddRow(f(c), f(wmin), "yes", f(tput/reps), f(meanAcc/reps), f(maxAcc))
+			combos = append(combos, combo{c: c, wmin: wmin, cfg: cfg, valid: cfg.Validate() == nil})
 		}
+	}
+
+	type a2rep struct{ tput, meanAcc, maxAcc float64 }
+	grouped, err := sweep(rc, "A2", len(combos), func(point, _ int, seed uint64) (a2rep, error) {
+		if !combos[point].valid {
+			return a2rep{}, nil
+		}
+		cfg := combos[point].cfg
+		r, err := runOnce(runSpec{
+			seed:     seed,
+			arrivals: func() sim.ArrivalSource { return arrivals.NewBatch(n) },
+			factory:  func() sim.StationFactory { return core.MustFactory(cfg) },
+			maxSlots: capFor(n, 0) * 4,
+		})
+		if err != nil {
+			return a2rep{}, err
+		}
+		return a2rep{tput: r.Throughput(), meanAcc: r.MeanAccesses(), maxAcc: float64(r.MaxAccesses())}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for point, reps := range grouped {
+		cb := combos[point]
+		if !cb.valid {
+			t.AddRow(f(cb.c), f(cb.wmin), "no", "-", "-", "-")
+			continue
+		}
+		t.AddRow(f(cb.c), f(cb.wmin), "yes",
+			f(repMean(reps, func(r a2rep) float64 { return r.tput })),
+			f(repMean(reps, func(r a2rep) float64 { return r.meanAcc })),
+			f(repMax(reps, func(r a2rep) float64 { return r.maxAcc })))
 	}
 	t.AddNote("constraint: c·ln³(w_min) <= w_min; invalid combinations are rejected by core.Config.Validate")
 	return t, nil
@@ -411,29 +446,39 @@ func runA3(rc RunConfig) (*Table, error) {
 		if err := cfg.Validate(); err != nil {
 			return nil, fmt.Errorf("harness A3: config k=%v: %v", cfg.LnPower, err)
 		}
-		cfg := cfg
-		factory := func() sim.StationFactory { return core.MustFactory(cfg) }
-		var tput, sends, listens, maxAcc float64
-		for rep := 0; rep < rc.Reps; rep++ {
-			r, err := runOnce(runSpec{
-				seed:     rc.Seed + uint64(rep)*0x9e37,
-				arrivals: func() sim.ArrivalSource { return arrivals.NewBatch(n) },
-				factory:  factory,
-				maxSlots: capFor(n, 0) * 4,
-			})
-			if err != nil {
-				return nil, err
-			}
-			es := metrics.SummarizeEnergy(r)
-			tput += r.Throughput()
-			sends += es.Sends.Mean
-			listens += es.Listens.Mean
-			if es.Accesses.Max > maxAcc {
-				maxAcc = es.Accesses.Max
-			}
+	}
+
+	type a3rep struct{ tput, sends, listens, maxAcc float64 }
+	grouped, err := sweep(rc, "A3", len(configs), func(point, _ int, seed uint64) (a3rep, error) {
+		cfg := configs[point]
+		r, err := runOnce(runSpec{
+			seed:     seed,
+			arrivals: func() sim.ArrivalSource { return arrivals.NewBatch(n) },
+			factory:  func() sim.StationFactory { return core.MustFactory(cfg) },
+			maxSlots: capFor(n, 0) * 4,
+		})
+		if err != nil {
+			return a3rep{}, err
 		}
-		reps := float64(rc.Reps)
-		t.AddRow(f(cfg.LnPower), f(cfg.C), f(cfg.WMin), f(tput/reps), f(sends/reps), f(listens/reps), f(maxAcc))
+		es := metrics.SummarizeEnergy(r)
+		return a3rep{
+			tput:    r.Throughput(),
+			sends:   es.Sends.Mean,
+			listens: es.Listens.Mean,
+			maxAcc:  es.Accesses.Max,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for point, reps := range grouped {
+		cfg := configs[point]
+		t.AddRow(f(cfg.LnPower), f(cfg.C), f(cfg.WMin),
+			f(repMean(reps, func(r a3rep) float64 { return r.tput })),
+			f(repMean(reps, func(r a3rep) float64 { return r.sends })),
+			f(repMean(reps, func(r a3rep) float64 { return r.listens })),
+			f(repMax(reps, func(r a3rep) float64 { return r.maxAcc })))
 	}
 	t.AddNote("k=0 means every access sends (no pure listening): the feedback loop starves and throughput suffers; k>=2 restores it")
 	return t, nil

@@ -43,31 +43,43 @@ func runE14(rc RunConfig) (*Table, error) {
 	}
 
 	// Single long run (the theorem is about one evolving execution; reps
-	// would average away exactly the per-time-t quantity under test).
-	col := &metrics.Collector{Every: max64(1, horizon/4096)}
-	src, err := arrivals.NewBernoulli(lambda, 0, rc.Seed) // unbounded
-	if err != nil {
-		return nil, err
+	// would average away exactly the per-time-t quantity under test),
+	// submitted as a one-job sweep so its seed comes from the same
+	// derivation as every other experiment.
+	type e14out struct {
+		r   sim.Result
+		col *metrics.Collector
 	}
-	jam, err := jamming.NewRandom(0.2, 0, rc.Seed^0xe14)
-	if err != nil {
-		return nil, err
-	}
-	eng, err := sim.NewEngine(sim.Params{
-		Seed:       rc.Seed,
-		Arrivals:   src,
-		NewStation: lsbFactory(),
-		Jammer:     jam,
-		MaxSlots:   horizon,
-		Probe:      col.Probe,
+	single := rc
+	single.Reps = 1
+	grouped, err := sweep(single, "E14", 1, func(_, _ int, seed uint64) (e14out, error) {
+		col := &metrics.Collector{Every: max64(1, horizon/4096)}
+		src, err := arrivals.NewBernoulli(lambda, 0, seed) // unbounded
+		if err != nil {
+			return e14out{}, err
+		}
+		jam, err := jamming.NewRandom(0.2, 0, seed^0xe14)
+		if err != nil {
+			return e14out{}, err
+		}
+		eng, err := sim.NewEngine(sim.Params{
+			Seed:       seed,
+			Arrivals:   src,
+			NewStation: lsbFactory(),
+			Jammer:     jam,
+			MaxSlots:   horizon,
+			Probe:      col.Probe,
+		})
+		if err != nil {
+			return e14out{}, err
+		}
+		r, err := eng.Run()
+		return e14out{r: r, col: col}, err
 	})
 	if err != nil {
 		return nil, err
 	}
-	r, err := eng.Run()
-	if err != nil {
-		return nil, err
-	}
+	r, col := grouped[0][0].r, grouped[0][0].col
 
 	samples := col.Samples()
 	if len(samples) < 10 {
@@ -96,19 +108,15 @@ func runE15(rc RunConfig) (*Table, error) {
 	jamRates := []float64{0, 0.1, 0.25, 0.4}
 
 	// Baseline median latency without jamming calibrates the deadlines.
-	var baseMedian float64
-	{
-		r, err := runOnce(runSpec{
-			seed:     rc.Seed,
-			arrivals: func() sim.ArrivalSource { return arrivals.NewBatch(n) },
-			factory:  lsbFactory,
-			maxSlots: capFor(n, 0),
-		})
-		if err != nil {
-			return nil, err
-		}
-		baseMedian = stats.Summarize(metrics.LatencySample(r)).Median
+	baseRun, err := one(rc, "E15/base", runSpec{
+		arrivals: func() sim.ArrivalSource { return arrivals.NewBatch(n) },
+		factory:  lsbFactory,
+		maxSlots: capFor(n, 0),
+	})
+	if err != nil {
+		return nil, err
 	}
+	baseMedian := stats.Summarize(metrics.LatencySample(baseRun)).Median
 	deadlines := []float64{2 * baseMedian, 5 * baseMedian, 10 * baseMedian}
 
 	t := &Table{
@@ -120,45 +128,55 @@ func runE15(rc RunConfig) (*Table, error) {
 		},
 	}
 
-	for _, rate := range jamRates {
-		var jt, p99 float64
-		misses := make([]float64, len(deadlines))
-		for rep := 0; rep < rc.Reps; rep++ {
-			rate := rate
-			spec := runSpec{
-				seed:     rc.Seed + uint64(rep)*0x9e37,
-				arrivals: func() sim.ArrivalSource { return arrivals.NewBatch(n) },
-				factory:  lsbFactory,
-				maxSlots: capFor(n, 8*n),
-			}
-			if rate > 0 {
-				spec.jammer = func() sim.Jammer {
-					jm, err := jamming.NewRandom(rate, 0, rc.Seed^uint64(rep))
-					if err != nil {
-						panic(err)
-					}
-					return jm
+	type e15rep struct {
+		jt, p99 float64
+		misses  [3]float64
+	}
+	grouped, err := sweep(rc, "E15", len(jamRates), func(point, _ int, seed uint64) (e15rep, error) {
+		rate := jamRates[point]
+		spec := runSpec{
+			seed:     seed,
+			arrivals: func() sim.ArrivalSource { return arrivals.NewBatch(n) },
+			factory:  lsbFactory,
+			maxSlots: capFor(n, 8*n),
+		}
+		if rate > 0 {
+			spec.jammer = func() sim.Jammer {
+				jm, err := jamming.NewRandom(rate, 0, seed^0xe15)
+				if err != nil {
+					panic(err)
 				}
-			}
-			r, err := runOnce(spec)
-			if err != nil {
-				return nil, err
-			}
-			lats := metrics.LatencySample(r)
-			jt += float64(r.JammedSlots)
-			p99 += stats.Summarize(lats).P99
-			for di, dl := range deadlines {
-				late := 0
-				for _, l := range lats {
-					if l > dl {
-						late++
-					}
-				}
-				misses[di] += float64(late) / float64(len(lats))
+				return jm
 			}
 		}
-		reps := float64(rc.Reps)
-		t.AddRow(f(rate), f(jt/reps), f(misses[0]/reps), f(misses[1]/reps), f(misses[2]/reps), f(p99/reps))
+		r, err := runOnce(spec)
+		if err != nil {
+			return e15rep{}, err
+		}
+		lats := metrics.LatencySample(r)
+		out := e15rep{jt: float64(r.JammedSlots), p99: stats.Summarize(lats).P99}
+		for di, dl := range deadlines {
+			late := 0
+			for _, l := range lats {
+				if l > dl {
+					late++
+				}
+			}
+			out.misses[di] = float64(late) / float64(len(lats))
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for point, reps := range grouped {
+		t.AddRow(f(jamRates[point]),
+			f(repMean(reps, func(r e15rep) float64 { return r.jt })),
+			f(repMean(reps, func(r e15rep) float64 { return r.misses[0] })),
+			f(repMean(reps, func(r e15rep) float64 { return r.misses[1] })),
+			f(repMean(reps, func(r e15rep) float64 { return r.misses[2] })),
+			f(repMean(reps, func(r e15rep) float64 { return r.p99 })))
 	}
 	t.AddNote("the paper's §6 asks for protocols where lateness grows slowly in J; LSB (unmodified) already keeps the 10x-deadline miss rate small")
 	return t, nil

@@ -67,32 +67,60 @@ func runE1(rc RunConfig) (*Table, error) {
 		Columns: []string{"N", "LSB", "BEB", "MWU", "Genie", "LSB/BEB"},
 	}
 
-	var lsbTputs, bebTputs, xs []float64
-	for _, n := range ns {
-		batch := func() sim.ArrivalSource { return arrivals.NewBatch(n) }
-		spec := runSpec{arrivals: batch, factory: lsbFactory, maxSlots: capFor(n, 0)}
-		lsb, err := meanOf(rc, spec, sim.Result.Throughput)
-		if err != nil {
-			return nil, err
+	// One job per (N, rep): it runs every protocol at that N with the same
+	// seed, so the per-rep cross-protocol comparison stays paired.
+	type e1rep struct {
+		lsb, beb, mwu, genie float64
+		full                 bool
+	}
+	grouped, err := sweep(rc, "E1", len(ns), func(point, _ int, seed uint64) (e1rep, error) {
+		n := ns[point]
+		spec := runSpec{
+			seed:     seed,
+			arrivals: func() sim.ArrivalSource { return arrivals.NewBatch(n) },
+			maxSlots: capFor(n, 0),
 		}
-		spec.factory = bebFactory
-		beb, err := meanOf(rc, spec, sim.Result.Throughput)
-		if err != nil {
-			return nil, err
+		tput := func(factory func() sim.StationFactory) (float64, error) {
+			s := spec
+			s.factory = factory
+			r, err := runOnce(s)
+			if err != nil {
+				return 0, err
+			}
+			return r.Throughput(), nil
 		}
-		mwuCell, genieCell := "-", "-"
+		var out e1rep
+		var err error
+		if out.lsb, err = tput(lsbFactory); err != nil {
+			return out, err
+		}
+		if out.beb, err = tput(bebFactory); err != nil {
+			return out, err
+		}
 		if n <= fullSenseCap {
-			spec.factory = mwuFactory
-			mwu, err := meanOf(rc, spec, sim.Result.Throughput)
-			if err != nil {
-				return nil, err
+			out.full = true
+			if out.mwu, err = tput(mwuFactory); err != nil {
+				return out, err
 			}
-			spec.factory = protocols.NewGenieAlohaFactory
-			genie, err := meanOf(rc, spec, sim.Result.Throughput)
-			if err != nil {
-				return nil, err
+			if out.genie, err = tput(protocols.NewGenieAlohaFactory); err != nil {
+				return out, err
 			}
-			mwuCell, genieCell = f(mwu), f(genie)
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var lsbTputs, bebTputs, xs []float64
+	for point, reps := range grouped {
+		n := ns[point]
+		lsb := repMean(reps, func(r e1rep) float64 { return r.lsb })
+		beb := repMean(reps, func(r e1rep) float64 { return r.beb })
+		mwuCell, genieCell := "-", "-"
+		if reps[0].full {
+			mwuCell = f(repMean(reps, func(r e1rep) float64 { return r.mwu }))
+			genieCell = f(repMean(reps, func(r e1rep) float64 { return r.genie }))
 		}
 		t.AddRow(d(n), f(lsb), f(beb), mwuCell, genieCell, f(lsb/beb))
 		xs = append(xs, float64(n))
@@ -124,76 +152,68 @@ func runE3(rc RunConfig) (*Table, error) {
 		Columns: []string{"jammer", "J", "throughput", "implicit", "delivered", "meanAcc"},
 	}
 
-	type agg struct{ tput, impl, deliv, acc float64 }
-	collect := func(spec runSpec) (agg, error) {
-		var a agg
-		reps := 0
-		for rep := 0; rep < rc.Reps; rep++ {
-			s := spec
-			s.seed = rc.Seed + uint64(rep)*0x9e37
-			r, err := runOnce(s)
-			if err != nil {
-				return a, err
-			}
-			a.tput += r.Throughput()
-			a.impl += r.ImplicitThroughput()
-			a.deliv += float64(r.Completed) / float64(r.Arrived)
-			a.acc += r.MeanAccesses()
-			reps++
-		}
-		a.tput /= float64(reps)
-		a.impl /= float64(reps)
-		a.deliv /= float64(reps)
-		a.acc /= float64(reps)
-		return a, nil
-	}
-
-	var tputs []float64
-	for _, j := range burstJs {
+	// Sweep points: the burst intervals first, then the random rates.
+	type e3rep struct{ tput, impl, deliv, acc float64 }
+	points := len(burstJs) + len(randRates)
+	grouped, err := sweep(rc, "E3", points, func(point, _ int, seed uint64) (e3rep, error) {
 		spec := runSpec{
+			seed:     seed,
 			arrivals: func() sim.ArrivalSource { return arrivals.NewBatch(n) },
 			factory:  lsbFactory,
-			maxSlots: capFor(n, j),
 		}
-		if j > 0 {
-			jj := j
-			spec.jammer = func() sim.Jammer {
-				iv, err := jamming.NewInterval(0, jj)
-				if err != nil {
-					panic(err)
+		if point < len(burstJs) {
+			j := burstJs[point]
+			spec.maxSlots = capFor(n, j)
+			if j > 0 {
+				spec.jammer = func() sim.Jammer {
+					iv, err := jamming.NewInterval(0, j)
+					if err != nil {
+						panic(err)
+					}
+					return iv
 				}
-				return iv
 			}
-		}
-		a, err := collect(spec)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow("burst", d(j), f(a.tput), f(a.impl), f(a.deliv), f(a.acc))
-		tputs = append(tputs, a.tput)
-	}
-	for _, rate := range randRates {
-		rate := rate
-		// A rate-ρ unbounded random jammer: packets must finish between
-		// jams; budget scales with the cap so the jam level is sustained.
-		spec := runSpec{
-			arrivals: func() sim.ArrivalSource { return arrivals.NewBatch(n) },
-			factory:  lsbFactory,
-			jammer: func() sim.Jammer {
-				jm, err := jamming.NewRandom(rate, 0, rc.Seed)
+		} else {
+			rate := randRates[point-len(burstJs)]
+			// A rate-ρ unbounded random jammer: packets must finish between
+			// jams; budget scales with the cap so the jam level is sustained.
+			spec.maxSlots = capFor(n, 8*n)
+			spec.jammer = func() sim.Jammer {
+				jm, err := jamming.NewRandom(rate, 0, seed^0xe3)
 				if err != nil {
 					panic(err)
 				}
 				return jm
-			},
-			maxSlots: capFor(n, 8*n),
+			}
 		}
-		a, err := collect(spec)
+		r, err := runOnce(spec)
 		if err != nil {
-			return nil, err
+			return e3rep{}, err
 		}
-		t.AddRow(fmt.Sprintf("random %.0f%%", rate*100), "-", f(a.tput), f(a.impl), f(a.deliv), f(a.acc))
-		tputs = append(tputs, a.tput)
+		return e3rep{
+			tput:  r.Throughput(),
+			impl:  r.ImplicitThroughput(),
+			deliv: float64(r.Completed) / float64(r.Arrived),
+			acc:   r.MeanAccesses(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var tputs []float64
+	for point, reps := range grouped {
+		tput := repMean(reps, func(r e3rep) float64 { return r.tput })
+		impl := repMean(reps, func(r e3rep) float64 { return r.impl })
+		deliv := repMean(reps, func(r e3rep) float64 { return r.deliv })
+		acc := repMean(reps, func(r e3rep) float64 { return r.acc })
+		if point < len(burstJs) {
+			t.AddRow("burst", d(burstJs[point]), f(tput), f(impl), f(deliv), f(acc))
+		} else {
+			rate := randRates[point-len(burstJs)]
+			t.AddRow(fmt.Sprintf("random %.0f%%", rate*100), "-", f(tput), f(impl), f(deliv), f(acc))
+		}
+		tputs = append(tputs, tput)
 	}
 
 	minT, maxT := tputs[0], tputs[0]

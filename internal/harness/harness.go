@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"lowsensing/internal/runner"
 	"lowsensing/internal/sim"
 	"lowsensing/internal/stats"
 )
@@ -25,6 +26,11 @@ type RunConfig struct {
 	Seed  uint64
 	Reps  int
 	Scale Scale
+	// Workers bounds how many simulations run concurrently; 0 means one
+	// worker per usable CPU. Tables are byte-identical for every value:
+	// each job's seed is derived from its sweep coordinates, results are
+	// collected in job order, and reduction is single-threaded.
+	Workers int
 }
 
 // DefaultRunConfig returns the configuration used by cmd/experiments.
@@ -45,8 +51,14 @@ func (rc RunConfig) Validate() error {
 	if rc.Scale != ScaleSmall && rc.Scale != ScaleFull {
 		return fmt.Errorf("harness: unknown scale %d", rc.Scale)
 	}
+	if rc.Workers < 0 {
+		return fmt.Errorf("harness: Workers must be >= 0, got %d", rc.Workers)
+	}
 	return nil
 }
+
+// pool returns the worker pool the experiment's sweeps run on.
+func (rc RunConfig) pool() *runner.Pool { return runner.New(rc.Workers) }
 
 // Experiment is one reproducible table/figure of the paper.
 type Experiment struct {
@@ -124,29 +136,80 @@ func runOnce(spec runSpec) (sim.Result, error) {
 	return e.Run()
 }
 
-// replicate runs spec Reps times with derived seeds and returns the
-// per-replication measurement extracted by measure.
-func replicate(rc RunConfig, spec runSpec, measure func(sim.Result) float64) ([]float64, error) {
-	out := make([]float64, 0, rc.Reps)
-	for rep := 0; rep < rc.Reps; rep++ {
-		s := spec
-		s.seed = rc.Seed + uint64(rep)*0x9e37
-		r, err := runOnce(s)
-		if err != nil {
-			return nil, err
+// sweep runs body for every (point, rep) pair of a points×Reps grid as one
+// batch of runner jobs and returns the measurements grouped by point, reps
+// in order. Each job's seed is runner.DeriveSeed(rc.Seed, expID, point,
+// rep), so the grouped results — and therefore every table built from them
+// — are a pure function of the RunConfig, whatever rc.Workers is. Results
+// stream off the pool in job order and are folded into their point's group
+// as they arrive.
+func sweep[T any](rc RunConfig, expID string, points int, body func(point, rep int, seed uint64) (T, error)) ([][]T, error) {
+	jobs := make([]runner.Job[T], 0, points*rc.Reps)
+	for point := 0; point < points; point++ {
+		for rep := 0; rep < rc.Reps; rep++ {
+			point, rep := point, rep
+			jobs = append(jobs, runner.Job[T]{
+				Seed: runner.DeriveSeed(rc.Seed, expID, point, rep),
+				Run: func(seed uint64) (T, error) {
+					return body(point, rep, seed)
+				},
+			})
 		}
-		out = append(out, measure(r))
+	}
+	out := make([][]T, points)
+	for point := range out {
+		out[point] = make([]T, 0, rc.Reps)
+	}
+	err := runner.Stream(rc.pool(), jobs, func(i int, r T) error {
+		out[i/rc.Reps] = append(out[i/rc.Reps], r)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
-// meanOf replicates and returns the mean measurement.
-func meanOf(rc RunConfig, spec runSpec, measure func(sim.Result) float64) (float64, error) {
-	xs, err := replicate(rc, spec, measure)
+// sweepSpecs runs each spec rc.Reps times through the runner, seeding
+// every run from its (point, rep) coordinates, and returns the raw engine
+// results grouped by spec.
+func sweepSpecs(rc RunConfig, expID string, specs []runSpec) ([][]sim.Result, error) {
+	return sweep(rc, expID, len(specs), func(point, _ int, seed uint64) (sim.Result, error) {
+		s := specs[point]
+		s.seed = seed
+		return runOnce(s)
+	})
+}
+
+// one submits a single simulation as a runner job and returns its result;
+// used by the trajectory/trace experiments whose claims are about a single
+// evolving execution rather than a replicated sweep.
+func one(rc RunConfig, expID string, spec runSpec) (sim.Result, error) {
+	rc.Reps = 1
+	rs, err := sweepSpecs(rc, expID, []runSpec{spec})
 	if err != nil {
-		return 0, err
+		return sim.Result{}, err
 	}
-	return stats.Mean(xs), nil
+	return rs[0][0], nil
+}
+
+// repMean folds one extracted field of a point's replications into a
+// stats.Welford accumulator and returns its mean.
+func repMean[T any](reps []T, get func(T) float64) float64 {
+	var w stats.Welford
+	for _, r := range reps {
+		w.Add(get(r))
+	}
+	return w.Mean()
+}
+
+// repMax is repMean's max-reduction counterpart.
+func repMax[T any](reps []T, get func(T) float64) float64 {
+	var w stats.Welford
+	for _, r := range reps {
+		w.Add(get(r))
+	}
+	return w.Max()
 }
 
 // pick returns small for ScaleSmall and full otherwise.

@@ -1,0 +1,51 @@
+package harness
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestSerialParallelIdentical is the runner's determinism contract at the
+// harness level: for the same RunConfig, one worker and many workers must
+// render byte-identical tables (ASCII and CSV) for every experiment.
+// Covering the full registry here is what lets cmd/experiments promise that
+// -parallel never changes the numbers.
+func TestSerialParallelIdentical(t *testing.T) {
+	workers := runtime.NumCPU()
+	if workers < 2 {
+		workers = 4 // oversubscribe: still exercises concurrent collection
+	}
+	for _, exp := range All() {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			t.Parallel()
+			serial := SmallRunConfig()
+			serial.Workers = 1
+			a, err := exp.Run(serial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel := SmallRunConfig()
+			parallel.Workers = workers
+			b, err := exp.Run(parallel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.String() != b.String() {
+				t.Errorf("ASCII table differs between -parallel 1 and -parallel %d:\n%s\nvs\n%s", workers, a, b)
+			}
+			if a.CSV() != b.CSV() {
+				t.Errorf("CSV differs between -parallel 1 and -parallel %d", workers)
+			}
+		})
+	}
+}
+
+// TestWorkersValidate rejects negative worker counts.
+func TestWorkersValidate(t *testing.T) {
+	rc := SmallRunConfig()
+	rc.Workers = -1
+	if err := rc.Validate(); err == nil {
+		t.Fatal("Workers=-1 accepted")
+	}
+}

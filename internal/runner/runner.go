@@ -1,0 +1,246 @@
+// Package runner executes simulation sweeps on a worker pool with
+// deterministic per-job seeding.
+//
+// The harness's experiments are embarrassingly parallel — every (sweep
+// point, replication) pair is an independent simulation — but naively
+// parallelizing them would break the reproducibility contract: experiment
+// tables are regenerated from fixed seeds and must be bit-identical run to
+// run. The runner restores that contract under parallelism with three
+// rules:
+//
+//   - every Job carries a seed derived only from (base seed, experiment ID,
+//     point index, rep index) via DeriveSeed, never from scheduling order;
+//   - results are collected positionally, so the output slice is identical
+//     whatever order jobs finish in;
+//   - reduction happens on the caller's goroutine (Run returns the ordered
+//     slice; Stream delivers results in index order), so aggregation sees a
+//     deterministic sequence.
+//
+// Together these make the output a pure function of the base seed: one
+// worker or sixty-four, the tables are byte-identical.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"lowsensing/internal/prng"
+)
+
+// DeriveSeed deterministically derives the seed of one job from the base
+// seed and the job's coordinates: the experiment ID, the sweep-point index,
+// and the replication index. It chains the SplitMix64 finalizer (a
+// bijection on uint64) over the coordinates, so distinct coordinates give
+// independent-looking seeds and the mapping never depends on how many
+// workers run the sweep or in what order.
+func DeriveSeed(base uint64, expID string, point, rep int) uint64 {
+	h := prng.Mix64(base ^ 0x6c73622d72756e72) // "lsb-runr": domain-separates runner seeds
+	for _, b := range []byte(expID) {
+		h = prng.Mix64(h ^ uint64(b))
+	}
+	h = prng.Mix64(h ^ uint64(point))
+	h = prng.Mix64(h ^ uint64(rep))
+	return h
+}
+
+// Job is one simulation invocation: a deterministic seed plus the work to
+// run with it. Run must be safe to call concurrently with other jobs' Run
+// functions (jobs share no mutable state in the harness; each builds its
+// own engine from the seed).
+type Job[T any] struct {
+	Seed uint64
+	Run  func(seed uint64) (T, error)
+}
+
+// Pool is a fixed-size worker pool. The zero value is not usable;
+// construct with New.
+type Pool struct {
+	workers int
+}
+
+// New returns a pool running up to workers jobs concurrently. workers <= 0
+// selects runtime.GOMAXPROCS(0), i.e. one worker per usable CPU.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the pool's concurrency limit.
+func (p *Pool) Workers() int { return p.workers }
+
+// Run executes all jobs on the pool and returns their results in job
+// order. On error it cancels: no new jobs start after the first failure
+// (in-flight jobs finish), and the reported error is the failing job with
+// the smallest index, so the error too is deterministic under any
+// scheduling. A nil or empty jobs slice returns (nil, nil).
+func Run[T any](p *Pool, jobs []Job[T]) ([]T, error) {
+	if len(jobs) == 0 {
+		return nil, nil
+	}
+	out := make([]T, len(jobs))
+	if p.workers == 1 || len(jobs) == 1 {
+		for i, j := range jobs {
+			r, err := j.Run(j.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("runner: job %d: %w", i, err)
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+
+	var (
+		mu       sync.Mutex
+		next     int
+		firstErr error
+		errIdx   int
+	)
+	workers := p.workers
+	if len(jobs) < workers {
+		workers = len(jobs)
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if firstErr != nil || next >= len(jobs) {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+
+				r, err := jobs[i].Run(jobs[i].Seed)
+
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil || i < errIdx {
+						firstErr, errIdx = err, i
+					}
+				} else {
+					out[i] = r
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, fmt.Errorf("runner: job %d: %w", errIdx, firstErr)
+	}
+	return out, nil
+}
+
+// Stream executes all jobs on the pool and delivers each result to emit in
+// strict job order, calling emit from the caller's goroutine as results
+// become available — completed out-of-order results are buffered until
+// their turn. This lets callers aggregate a long sweep (into stats
+// accumulators, tables, or files) without holding every result at once
+// beyond the reorder buffer. An error from a job or from emit cancels the
+// sweep with Run's semantics.
+func Stream[T any](p *Pool, jobs []Job[T], emit func(i int, r T) error) error {
+	if len(jobs) == 0 {
+		return nil
+	}
+	if p.workers == 1 || len(jobs) == 1 {
+		for i, j := range jobs {
+			r, err := j.Run(j.Seed)
+			if err != nil {
+				return fmt.Errorf("runner: job %d: %w", i, err)
+			}
+			if err := emit(i, r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	type done[U any] struct {
+		i   int
+		r   U
+		err error
+	}
+	results := make(chan done[T], len(jobs))
+	var (
+		mu      sync.Mutex
+		next    int
+		stopped bool
+	)
+	workers := p.workers
+	if len(jobs) < workers {
+		workers = len(jobs)
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if stopped || next >= len(jobs) {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+
+				r, err := jobs[i].Run(jobs[i].Seed)
+				results <- done[T]{i: i, r: r, err: err}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	stop := func() {
+		mu.Lock()
+		stopped = true
+		mu.Unlock()
+	}
+	// Reorder: emit index `want` next; park later results until their turn.
+	pending := make(map[int]T)
+	var (
+		want     int
+		firstErr error
+		errIdx   int
+	)
+	fail := func(i int, err error) {
+		if firstErr == nil || i < errIdx {
+			firstErr, errIdx = err, i
+		}
+		stop()
+	}
+	for d := range results {
+		if d.err != nil {
+			fail(d.i, fmt.Errorf("runner: job %d: %w", d.i, d.err))
+			continue
+		}
+		if firstErr != nil {
+			continue // cancelled: drain in-flight results without emitting
+		}
+		pending[d.i] = d.r
+		for {
+			r, ok := pending[want]
+			if !ok {
+				break
+			}
+			delete(pending, want)
+			if err := emit(want, r); err != nil {
+				fail(want, err)
+				break
+			}
+			want++
+		}
+	}
+	return firstErr
+}

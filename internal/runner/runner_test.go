@@ -1,0 +1,227 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lowsensing/internal/prng"
+)
+
+func TestDeriveSeedDistinct(t *testing.T) {
+	// Distinct coordinates must give distinct seeds; identical coordinates
+	// identical seeds.
+	seen := map[uint64]string{}
+	for _, exp := range []string{"E1", "E2", "E1/jam"} {
+		for point := 0; point < 8; point++ {
+			for rep := 0; rep < 8; rep++ {
+				s := DeriveSeed(20240617, exp, point, rep)
+				key := fmt.Sprintf("%s/%d/%d", exp, point, rep)
+				if prev, dup := seen[s]; dup {
+					t.Fatalf("seed collision: %s and %s both map to %d", prev, key, s)
+				}
+				seen[s] = key
+				if s != DeriveSeed(20240617, exp, point, rep) {
+					t.Fatal("DeriveSeed not deterministic")
+				}
+			}
+		}
+	}
+	if DeriveSeed(1, "E1", 0, 0) == DeriveSeed(2, "E1", 0, 0) {
+		t.Fatal("base seed ignored")
+	}
+}
+
+func TestNewDefaultsToGOMAXPROCS(t *testing.T) {
+	if New(0).Workers() < 1 {
+		t.Fatal("New(0) has no workers")
+	}
+	if got := New(3).Workers(); got != 3 {
+		t.Fatalf("Workers() = %d, want 3", got)
+	}
+}
+
+// squareJobs builds n jobs whose result is a pure function of (index, seed).
+func squareJobs(n int) []Job[uint64] {
+	jobs := make([]Job[uint64], n)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[uint64]{
+			Seed: DeriveSeed(99, "test", i, 0),
+			Run: func(seed uint64) (uint64, error) {
+				return prng.Mix64(seed) ^ uint64(i), nil
+			},
+		}
+	}
+	return jobs
+}
+
+func TestRunOrderedAndDeterministic(t *testing.T) {
+	jobs := squareJobs(100)
+	serial, err := Run(New(1), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != 100 {
+		t.Fatalf("got %d results", len(serial))
+	}
+	for _, workers := range []int{2, 3, 7, 16} {
+		parallel, err := Run(New(workers), jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range serial {
+			if parallel[i] != serial[i] {
+				t.Fatalf("workers=%d: result %d = %d, want %d", workers, i, parallel[i], serial[i])
+			}
+		}
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	out, err := Run[int](New(4), nil)
+	if err != nil || out != nil {
+		t.Fatalf("Run(nil) = %v, %v", out, err)
+	}
+}
+
+func TestRunCancelsOnError(t *testing.T) {
+	boom := errors.New("boom")
+	var started atomic.Int64
+	jobs := make([]Job[int], 1000)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{Run: func(uint64) (int, error) {
+			started.Add(1)
+			if i == 3 {
+				return 0, boom
+			}
+			return i, nil
+		}}
+	}
+	_, err := Run(New(4), jobs)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if !strings.Contains(err.Error(), "job 3") {
+		t.Fatalf("err = %v, want job index 3", err)
+	}
+	// Cancel-on-first-error: nowhere near all 1000 jobs may have started.
+	if n := started.Load(); n > 100 {
+		t.Fatalf("%d jobs started after an early failure", n)
+	}
+}
+
+func TestRunReportsSmallestFailingIndex(t *testing.T) {
+	// Several jobs fail; the reported index must be the smallest whatever
+	// order workers hit them in.
+	jobs := make([]Job[int], 64)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{Run: func(uint64) (int, error) {
+			if i%2 == 1 {
+				// Late odd failures: the smallest failing index is 1.
+				time.Sleep(time.Duration(i) * time.Microsecond)
+				return 0, fmt.Errorf("fail %d", i)
+			}
+			return i, nil
+		}}
+	}
+	for trial := 0; trial < 10; trial++ {
+		_, err := Run(New(8), jobs)
+		if err == nil {
+			t.Fatal("no error")
+		}
+		if !strings.Contains(err.Error(), "job 1:") {
+			t.Fatalf("trial %d: err = %v, want smallest failing index 1", trial, err)
+		}
+	}
+}
+
+func TestStreamInOrder(t *testing.T) {
+	jobs := squareJobs(200)
+	want, err := Run(New(1), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4, 16} {
+		var got []uint64
+		err := Stream(New(workers), jobs, func(i int, r uint64) error {
+			if i != len(got) {
+				t.Fatalf("workers=%d: emit index %d, want %d", workers, i, len(got))
+			}
+			got = append(got, r)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: emitted %d of %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: result %d differs", workers, i)
+			}
+		}
+	}
+}
+
+func TestStreamJobError(t *testing.T) {
+	boom := errors.New("boom")
+	jobs := make([]Job[int], 50)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{Run: func(uint64) (int, error) {
+			if i == 10 {
+				return 0, boom
+			}
+			return i, nil
+		}}
+	}
+	var emitted int
+	err := Stream(New(4), jobs, func(i int, _ int) error {
+		if i >= 10 {
+			t.Fatalf("emitted index %d past the failure", i)
+		}
+		emitted++
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if emitted > 10 {
+		t.Fatalf("emitted %d results past failure", emitted)
+	}
+}
+
+func TestStreamEmitError(t *testing.T) {
+	stop := errors.New("stop")
+	jobs := squareJobs(50)
+	var emitted int
+	err := Stream(New(4), jobs, func(i int, _ uint64) error {
+		if i == 5 {
+			return stop
+		}
+		emitted++
+		return nil
+	})
+	if !errors.Is(err, stop) {
+		t.Fatalf("err = %v, want stop", err)
+	}
+	if emitted != 5 {
+		t.Fatalf("emitted %d, want 5", emitted)
+	}
+}
+
+func TestStreamEmpty(t *testing.T) {
+	if err := Stream[int](New(4), nil, func(int, int) error {
+		t.Fatal("emit called")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
