@@ -224,6 +224,58 @@ func BenchmarkObserve(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineMemory demonstrates the engine's O(backlog) memory model
+// on a 1M-packet Poisson stream: the default streaming mode keeps only the
+// free-listed slot table and constant-size accumulators live, while the
+// opt-in retained mode materializes the full per-packet table. The
+// "live-B/run" metric is the post-GC live-heap delta attributable to the
+// finished run; streaming must sit far more than 10x below retained.
+// Run with -benchmem to see the allocation gap too.
+func BenchmarkEngineMemory(b *testing.B) {
+	const packets = 1_000_000
+	run := func(b *testing.B, retain bool) {
+		b.Helper()
+		var liveBytes int64
+		for i := 0; i < b.N; i++ {
+			runtime.GC()
+			var m0 runtime.MemStats
+			runtime.ReadMemStats(&m0)
+			src, err := arrivals.NewPoisson(0.2, packets, uint64(i)+42)
+			if err != nil {
+				b.Fatal(err)
+			}
+			e, err := sim.NewEngine(sim.Params{
+				Seed:          uint64(i) + 42,
+				Arrivals:      src,
+				NewStation:    core.MustFactory(core.Default()),
+				MaxSlots:      1 << 34,
+				RetainPackets: retain,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			r, err := e.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if r.Completed != packets {
+				b.Fatalf("incomplete run: %d/%d", r.Completed, packets)
+			}
+			runtime.GC()
+			var m1 runtime.MemStats
+			runtime.ReadMemStats(&m1)
+			if d := int64(m1.HeapAlloc) - int64(m0.HeapAlloc); d > 0 {
+				liveBytes += d
+			}
+			runtime.KeepAlive(r)
+			runtime.KeepAlive(e)
+		}
+		b.ReportMetric(float64(liveBytes)/float64(b.N), "live-B/run")
+	}
+	b.Run("streaming", func(b *testing.B) { run(b, false) })
+	b.Run("retained", func(b *testing.B) { run(b, true) })
+}
+
 // BenchmarkLivenet measures the concurrent goroutine-per-device substrate.
 func BenchmarkLivenet(b *testing.B) {
 	cfg := core.Default()

@@ -10,9 +10,12 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"lowsensing/internal/arrivals"
 	"lowsensing/internal/core"
@@ -24,17 +27,34 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("lsbtrace: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
 
+// run parses args, executes one traced simulation, and writes the report
+// to out. Split from main so tests can drive the command end to end.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("lsbtrace", flag.ContinueOnError)
+	fs.SetOutput(out)
 	var (
-		n       = flag.Int64("n", 8, "number of packets (batch at slot 0)")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		jamFrom = flag.Int64("jamfrom", 0, "burst jam start slot")
-		jamTo   = flag.Int64("jamto", 0, "burst jam end slot (0 = no jamming)")
-		width   = flag.Int("width", 76, "timeline width")
-		table   = flag.Bool("table", false, "print the full event table")
-		windows = flag.Bool("windows", false, "print the window-size trajectory")
+		n       = fs.Int64("n", 8, "number of packets (batch at slot 0)")
+		seed    = fs.Uint64("seed", 1, "random seed")
+		jamFrom = fs.Int64("jamfrom", 0, "burst jam start slot")
+		jamTo   = fs.Int64("jamto", 0, "burst jam end slot (0 = no jamming)")
+		width   = fs.Int("width", 76, "timeline width")
+		table   = fs.Bool("table", false, "print the full event table")
+		windows = fs.Bool("windows", false, "print the window-size trajectory")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // usage already printed; -h is not an error
+		}
+		return err
+	}
+	if *n <= 0 {
+		return fmt.Errorf("-n must be > 0, got %d", *n)
+	}
 
 	tr := &trace.Tracer{}
 	wt := &trace.WindowTracker{}
@@ -51,32 +71,33 @@ func main() {
 	if *jamTo > *jamFrom {
 		iv, err := jamming.NewInterval(*jamFrom, *jamTo)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		params.Jammer = iv
 	}
 	e, err := sim.NewEngine(params)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	r, err := e.Run()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	succ, coll, empty, jammed := tr.CountOutcomes()
-	fmt.Printf("N=%d delivered=%d activeSlots=%d throughput=%.3f\n",
+	fmt.Fprintf(out, "N=%d delivered=%d activeSlots=%d throughput=%.3f\n",
 		r.Arrived, r.Completed, r.ActiveSlots, r.Throughput())
-	fmt.Printf("resolved slots: %d success, %d collision, %d heard-empty, %d jammed\n\n",
+	fmt.Fprintf(out, "resolved slots: %d success, %d collision, %d heard-empty, %d jammed\n\n",
 		succ, coll, empty, jammed)
-	fmt.Println(tr.Timeline(*width))
+	fmt.Fprintln(out, tr.Timeline(*width))
 	if *windows {
-		fmt.Println()
-		fmt.Println("window trajectory (sampled):")
-		fmt.Print(wt.Table(16))
+		fmt.Fprintln(out)
+		fmt.Fprintln(out, "window trajectory (sampled):")
+		fmt.Fprint(out, wt.Table(16))
 	}
 	if *table {
-		fmt.Println()
-		fmt.Print(tr.Table())
+		fmt.Fprintln(out)
+		fmt.Fprint(out, tr.Table())
 	}
+	return nil
 }

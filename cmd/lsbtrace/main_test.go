@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunEndToEnd(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "6", "-seed", "3"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "N=6 delivered=6") {
+		t.Fatalf("missing summary line:\n%s", out)
+	}
+	if !strings.Contains(out, "resolved slots:") {
+		t.Fatalf("missing outcome counts:\n%s", out)
+	}
+	// The timeline must contain at least one success marker.
+	if !strings.Contains(out, "S") {
+		t.Fatalf("timeline has no success marker:\n%s", out)
+	}
+}
+
+func TestRunDeterministicForSeed(t *testing.T) {
+	render := func() string {
+		var buf bytes.Buffer
+		if err := run([]string{"-n", "5", "-seed", "9"}, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if render() != render() {
+		t.Fatal("identical seeds produced different traces")
+	}
+	var other bytes.Buffer
+	if err := run([]string{"-n", "5", "-seed", "10"}, &other); err != nil {
+		t.Fatal(err)
+	}
+	if render() == other.String() {
+		t.Fatal("different seeds produced identical traces (seed flag ignored)")
+	}
+}
+
+func TestRunJammingAndSections(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "4", "-seed", "2", "-jamto", "32", "-table", "-windows"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "jammed") {
+		t.Fatalf("missing jam accounting:\n%s", out)
+	}
+	if !strings.Contains(out, "window trajectory") {
+		t.Fatalf("-windows section missing:\n%s", out)
+	}
+	// The jammed prefix must show up in the timeline as '!' markers.
+	if !strings.Contains(out, "!") {
+		t.Fatalf("no jam markers in timeline:\n%s", out)
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "notanumber"}, &buf); err == nil {
+		t.Fatal("bad -n value accepted")
+	}
+	if err := run([]string{"-definitely-not-a-flag"}, &buf); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	if err := run([]string{"-n", "0"}, &buf); err == nil {
+		t.Fatal("-n 0 accepted")
+	}
+	if err := run([]string{"-n", "4", "-jamfrom", "10", "-jamto", "10"}, &buf); err != nil {
+		t.Fatalf("jamto == jamfrom should mean no jamming, got %v", err)
+	}
+}

@@ -67,16 +67,23 @@ func main() {
 		Add("backlog", '*', col.Series("slot"), col.Series("backlog")).
 		Render())
 
-	// Scenario 2: reactive attacker with a budget, aimed at packet 0.
+	// Scenario 2: reactive attacker with a budget, aimed at packet 0. The
+	// victim's stats stream out through a packet sink — default runs keep
+	// no per-packet table.
+	var victim lowsensing.PacketStats
 	res2, err := lowsensing.NewSimulation(
 		lowsensing.WithSeed(seed),
 		lowsensing.WithBatchArrivals(512),
 		lowsensing.WithReactiveJamming(0, 64),
+		lowsensing.WithPacketSink(func(p lowsensing.PacketStats) {
+			if p.ID == 0 {
+				victim = p
+			}
+		}),
 	).Run()
 	if err != nil {
 		log.Fatal(err)
 	}
-	victim := res2.Packets[0]
 	fmt.Printf("\nreactive attack: jam packet 0's first 64 transmissions (N=512 batch)\n")
 	fmt.Printf("  delivered %d/%d; victim made %d accesses vs fleet mean %.1f\n",
 		res2.Completed, res2.Arrived, victim.Accesses(), res2.MeanAccesses())

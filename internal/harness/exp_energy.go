@@ -120,11 +120,19 @@ func runE6(rc RunConfig) (*Table, error) {
 			budget = globalBudgets[point-len(budgets)]
 		}
 		var spent func() int64
+		var targetAcc float64
 		spec := runSpec{
 			seed:     seed,
 			arrivals: func() sim.ArrivalSource { return arrivals.NewBatch(n) },
 			factory:  lsbFactory,
 			maxSlots: capFor(n, budget),
+			// The victim's access count streams out through the sink; the
+			// fleet-wide mean and max come from the accumulators.
+			sink: func(p sim.PacketStats) {
+				if p.ID == 0 {
+					targetAcc = float64(p.Accesses())
+				}
+			},
 		}
 		if budget > 0 {
 			spec.jammer = func() sim.Jammer {
@@ -146,7 +154,7 @@ func runE6(rc RunConfig) (*Table, error) {
 			return e6rep{}, err
 		}
 		out := e6rep{
-			targetAcc: float64(r.Packets[0].Accesses()),
+			targetAcc: targetAcc,
 			meanAcc:   r.MeanAccesses(),
 			maxAcc:    float64(r.MaxAccesses()),
 			deliv:     float64(r.Completed) / float64(r.Arrived),

@@ -48,19 +48,23 @@ func runE10(rc RunConfig) (*Table, error) {
 		jainLat, jainAcc, p50, p99, ratio float64
 	}
 	grouped, err := sweep(rc, "E10", len(rows), func(point, _ int, seed uint64) (e10rep, error) {
-		r, err := runOnce(runSpec{
+		// Per-packet latencies and accesses stream out through a sink; the
+		// engine retains nothing.
+		lats := make([]float64, 0, n)
+		accs := make([]float64, 0, n)
+		recordLat := latencySink(&lats)
+		_, err := runOnce(runSpec{
 			seed:     seed,
 			arrivals: func() sim.ArrivalSource { return arrivals.NewBatch(n) },
 			factory:  rows[point].factory,
 			maxSlots: capFor(n, 0),
+			sink: func(p sim.PacketStats) {
+				recordLat(p)
+				accs = append(accs, float64(p.Accesses()))
+			},
 		})
 		if err != nil {
 			return e10rep{}, err
-		}
-		lats := metrics.LatencySample(r)
-		accs := make([]float64, len(r.Packets))
-		for i, p := range r.Packets {
-			accs[i] = float64(p.Accesses())
 		}
 		s := stats.Summarize(lats)
 		out := e10rep{

@@ -108,15 +108,18 @@ func runE15(rc RunConfig) (*Table, error) {
 	jamRates := []float64{0, 0.1, 0.25, 0.4}
 
 	// Baseline median latency without jamming calibrates the deadlines.
-	baseRun, err := one(rc, "E15/base", runSpec{
+	// Latencies stream out through a sink so nothing is retained.
+	baseLats := make([]float64, 0, n)
+	_, err := one(rc, "E15/base", runSpec{
 		arrivals: func() sim.ArrivalSource { return arrivals.NewBatch(n) },
 		factory:  lsbFactory,
 		maxSlots: capFor(n, 0),
+		sink:     latencySink(&baseLats),
 	})
 	if err != nil {
 		return nil, err
 	}
-	baseMedian := stats.Summarize(metrics.LatencySample(baseRun)).Median
+	baseMedian := stats.Summarize(baseLats).Median
 	deadlines := []float64{2 * baseMedian, 5 * baseMedian, 10 * baseMedian}
 
 	t := &Table{
@@ -134,11 +137,13 @@ func runE15(rc RunConfig) (*Table, error) {
 	}
 	grouped, err := sweep(rc, "E15", len(jamRates), func(point, _ int, seed uint64) (e15rep, error) {
 		rate := jamRates[point]
+		lats := make([]float64, 0, n)
 		spec := runSpec{
 			seed:     seed,
 			arrivals: func() sim.ArrivalSource { return arrivals.NewBatch(n) },
 			factory:  lsbFactory,
 			maxSlots: capFor(n, 8*n),
+			sink:     latencySink(&lats),
 		}
 		if rate > 0 {
 			spec.jammer = func() sim.Jammer {
@@ -153,7 +158,6 @@ func runE15(rc RunConfig) (*Table, error) {
 		if err != nil {
 			return e15rep{}, err
 		}
-		lats := metrics.LatencySample(r)
 		out := e15rep{jt: float64(r.JammedSlots), p99: stats.Summarize(lats).P99}
 		for di, dl := range deadlines {
 			late := 0

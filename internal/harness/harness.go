@@ -106,7 +106,9 @@ func ids() []string {
 	return out
 }
 
-// runSpec bundles everything needed for one engine run.
+// runSpec bundles everything needed for one engine run. Experiments that
+// need per-packet data attach a sink rather than retaining Result.Packets,
+// so sweeps stay O(backlog) per job however large the instance.
 type runSpec struct {
 	seed     uint64
 	arrivals func() sim.ArrivalSource
@@ -114,6 +116,7 @@ type runSpec struct {
 	jammer   func() sim.Jammer // nil means none
 	maxSlots int64
 	probe    func(*sim.Engine, int64)
+	sink     func(sim.PacketStats)
 }
 
 // runOnce executes a single simulation.
@@ -129,6 +132,7 @@ func runOnce(spec runSpec) (sim.Result, error) {
 		Jammer:     jam,
 		MaxSlots:   spec.maxSlots,
 		Probe:      spec.probe,
+		PacketSink: spec.sink,
 	})
 	if err != nil {
 		return sim.Result{}, err
@@ -191,6 +195,17 @@ func one(rc RunConfig, expID string, spec runSpec) (sim.Result, error) {
 		return sim.Result{}, err
 	}
 	return rs[0][0], nil
+}
+
+// latencySink returns a PacketSink that appends every delivered packet's
+// latency to *dst — the standard way experiments observe latencies without
+// retaining per-packet tables.
+func latencySink(dst *[]float64) func(sim.PacketStats) {
+	return func(p sim.PacketStats) {
+		if lat := p.Latency(); lat >= 0 {
+			*dst = append(*dst, float64(lat))
+		}
+	}
 }
 
 // repMean folds one extracted field of a point's replications into a

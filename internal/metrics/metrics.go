@@ -168,7 +168,9 @@ func (m EnergyModel) PacketJoules(p sim.PacketStats, lastSlot int64) float64 {
 }
 
 // RunJoules sums PacketJoules over a run and also returns the mean per
-// packet (0 if no packets).
+// packet (0 if no packets). It reads the retained per-packet records, so
+// the run must have been made with sim.Params.RetainPackets; for long
+// streams, fold PacketJoules over a PacketSink instead.
 func (m EnergyModel) RunJoules(r sim.Result) (total, meanPerPacket float64) {
 	for _, p := range r.Packets {
 		total += m.PacketJoules(p, r.LastSlot)
@@ -198,7 +200,10 @@ func JainIndex(xs []float64) float64 {
 	return sum * sum / (float64(len(xs)) * sumSq)
 }
 
-// LatencySample extracts the latency of every delivered packet.
+// LatencySample extracts the latency of every delivered packet. It reads
+// the retained per-packet records, so the run must have been made with
+// sim.Params.RetainPackets (or use a PacketSink and collect latencies
+// directly on streams too long to retain).
 func LatencySample(r sim.Result) []float64 {
 	out := make([]float64, 0, len(r.Packets))
 	for _, p := range r.Packets {
@@ -222,29 +227,24 @@ type EnergySummary struct {
 }
 
 // SummarizeEnergy computes per-packet energy and latency statistics from a
-// run result.
+// run result. It reads the run's streaming accumulators (Result.Energy),
+// which the engine maintains in constant memory for every run — no
+// per-packet retention needed. N, Mean, Min and Max are exact; Median, P90
+// and P99 come from the accumulators' log-bucketed histograms (exact below
+// 16, within 1/8 relative resolution above). Hand-built results with only
+// Packets populated are folded through the same accumulators first.
 func SummarizeEnergy(r sim.Result) EnergySummary {
-	n := len(r.Packets)
-	sends := make([]float64, 0, n)
-	listens := make([]float64, 0, n)
-	accesses := make([]float64, 0, n)
-	latencies := make([]float64, 0, n)
-	undelivered := 0
-	for _, p := range r.Packets {
-		sends = append(sends, float64(p.Sends))
-		listens = append(listens, float64(p.Listens))
-		accesses = append(accesses, float64(p.Accesses()))
-		if lat := p.Latency(); lat >= 0 {
-			latencies = append(latencies, float64(lat))
-		} else {
-			undelivered++
+	es := r.Energy
+	if es.Packets() == 0 && len(r.Packets) > 0 {
+		for _, p := range r.Packets {
+			es.AddPacket(p)
 		}
 	}
 	return EnergySummary{
-		Sends:       stats.Summarize(sends),
-		Listens:     stats.Summarize(listens),
-		Accesses:    stats.Summarize(accesses),
-		Latency:     stats.Summarize(latencies),
-		Undelivered: undelivered,
+		Sends:       es.Sends.Summary(),
+		Listens:     es.Listens.Summary(),
+		Accesses:    es.Accesses.Summary(),
+		Latency:     es.Latency.Summary(),
+		Undelivered: int(es.Undelivered),
 	}
 }

@@ -12,10 +12,11 @@ import (
 func runBatch(t *testing.T, factory sim.StationFactory, n, maxSlots int64, seed uint64) sim.Result {
 	t.Helper()
 	e, err := sim.NewEngine(sim.Params{
-		Seed:       seed,
-		Arrivals:   arrivals.NewBatch(n),
-		NewStation: factory,
-		MaxSlots:   maxSlots,
+		Seed:          seed,
+		Arrivals:      arrivals.NewBatch(n),
+		NewStation:    factory,
+		MaxSlots:      maxSlots,
+		RetainPackets: true,
 	})
 	if err != nil {
 		t.Fatal(err)

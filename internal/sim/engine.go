@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
@@ -22,6 +21,17 @@ type Params struct {
 	// engine and the slot number. Probes may inspect the engine through
 	// its read accessors but must not mutate it.
 	Probe func(e *Engine, slot int64)
+	// PacketSink, if non-nil, receives every packet's final PacketStats:
+	// delivered packets as they depart (in departure order), undelivered
+	// packets (Departure = -1) at the end of the run in arrival order. The
+	// engine keeps nothing for sunk packets, so a sink observes per-packet
+	// data on streams of any length at O(backlog) engine memory.
+	PacketSink func(PacketStats)
+	// RetainPackets, when true, keeps every packet's PacketStats and
+	// returns them in Result.Packets, indexed by packet id — O(arrivals)
+	// memory. The default (false) keeps only the streaming accumulators in
+	// Result.Energy, so live engine state is O(backlog), not O(arrivals).
+	RetainPackets bool
 }
 
 // DefaultMaxSlots is the safety cap applied when Params.MaxSlots is zero.
@@ -29,13 +39,32 @@ const DefaultMaxSlots = int64(1) << 40
 
 // Engine runs the slotted-channel simulation. Construct with NewEngine and
 // drive with Run; an Engine is single-use and not safe for concurrent use.
+//
+// Live state is O(backlog): departed packets' slot-table entries are
+// recycled through a free list, their statistics folded into streaming
+// accumulators (and handed to Params.PacketSink, if set) at departure.
 type Engine struct {
 	params Params
 	jammer Jammer
 	react  ReactiveJammer // non-nil if jammer is reactive
 
+	// stations is the slot table of live packets. Entries of departed
+	// packets are recycled via freeList, so len(stations) tracks the peak
+	// backlog, not the arrival count. Live entries form a doubly-linked
+	// list (liveHead/liveTail, prevLive/nextLive) in packet-id order: new
+	// ids only ever append at the tail, and removals keep order.
 	stations []stationState
-	events   eventHeap
+	freeList []int32
+	liveHead int32
+	liveTail int32
+	nextID   int64 // packets injected so far; the next packet's id
+
+	events eventQueue
+
+	// Streaming per-packet statistics (always on) and the opt-in
+	// per-packet record (RetainPackets).
+	energy   EnergyStats
+	retained []PacketStats
 
 	// Pending arrival batch (peeked from the source).
 	pendSlot  int64
@@ -68,13 +97,14 @@ type Engine struct {
 type stationState struct {
 	st       Station
 	rng      *prng.Source
+	id       int64
 	arrival  int64
-	depart   int64
 	sends    int64
 	listens  int64
 	nextSlot int64
+	prevLive int32
+	nextLive int32
 	willSend bool
-	active   bool
 }
 
 // NewEngine validates params and builds an engine. It returns an error if
@@ -92,7 +122,7 @@ func NewEngine(p Params) (*Engine, error) {
 	if p.MaxSlots == 0 {
 		p.MaxSlots = DefaultMaxSlots
 	}
-	e := &Engine{params: p, jammer: p.Jammer}
+	e := &Engine{params: p, jammer: p.Jammer, liveHead: -1, liveTail: -1}
 	if e.jammer == nil {
 		e.jammer = NoJammer{}
 	}
@@ -130,8 +160,8 @@ func (e *Engine) Run() (Result, error) {
 
 	for {
 		tEvent := int64(math.MaxInt64)
-		if len(e.events) > 0 {
-			tEvent = e.events[0].slot
+		if e.events.Len() > 0 {
+			tEvent = e.events.Min().slot
 		}
 		tArrival := int64(math.MaxInt64)
 		if e.pendOK {
@@ -156,7 +186,7 @@ func (e *Engine) Run() (Result, error) {
 		}
 
 		// Resolve the channel only if some station accesses slot t.
-		if len(e.events) > 0 && e.events[0].slot == t {
+		if e.events.Len() > 0 && e.events.Min().slot == t {
 			e.resolveSlot(t)
 			if e.params.Probe != nil {
 				e.params.Probe(e, t)
@@ -172,23 +202,42 @@ func (e *Engine) Run() (Result, error) {
 func (e *Engine) inject(t int64) {
 	count := e.pendCount
 	for i := int64(0); i < count; i++ {
-		id := int64(len(e.stations))
+		id := e.nextID
+		e.nextID++
 		rng := prng.NewStream(e.params.Seed, uint64(id)+1)
 		st := e.params.NewStation(id, rng)
 		next, send := st.ScheduleNext(t, rng)
 		if next < t {
 			panic(fmt.Sprintf("sim: station %d scheduled slot %d before current slot %d", id, next, t))
 		}
-		e.stations = append(e.stations, stationState{
+		var idx int32
+		if n := len(e.freeList); n > 0 {
+			idx = e.freeList[n-1]
+			e.freeList = e.freeList[:n-1]
+		} else {
+			idx = int32(len(e.stations))
+			e.stations = append(e.stations, stationState{})
+		}
+		e.stations[idx] = stationState{
 			st:       st,
 			rng:      rng,
+			id:       id,
 			arrival:  t,
-			depart:   -1,
 			nextSlot: next,
+			prevLive: e.liveTail,
+			nextLive: -1,
 			willSend: send,
-			active:   true,
-		})
-		heap.Push(&e.events, event{slot: next, station: int32(id)})
+		}
+		if e.liveTail >= 0 {
+			e.stations[e.liveTail].nextLive = idx
+		} else {
+			e.liveHead = idx
+		}
+		e.liveTail = idx
+		if e.params.RetainPackets {
+			e.retained = append(e.retained, PacketStats{ID: id, Arrival: t, Departure: -1})
+		}
+		e.events.Push(event{slot: next, id: id, idx: idx})
 		if e.activeCount == 0 {
 			e.busy = true
 			e.busyStart = t
@@ -210,11 +259,11 @@ func (e *Engine) inject(t int64) {
 func (e *Engine) resolveSlot(t int64) {
 	e.slotStations = e.slotStations[:0]
 	e.slotSenders = e.slotSenders[:0]
-	for len(e.events) > 0 && e.events[0].slot == t {
-		ev := heap.Pop(&e.events).(event)
-		e.slotStations = append(e.slotStations, ev.station)
-		if e.stations[ev.station].willSend {
-			e.slotSenders = append(e.slotSenders, int64(ev.station))
+	for e.events.Len() > 0 && e.events.Min().slot == t {
+		ev := e.events.Pop()
+		e.slotStations = append(e.slotStations, ev.idx)
+		if e.stations[ev.idx].willSend {
+			e.slotSenders = append(e.slotSenders, ev.id)
 		}
 	}
 
@@ -260,19 +309,18 @@ func (e *Engine) resolveSlot(t int64) {
 		}
 		ss.st.Observe(Observation{Slot: t, Outcome: outcome, Sent: sent, Succeeded: succeeded})
 		if succeeded {
-			ss.active = false
-			ss.depart = t
+			e.depart(idx, t)
 			e.completed++
 			e.activeCount--
 			continue
 		}
 		next, send := ss.st.ScheduleNext(t+1, ss.rng)
 		if next <= t {
-			panic(fmt.Sprintf("sim: station %d rescheduled slot %d not after %d", idx, next, t))
+			panic(fmt.Sprintf("sim: station %d rescheduled slot %d not after %d", ss.id, next, t))
 		}
 		ss.nextSlot = next
 		ss.willSend = send
-		heap.Push(&e.events, event{slot: next, station: idx})
+		e.events.Push(event{slot: next, id: ss.id, idx: idx})
 	}
 
 	if e.activeCount == 0 && e.busy {
@@ -281,9 +329,47 @@ func (e *Engine) resolveSlot(t int64) {
 	}
 }
 
+// depart finalizes a delivered packet: folds its statistics into the
+// accumulators (and sink/retained record), unlinks it from the live list,
+// and recycles its slot-table entry.
+func (e *Engine) depart(idx int32, t int64) {
+	ss := &e.stations[idx]
+	e.finishPacket(PacketStats{
+		ID:        ss.id,
+		Arrival:   ss.arrival,
+		Departure: t,
+		Sends:     ss.sends,
+		Listens:   ss.listens,
+	})
+	if ss.prevLive >= 0 {
+		e.stations[ss.prevLive].nextLive = ss.nextLive
+	} else {
+		e.liveHead = ss.nextLive
+	}
+	if ss.nextLive >= 0 {
+		e.stations[ss.nextLive].prevLive = ss.prevLive
+	} else {
+		e.liveTail = ss.prevLive
+	}
+	*ss = stationState{} // drop the Station and rng so they can be collected
+	e.freeList = append(e.freeList, idx)
+}
+
+// finishPacket routes one packet's final statistics to the accumulators,
+// the retained record, and the sink.
+func (e *Engine) finishPacket(p PacketStats) {
+	e.energy.AddPacket(p)
+	if e.params.RetainPackets {
+		e.retained[p.ID] = p
+	}
+	if e.params.PacketSink != nil {
+		e.params.PacketSink(p)
+	}
+}
+
 func (e *Engine) result() Result {
 	r := Result{
-		Arrived:     int64(len(e.stations)),
+		Arrived:     e.nextID,
 		Completed:   e.completed,
 		ActiveSlots: e.closedActive,
 		JammedSlots: e.jammedSlots,
@@ -297,15 +383,23 @@ func (e *Engine) result() Result {
 			r.JammedSlots += e.jammer.CountRange(e.jamCursor, e.curSlot+1)
 		}
 	}
-	r.Packets = make([]PacketStats, len(e.stations))
-	for i := range e.stations {
-		ss := &e.stations[i]
-		r.Packets[i] = PacketStats{
+	// Flush packets still in the system (arrival order via the live list):
+	// their energy counts, their latency does not (they never departed).
+	for idx := e.liveHead; idx >= 0; {
+		ss := &e.stations[idx]
+		next := ss.nextLive
+		e.finishPacket(PacketStats{
+			ID:        ss.id,
 			Arrival:   ss.arrival,
-			Departure: ss.depart,
+			Departure: -1,
 			Sends:     ss.sends,
 			Listens:   ss.listens,
-		}
+		})
+		idx = next
+	}
+	r.Energy = e.energy
+	if e.params.RetainPackets {
+		r.Packets = e.retained
 	}
 	return r
 }
@@ -316,7 +410,7 @@ func (e *Engine) result() Result {
 func (e *Engine) Backlog() int64 { return e.activeCount }
 
 // Arrived returns the number of packets injected so far.
-func (e *Engine) Arrived() int64 { return int64(len(e.stations)) }
+func (e *Engine) Arrived() int64 { return e.nextID }
 
 // Completed returns the number of packets delivered so far.
 func (e *Engine) Completed() int64 { return e.completed }
@@ -363,47 +457,13 @@ func (e *Engine) LastAccessors() int { return e.lastAccessors }
 func (e *Engine) LastJammed() bool { return e.lastJammed }
 
 // VisitActiveWindows calls fn with the window of every active station that
-// exposes one. It is intended for probes computing contention or the
-// paper's potential function; cost is linear in the number of stations ever
-// created.
+// exposes one, in arrival order. It is intended for probes computing
+// contention or the paper's potential function; cost is linear in the
+// current backlog (departed stations are recycled, not scanned).
 func (e *Engine) VisitActiveWindows(fn func(w float64)) {
-	for i := range e.stations {
-		ss := &e.stations[i]
-		if !ss.active {
-			continue
-		}
-		if w, ok := ss.st.(Windowed); ok {
+	for idx := e.liveHead; idx >= 0; idx = e.stations[idx].nextLive {
+		if w, ok := e.stations[idx].st.(Windowed); ok {
 			fn(w.Window())
 		}
 	}
 }
-
-// --- event heap ---
-
-type event struct {
-	slot    int64
-	station int32
-}
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].slot != h[j].slot {
-		return h[i].slot < h[j].slot
-	}
-	return h[i].station < h[j].station
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
-	return ev
-}
-
-var _ heap.Interface = (*eventHeap)(nil)

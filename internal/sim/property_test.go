@@ -51,11 +51,12 @@ func TestEngineInvariantsUnderChaos(t *testing.T) {
 			jammer = chaosJammer{seed: seed}
 		}
 		e, err := NewEngine(Params{
-			Seed:       seed,
-			Arrivals:   &traceSource{batches: batches},
-			NewStation: func(int64, *prng.Source) Station { return chaosStation{} },
-			Jammer:     jammer,
-			MaxSlots:   3000,
+			Seed:          seed,
+			Arrivals:      &traceSource{batches: batches},
+			NewStation:    func(int64, *prng.Source) Station { return chaosStation{} },
+			Jammer:        jammer,
+			MaxSlots:      3000,
+			RetainPackets: true,
 		})
 		if err != nil {
 			t.Logf("engine: %v", err)
@@ -127,11 +128,12 @@ func TestEngineDeterminismProperty(t *testing.T) {
 		n := int64(nRaw%30) + 2
 		run := func() Result {
 			e, err := NewEngine(Params{
-				Seed:       seed,
-				Arrivals:   &batchSource{count: n},
-				NewStation: func(int64, *prng.Source) Station { return chaosStation{} },
-				Jammer:     chaosJammer{seed: seed},
-				MaxSlots:   2000,
+				Seed:          seed,
+				Arrivals:      &batchSource{count: n},
+				NewStation:    func(int64, *prng.Source) Station { return chaosStation{} },
+				Jammer:        chaosJammer{seed: seed},
+				MaxSlots:      2000,
+				RetainPackets: true,
 			})
 			if err != nil {
 				t.Fatal(err)

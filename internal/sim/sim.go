@@ -11,10 +11,24 @@
 // inside skipped ranges are accounted through Jammer.CountRange. This makes
 // runs with large windows (the common case for LOW-SENSING BACKOFF) cost
 // O(total channel accesses), not O(total slots).
+//
+// # Memory model
+//
+// The engine is built for streaming scale: live state is O(backlog), not
+// O(total arrivals). The event queue is an inlined 4-ary min-heap
+// specialized to the engine's event type (no boxing, no steady-state
+// allocation), departed packets' slot-table entries are recycled through a
+// free list, and per-packet statistics are folded at departure into
+// constant-memory streaming accumulators (Result.Energy: counts, exact
+// sums, and log-bucketed histograms with quantile queries). Per-packet
+// records are opt-in: set Params.RetainPackets to materialize
+// Result.Packets (O(arrivals) memory), or Params.PacketSink to stream each
+// packet's final PacketStats out of the engine without retaining anything.
 package sim
 
 import (
 	"lowsensing/internal/prng"
+	"lowsensing/internal/stats"
 )
 
 // Outcome is the ternary channel feedback for one slot.
@@ -114,12 +128,14 @@ type ReactiveJammer interface {
 	JammedReactive(slot int64, senders []int64) bool
 }
 
-// PacketStats records the lifetime and energy of one packet. Departure is
-// -1 if the packet was still in the system when the run ended. Energy in
-// the paper's sense is Sends + Listens: each slot in which the packet
-// accessed the channel costs one unit (a sending packet need not also
-// listen, so a send-and-listen slot costs one access, counted as a send).
+// PacketStats records the lifetime and energy of one packet. ID is the
+// packet's global arrival index (0-based). Departure is -1 if the packet
+// was still in the system when the run ended. Energy in the paper's sense
+// is Sends + Listens: each slot in which the packet accessed the channel
+// costs one unit (a sending packet need not also listen, so a
+// send-and-listen slot costs one access, counted as a send).
 type PacketStats struct {
+	ID        int64
 	Arrival   int64
 	Departure int64
 	Sends     int64
@@ -137,6 +153,36 @@ func (p PacketStats) Latency() int64 {
 	}
 	return p.Departure - p.Arrival + 1
 }
+
+// EnergyStats holds the streaming per-packet accumulators the engine
+// maintains for every run: one Tally (count, exact sum, min/max, second
+// moment, log-bucketed histogram) per metric, in constant memory
+// regardless of how many packets stream through. Sends, Listens and
+// Accesses cover every packet; Latency covers delivered packets only, with
+// Undelivered counting the rest.
+type EnergyStats struct {
+	Sends    stats.Tally
+	Listens  stats.Tally
+	Accesses stats.Tally
+	Latency  stats.Tally
+	// Undelivered counts packets still in the system at the end.
+	Undelivered int64
+}
+
+// AddPacket folds one packet's final statistics into the accumulators.
+func (e *EnergyStats) AddPacket(p PacketStats) {
+	e.Sends.Add(p.Sends)
+	e.Listens.Add(p.Listens)
+	e.Accesses.Add(p.Sends + p.Listens)
+	if p.Departure >= 0 {
+		e.Latency.Add(p.Latency())
+	} else {
+		e.Undelivered++
+	}
+}
+
+// Packets returns the number of packets accounted so far.
+func (e *EnergyStats) Packets() int64 { return e.Accesses.Count }
 
 // Result summarizes a finished run.
 type Result struct {
@@ -156,7 +202,13 @@ type Result struct {
 	// Truncated reports that the run hit MaxSlots with packets still in
 	// the system.
 	Truncated bool
-	// Packets holds per-packet statistics indexed by packet id.
+	// Energy holds the streaming per-packet statistics, always populated
+	// by the engine in constant memory.
+	Energy EnergyStats
+	// Packets holds per-packet statistics indexed by packet id. It is
+	// populated only when Params.RetainPackets is set (O(arrivals)
+	// memory); use Params.PacketSink to observe per-packet data on long
+	// streams without retention.
 	Packets []PacketStats
 }
 
@@ -179,8 +231,12 @@ func (r Result) ImplicitThroughput() float64 {
 }
 
 // MeanAccesses returns the mean number of channel accesses per packet, or
-// 0 if no packets arrived.
+// 0 if no packets arrived. Engine results answer from the streaming
+// accumulators; hand-built results fall back to iterating Packets.
 func (r Result) MeanAccesses() float64 {
+	if n := r.Energy.Accesses.Count; n > 0 {
+		return float64(r.Energy.Accesses.Sum) / float64(n)
+	}
 	if len(r.Packets) == 0 {
 		return 0
 	}
@@ -192,8 +248,12 @@ func (r Result) MeanAccesses() float64 {
 }
 
 // MaxAccesses returns the largest number of channel accesses made by any
-// single packet.
+// single packet. Engine results answer from the streaming accumulators;
+// hand-built results fall back to iterating Packets.
 func (r Result) MaxAccesses() int64 {
+	if r.Energy.Accesses.Count > 0 {
+		return r.Energy.Accesses.MaxV
+	}
 	var m int64
 	for _, p := range r.Packets {
 		if a := p.Accesses(); a > m {

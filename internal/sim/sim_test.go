@@ -102,8 +102,9 @@ func TestRunTwiceFails(t *testing.T) {
 func TestSinglePacketImmediateSuccess(t *testing.T) {
 	rec := map[int64]*scriptStation{}
 	e, err := NewEngine(Params{
-		Arrivals:   &batchSource{slot: 5, count: 1},
-		NewStation: scriptedFactory(map[int64][]scriptStep{0: {{0, true}}}, rec),
+		Arrivals:      &batchSource{slot: 5, count: 1},
+		NewStation:    scriptedFactory(map[int64][]scriptStep{0: {{0, true}}}, rec),
+		RetainPackets: true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -143,8 +144,9 @@ func TestCollisionThenResolution(t *testing.T) {
 		1: {{0, true}, {1, true}},
 	}
 	e, err := NewEngine(Params{
-		Arrivals:   &batchSource{count: 2},
-		NewStation: scriptedFactory(scripts, rec),
+		Arrivals:      &batchSource{count: 2},
+		NewStation:    scriptedFactory(scripts, rec),
+		RetainPackets: true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -182,8 +184,9 @@ func TestListenerHearsOthersSuccessAndSilence(t *testing.T) {
 		1: {{0, true}},
 	}
 	e, err := NewEngine(Params{
-		Arrivals:   &batchSource{count: 2},
-		NewStation: scriptedFactory(scripts, rec),
+		Arrivals:      &batchSource{count: 2},
+		NewStation:    scriptedFactory(scripts, rec),
+		RetainPackets: true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -309,9 +312,10 @@ func TestJammedSendDoesNotSucceed(t *testing.T) {
 	rec := map[int64]*scriptStation{}
 	scripts := map[int64][]scriptStep{0: {{0, true}, {0, true}}}
 	e, err := NewEngine(Params{
-		Arrivals:   &batchSource{count: 1},
-		NewStation: scriptedFactory(scripts, rec),
-		Jammer:     jamFirstSlot{},
+		Arrivals:      &batchSource{count: 1},
+		NewStation:    scriptedFactory(scripts, rec),
+		Jammer:        jamFirstSlot{},
+		RetainPackets: true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -336,10 +340,11 @@ func TestSkippedRangeJamAccounting(t *testing.T) {
 	// Packet arrives at 0 and acts only at slot 9 under full jamming, then
 	// succeeds... it cannot succeed under alwaysJam; use MaxSlots to stop.
 	e, err := NewEngine(Params{
-		Arrivals:   &batchSource{count: 1},
-		NewStation: scriptedFactory(map[int64][]scriptStep{0: {{9, true}, {90, true}}}, nil),
-		Jammer:     alwaysJam{},
-		MaxSlots:   50,
+		Arrivals:      &batchSource{count: 1},
+		NewStation:    scriptedFactory(map[int64][]scriptStep{0: {{9, true}, {90, true}}}, nil),
+		Jammer:        alwaysJam{},
+		MaxSlots:      50,
+		RetainPackets: true,
 	})
 	if err != nil {
 		t.Fatal(err)

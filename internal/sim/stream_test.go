@@ -1,0 +1,272 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"lowsensing/internal/prng"
+	"lowsensing/internal/stats"
+)
+
+// TestPacketsOptIn: default runs keep only the streaming accumulators;
+// Result.Packets stays nil unless RetainPackets is set.
+func TestPacketsOptIn(t *testing.T) {
+	run := func(retain bool) Result {
+		e, err := NewEngine(Params{
+			Seed:          1,
+			Arrivals:      &batchSource{count: 8},
+			NewStation:    func(int64, *prng.Source) Station { return chaosStation{} },
+			MaxSlots:      5000,
+			RetainPackets: retain,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	def := run(false)
+	if def.Packets != nil {
+		t.Fatalf("default run retained %d packets", len(def.Packets))
+	}
+	if def.Energy.Packets() != def.Arrived {
+		t.Fatalf("accumulator covers %d packets, arrived %d", def.Energy.Packets(), def.Arrived)
+	}
+	if def.MeanAccesses() <= 0 || def.MaxAccesses() <= 0 {
+		t.Fatalf("accesses from accumulators: mean %v max %d", def.MeanAccesses(), def.MaxAccesses())
+	}
+
+	ret := run(true)
+	if int64(len(ret.Packets)) != ret.Arrived {
+		t.Fatalf("retained %d packets, arrived %d", len(ret.Packets), ret.Arrived)
+	}
+	// Same seed: the two modes must agree on everything observable.
+	if def.Energy != ret.Energy {
+		t.Fatal("accumulators differ between retain modes")
+	}
+	if def.MeanAccesses() != ret.MeanAccesses() || def.MaxAccesses() != ret.MaxAccesses() {
+		t.Fatal("access stats differ between retain modes")
+	}
+}
+
+// TestEnergyAccumulatorMatchesRetained rebuilds the accumulators from the
+// retained per-packet records and checks they agree with what the engine
+// streamed (bit-exact for the integer fields and histograms; SumSq within
+// float tolerance because the engine accumulates in departure order).
+func TestEnergyAccumulatorMatchesRetained(t *testing.T) {
+	e, err := NewEngine(Params{
+		Seed:          7,
+		Arrivals:      &traceSource{batches: [][2]int64{{0, 20}, {40, 10}, {41, 5}}},
+		NewStation:    func(int64, *prng.Source) Station { return chaosStation{} },
+		Jammer:        chaosJammer{seed: 7},
+		MaxSlots:      1500,
+		RetainPackets: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want EnergyStats
+	for _, p := range r.Packets {
+		want.AddPacket(p)
+	}
+	if r.Energy.Undelivered != want.Undelivered {
+		t.Fatalf("undelivered %d vs %d", r.Energy.Undelivered, want.Undelivered)
+	}
+	names := []string{"sends", "listens", "accesses", "latency"}
+	got := []*stats.Tally{&r.Energy.Sends, &r.Energy.Listens, &r.Energy.Accesses, &r.Energy.Latency}
+	exp := []*stats.Tally{&want.Sends, &want.Listens, &want.Accesses, &want.Latency}
+	for i := range got {
+		g, w := got[i], exp[i]
+		if g.Count != w.Count || g.Sum != w.Sum || g.MinV != w.MinV || g.MaxV != w.MaxV {
+			t.Fatalf("%s: integer moments differ: %+v vs %+v", names[i], g, w)
+		}
+		if math.Abs(g.SumSq-w.SumSq) > 1e-6*(1+math.Abs(w.SumSq)) {
+			t.Fatalf("%s: SumSq %v vs %v", names[i], g.SumSq, w.SumSq)
+		}
+		if g.Hist != w.Hist {
+			t.Fatalf("%s: histograms differ between streamed and rebuilt accumulators", names[i])
+		}
+	}
+}
+
+// TestPacketSinkStreams checks the sink contract: every packet exactly
+// once, delivered packets in departure order, undelivered packets flushed
+// in arrival order at the end, and contents identical to the retained
+// records of an identical run.
+func TestPacketSinkStreams(t *testing.T) {
+	build := func(sink func(PacketStats), retain bool) Params {
+		return Params{
+			Seed:       3,
+			Arrivals:   &traceSource{batches: [][2]int64{{0, 12}, {30, 6}}},
+			NewStation: func(int64, *prng.Source) Station { return chaosStation{} },
+			// Jamming from slot 40 on guarantees a mix: early packets
+			// deliver, the rest are stuck when MaxSlots truncates the run.
+			Jammer:        jamAfter{from: 40},
+			MaxSlots:      400,
+			PacketSink:    sink,
+			RetainPackets: retain,
+		}
+	}
+	var sunk []PacketStats
+	e, err := NewEngine(build(func(p PacketStats) { sunk = append(sunk, p) }, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(sunk)) != r.Arrived {
+		t.Fatalf("sink saw %d packets, arrived %d", len(sunk), r.Arrived)
+	}
+	// Delivered prefix in departure order, then undelivered in id order.
+	lastDepart := int64(-1)
+	inFlush := false
+	lastFlushID := int64(-1)
+	for i, p := range sunk {
+		if p.Departure >= 0 {
+			if inFlush {
+				t.Fatalf("delivered packet %d after the undelivered flush began", i)
+			}
+			if p.Departure < lastDepart {
+				t.Fatalf("sink departures out of order at %d", i)
+			}
+			lastDepart = p.Departure
+		} else {
+			inFlush = true
+			if p.ID <= lastFlushID {
+				t.Fatalf("flush ids out of order at %d", i)
+			}
+			lastFlushID = p.ID
+		}
+	}
+	if !r.Truncated || !inFlush {
+		t.Fatalf("test instance should truncate with live packets (truncated=%v)", r.Truncated)
+	}
+
+	// Identical run with retention: same per-packet records.
+	e2, err := NewEngine(build(nil, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := make(map[int64]PacketStats, len(sunk))
+	for _, p := range sunk {
+		if _, dup := byID[p.ID]; dup {
+			t.Fatalf("sink saw packet %d twice", p.ID)
+		}
+		byID[p.ID] = p
+	}
+	for _, p := range r2.Packets {
+		if byID[p.ID] != p {
+			t.Fatalf("packet %d: sink %+v vs retained %+v", p.ID, byID[p.ID], p)
+		}
+	}
+}
+
+// jamAfter jams every slot from `from` onward.
+type jamAfter struct{ from int64 }
+
+func (j jamAfter) Jammed(slot int64) bool { return slot >= j.from }
+func (j jamAfter) CountRange(from, to int64) int64 {
+	if from < j.from {
+		from = j.from
+	}
+	if to <= from {
+		return 0
+	}
+	return to - from
+}
+
+// TestFreeListBoundsLiveState: the slot table tracks peak backlog, not
+// total arrivals — a long sequence of small disjoint busy periods must not
+// grow it.
+func TestFreeListBoundsLiveState(t *testing.T) {
+	const (
+		bursts    = 200
+		burstSize = 3
+		gap       = 1000
+	)
+	batches := make([][2]int64, bursts)
+	for i := range batches {
+		batches[i] = [2]int64{int64(i) * gap, burstSize}
+	}
+	e, err := NewEngine(Params{
+		Seed:       5,
+		Arrivals:   &traceSource{batches: batches},
+		NewStation: func(int64, *prng.Source) Station { return chaosStation{} },
+		MaxSlots:   int64(bursts+1) * gap,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Arrived != bursts*burstSize {
+		t.Fatalf("arrived = %d", r.Arrived)
+	}
+	if r.Completed != r.Arrived {
+		t.Fatalf("completed = %d of %d (raise gap so bursts drain)", r.Completed, r.Arrived)
+	}
+	// Each burst drains before the next arrives, so the slot table should
+	// stay at the size of one burst's peak backlog — far below arrivals.
+	if got := len(e.stations); got > 4*burstSize {
+		t.Fatalf("slot table grew to %d entries for %d arrivals (free list broken)", got, r.Arrived)
+	}
+	if len(e.freeList) != len(e.stations) {
+		t.Fatalf("free list %d != table %d at end of a drained run", len(e.freeList), len(e.stations))
+	}
+}
+
+// TestEventQueueOrdering: the specialized queue pops in strict (slot, id)
+// order under interleaved pushes.
+func TestEventQueueOrdering(t *testing.T) {
+	var q eventQueue
+	rng := prng.New(99)
+	type key struct{ slot, id int64 }
+	pushed := 0
+	popped := 0
+	var last key
+	lastValid := false
+	for round := 0; round < 2000; round++ {
+		if q.Len() == 0 || rng.Bernoulli(0.55) {
+			q.Push(event{slot: int64(rng.Intn(500)), id: int64(pushed), idx: int32(pushed % 64)})
+			pushed++
+			lastValid = false // a push can introduce earlier keys than the last pop
+			continue
+		}
+		ev := q.Pop()
+		k := key{ev.slot, ev.id}
+		if lastValid && (k.slot < last.slot || (k.slot == last.slot && k.id < last.id)) {
+			t.Fatalf("pop %d: (%d,%d) after (%d,%d)", popped, k.slot, k.id, last.slot, last.id)
+		}
+		last, lastValid = k, true
+		popped++
+	}
+	// Drain fully sorted.
+	lastValid = false
+	for q.Len() > 0 {
+		ev := q.Pop()
+		k := key{ev.slot, ev.id}
+		if lastValid && (k.slot < last.slot || (k.slot == last.slot && k.id < last.id)) {
+			t.Fatalf("drain: (%d,%d) after (%d,%d)", k.slot, k.id, last.slot, last.id)
+		}
+		last, lastValid = k, true
+		popped++
+	}
+	if popped != pushed {
+		t.Fatalf("popped %d != pushed %d", popped, pushed)
+	}
+}

@@ -5,10 +5,14 @@
 //
 // The two engines share the Station contract, consume station RNG streams
 // in exactly the same order (stations are processed in id order within a
-// slot), and make identical jam-accounting calls (the same CountRange
-// arguments in the same order), so for identical Params they must produce
-// bit-identical Results — a much stronger check than statistical
-// agreement. Cost is O(MaxSlots × stations); use small instances.
+// slot), make identical jam-accounting calls (the same CountRange
+// arguments in the same order), and fold packets into the streaming
+// accumulators in the same order (departures as they happen, survivors in
+// id order at the end), so for identical Params they must produce
+// bit-identical Results — including Result.Energy down to the floating-
+// point second moments — a much stronger check than statistical agreement.
+// RetainPackets and PacketSink are honored with the engine's exact
+// semantics. Cost is O(MaxSlots × stations); use small instances.
 package simref
 
 import (
@@ -62,6 +66,19 @@ func Run(p sim.Params) (sim.Result, error) {
 	pendSlot, pendCount, pendOK := p.Arrivals.Next()
 
 	res := sim.Result{}
+	finish := func(id int64, s *st) {
+		ps := sim.PacketStats{
+			ID: id, Arrival: s.arrival, Departure: s.depart,
+			Sends: s.sends, Listens: s.listens,
+		}
+		res.Energy.AddPacket(ps)
+		if p.RetainPackets {
+			res.Packets[id] = ps
+		}
+		if p.PacketSink != nil {
+			p.PacketSink(ps)
+		}
+	}
 	active := int64(0)
 	busy := false
 	var busyStart, jamCursor, lastWorked int64
@@ -85,6 +102,9 @@ func Run(p sim.Params) (sim.Result, error) {
 					station: station, rng: rng, arrival: slot, depart: -1,
 					nextSlot: next, willSend: send, active: true,
 				})
+				if p.RetainPackets {
+					res.Packets = append(res.Packets, sim.PacketStats{ID: id, Arrival: slot, Departure: -1})
+				}
 				if active == 0 {
 					busy, busyStart, jamCursor = true, slot, slot
 				}
@@ -107,10 +127,12 @@ func Run(p sim.Params) (sim.Result, error) {
 
 		// Who acts this slot? (id order, matching the engine's heap.)
 		var accessors []*st
+		var accessorIDs []int64
 		var senders []int64
 		for id, s := range stations {
 			if s.active && s.nextSlot == slot {
 				accessors = append(accessors, s)
+				accessorIDs = append(accessorIDs, int64(id))
 				if s.willSend {
 					senders = append(senders, int64(id))
 				}
@@ -148,7 +170,7 @@ func Run(p sim.Params) (sim.Result, error) {
 			outcome = sim.OutcomeNoisy
 		}
 
-		for _, s := range accessors {
+		for ai, s := range accessors {
 			sent := s.willSend
 			succeeded := sent && outcome == sim.OutcomeSuccess
 			if sent {
@@ -160,6 +182,7 @@ func Run(p sim.Params) (sim.Result, error) {
 			if succeeded {
 				s.active = false
 				s.depart = slot
+				finish(accessorIDs[ai], s)
 				res.Completed++
 				active--
 				continue
@@ -187,10 +210,11 @@ func Run(p sim.Params) (sim.Result, error) {
 	if lastWorked >= 0 {
 		res.LastSlot = lastWorked
 	}
-	res.Packets = make([]sim.PacketStats, len(stations))
-	for i, s := range stations {
-		res.Packets[i] = sim.PacketStats{
-			Arrival: s.arrival, Departure: s.depart, Sends: s.sends, Listens: s.listens,
+	// Flush survivors in id order, mirroring the engine's end-of-run walk
+	// of its live list.
+	for id, s := range stations {
+		if s.active {
+			finish(int64(id), s)
 		}
 	}
 	return res, nil

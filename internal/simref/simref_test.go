@@ -12,16 +12,19 @@ import (
 )
 
 // diff runs the same Params through the event-driven engine and the naive
-// reference and asserts bit-identical results. Params factories must be
-// rebuilt per run, so diff takes a builder.
+// reference and asserts bit-identical results, with per-packet retention
+// switched on so the packet records can be compared too. Params factories
+// must be rebuilt per run, so diff takes a builder.
 func diff(t *testing.T, name string, build func() sim.Params) {
 	t.Helper()
 	pRef := build()
+	pRef.RetainPackets = true
 	ref, err := Run(pRef)
 	if err != nil {
 		t.Fatalf("%s: simref: %v", name, err)
 	}
 	pEng := build()
+	pEng.RetainPackets = true
 	e, err := sim.NewEngine(pEng)
 	if err != nil {
 		t.Fatalf("%s: engine: %v", name, err)
@@ -46,10 +49,18 @@ func diff(t *testing.T, name string, build func() sim.Params) {
 	if ref.Truncated != eng.Truncated {
 		t.Fatalf("%s: truncated %v vs %v", name, ref.Truncated, eng.Truncated)
 	}
+	if len(ref.Packets) != len(eng.Packets) {
+		t.Fatalf("%s: packet counts %d vs %d", name, len(ref.Packets), len(eng.Packets))
+	}
 	for i := range ref.Packets {
 		if ref.Packets[i] != eng.Packets[i] {
 			t.Fatalf("%s: packet %d: %+v vs %+v", name, i, ref.Packets[i], eng.Packets[i])
 		}
+	}
+	// Both engines fold packets into the streaming accumulators in the same
+	// order, so even the floating-point second moments must be bit-equal.
+	if ref.Energy != eng.Energy {
+		t.Fatalf("%s: energy accumulators differ", name)
 	}
 }
 

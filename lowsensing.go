@@ -17,6 +17,11 @@
 // internal packages (sim, core, protocols, jamming, arrivals, metrics,
 // harness) carry the full machinery and are what the examples and
 // cmd/experiments build on.
+//
+// Default runs are constant-memory per live packet — the engine state and
+// the Result both stay O(backlog) on arbitrarily long streams, with energy
+// and latency statistics kept in streaming accumulators (Result.Energy).
+// Per-packet records are opt-in via WithRetainPacketStats or WithPacketSink.
 package lowsensing
 
 import (
@@ -63,14 +68,20 @@ func DefaultConfig() Config { return core.Default() }
 func SummarizeEnergy(r Result) EnergySummary { return metrics.SummarizeEnergy(r) }
 
 // Simulation is a configured run, built by NewSimulation.
+//
+// Seeded components (arrival processes, random jammers) are constructed at
+// Run time from the final seed, so WithSeed composes with the other
+// options in any order.
 type Simulation struct {
 	err      error
 	seed     uint64
 	maxSlots int64
-	arrivals sim.ArrivalSource
+	arrivals func(seed uint64) (sim.ArrivalSource, error)
 	factory  sim.StationFactory
-	jammer   sim.Jammer
+	jammer   func(seed uint64) (sim.Jammer, error)
 	probes   []func(*sim.Engine, int64)
+	sink     func(sim.PacketStats)
+	retain   bool
 }
 
 // Option configures a Simulation.
@@ -80,6 +91,13 @@ type Option func(*Simulation)
 // (e.g. WithBatchArrivals); the protocol defaults to LOW-SENSING BACKOFF
 // with DefaultConfig. Configuration errors are deferred to Run so calls
 // chain cleanly.
+//
+// Default runs are constant-memory per live packet: the engine keeps
+// O(backlog) state however many packets stream through, and the Result
+// carries streaming energy/latency accumulators instead of per-packet
+// records. Opt back into per-packet data with WithRetainPacketStats
+// (materializes Result.Packets, O(arrivals) memory) or WithPacketSink
+// (streams every packet's final stats out of the engine).
 func NewSimulation(opts ...Option) *Simulation {
 	s := &Simulation{}
 	for _, opt := range opts {
@@ -95,6 +113,17 @@ func (s *Simulation) Run() (Result, error) {
 	}
 	if s.arrivals == nil {
 		return Result{}, fmt.Errorf("lowsensing: no arrival process configured (use WithBatchArrivals or friends)")
+	}
+	src, err := s.arrivals(s.seed)
+	if err != nil {
+		return Result{}, err
+	}
+	var jammer sim.Jammer
+	if s.jammer != nil {
+		jammer, err = s.jammer(s.seed)
+		if err != nil {
+			return Result{}, err
+		}
 	}
 	factory := s.factory
 	if factory == nil {
@@ -116,12 +145,14 @@ func (s *Simulation) Run() (Result, error) {
 		}
 	}
 	e, err := sim.NewEngine(sim.Params{
-		Seed:       s.seed,
-		Arrivals:   s.arrivals,
-		NewStation: factory,
-		Jammer:     s.jammer,
-		MaxSlots:   s.maxSlots,
-		Probe:      probe,
+		Seed:          s.seed,
+		Arrivals:      src,
+		NewStation:    factory,
+		Jammer:        jammer,
+		MaxSlots:      s.maxSlots,
+		Probe:         probe,
+		PacketSink:    s.sink,
+		RetainPackets: s.retain,
 	})
 	if err != nil {
 		return Result{}, err
@@ -150,7 +181,7 @@ func WithBatchArrivals(n int64) Option {
 			s.fail(fmt.Errorf("lowsensing: batch size must be > 0, got %d", n))
 			return
 		}
-		s.arrivals = arrivals.NewBatch(n)
+		s.arrivals = func(uint64) (sim.ArrivalSource, error) { return arrivals.NewBatch(n), nil }
 	}
 }
 
@@ -159,12 +190,9 @@ func WithBatchArrivals(n int64) Option {
 // pair with WithMaxSlots).
 func WithBernoulliArrivals(rate float64, total int64) Option {
 	return func(s *Simulation) {
-		src, err := arrivals.NewBernoulli(rate, total, s.seed)
-		if err != nil {
-			s.fail(err)
-			return
+		s.arrivals = func(seed uint64) (sim.ArrivalSource, error) {
+			return arrivals.NewBernoulli(rate, total, seed)
 		}
-		s.arrivals = src
 	}
 }
 
@@ -172,12 +200,9 @@ func WithBernoulliArrivals(rate float64, total int64) Option {
 // after total packets (total <= 0 means unbounded).
 func WithPoissonArrivals(lambda float64, total int64) Option {
 	return func(s *Simulation) {
-		src, err := arrivals.NewPoisson(lambda, total, s.seed)
-		if err != nil {
-			s.fail(err)
-			return
+		s.arrivals = func(seed uint64) (sim.ArrivalSource, error) {
+			return arrivals.NewPoisson(lambda, total, seed)
 		}
-		s.arrivals = src
 	}
 }
 
@@ -186,18 +211,17 @@ func WithPoissonArrivals(lambda float64, total int64) Option {
 // packets lands at the window start (the model's worst case).
 func WithQueueArrivals(S int64, lambda float64, windows int64) Option {
 	return func(s *Simulation) {
-		src, err := arrivals.NewAQT(S, lambda, windows, arrivals.AQTBurst, s.seed)
-		if err != nil {
-			s.fail(err)
-			return
+		s.arrivals = func(seed uint64) (sim.ArrivalSource, error) {
+			return arrivals.NewAQT(S, lambda, windows, arrivals.AQTBurst, seed)
 		}
-		s.arrivals = src
 	}
 }
 
 // WithArrivals supplies a custom arrival source.
 func WithArrivals(src sim.ArrivalSource) Option {
-	return func(s *Simulation) { s.arrivals = src }
+	return func(s *Simulation) {
+		s.arrivals = func(uint64) (sim.ArrivalSource, error) { return src, nil }
+	}
 }
 
 // WithLowSensing runs LOW-SENSING BACKOFF with the given parameters (the
@@ -256,24 +280,16 @@ func WithStations(f sim.StationFactory) Option {
 // budget jams (budget <= 0 means unbounded).
 func WithRandomJamming(rate float64, budget int64) Option {
 	return func(s *Simulation) {
-		j, err := jamming.NewRandom(rate, budget, s.seed^0x6a)
-		if err != nil {
-			s.fail(err)
-			return
+		s.jammer = func(seed uint64) (sim.Jammer, error) {
+			return jamming.NewRandom(rate, budget, seed^0x6a)
 		}
-		s.jammer = j
 	}
 }
 
 // WithBurstJamming jams every slot in [from, to).
 func WithBurstJamming(from, to int64) Option {
 	return func(s *Simulation) {
-		j, err := jamming.NewInterval(from, to)
-		if err != nil {
-			s.fail(err)
-			return
-		}
-		s.jammer = j
+		s.jammer = func(uint64) (sim.Jammer, error) { return jamming.NewInterval(from, to) }
 	}
 }
 
@@ -281,18 +297,15 @@ func WithBurstJamming(from, to int64) Option {
 // whenever the given packet transmits, up to budget jams.
 func WithReactiveJamming(target, budget int64) Option {
 	return func(s *Simulation) {
-		j, err := jamming.NewReactiveTargeted(target, budget)
-		if err != nil {
-			s.fail(err)
-			return
-		}
-		s.jammer = j
+		s.jammer = func(uint64) (sim.Jammer, error) { return jamming.NewReactiveTargeted(target, budget) }
 	}
 }
 
 // WithJammer supplies a custom jammer.
 func WithJammer(j sim.Jammer) Option {
-	return func(s *Simulation) { s.jammer = j }
+	return func(s *Simulation) {
+		s.jammer = func(uint64) (sim.Jammer, error) { return j, nil }
+	}
 }
 
 // WithCollector attaches a metrics collector that samples backlog,
@@ -310,6 +323,23 @@ func WithTracer(tr *Tracer) Option {
 // WithProbe attaches a raw engine probe, called after every resolved slot.
 func WithProbe(p func(e *sim.Engine, slot int64)) Option {
 	return func(s *Simulation) { s.probes = append(s.probes, p) }
+}
+
+// WithPacketSink streams every packet's final PacketStats out of the
+// engine: delivered packets as they depart (in departure order),
+// undelivered packets (Departure = -1) at the end of the run in arrival
+// order. Nothing is retained, so sinks observe per-packet data on streams
+// of any length at O(backlog) engine memory.
+func WithPacketSink(sink func(PacketStats)) Option {
+	return func(s *Simulation) { s.sink = sink }
+}
+
+// WithRetainPacketStats materializes Result.Packets, indexed by packet id —
+// O(arrivals) memory. Default runs keep only the streaming accumulators in
+// Result.Energy; retain only when the analysis genuinely needs the full
+// per-packet table (use WithPacketSink otherwise).
+func WithRetainPacketStats() Option {
+	return func(s *Simulation) { s.retain = true }
 }
 
 // LiveResult is the outcome of a concurrent (goroutine-per-device) run.

@@ -62,7 +62,7 @@ func TestBadOptionSurfacesAtRun(t *testing.T) {
 
 func TestDeterminismViaSeed(t *testing.T) {
 	run := func() Result {
-		res, err := NewSimulation(WithSeed(42), WithBatchArrivals(64)).Run()
+		res, err := NewSimulation(WithSeed(42), WithBatchArrivals(64), WithRetainPacketStats()).Run()
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -80,7 +80,7 @@ func TestDeterminismViaSeed(t *testing.T) {
 }
 
 func TestBaselineOptions(t *testing.T) {
-	beb, err := NewSimulation(WithSeed(2), WithBatchArrivals(128), WithBinaryExponentialBackoff()).Run()
+	beb, err := NewSimulation(WithSeed(2), WithBatchArrivals(128), WithBinaryExponentialBackoff(), WithRetainPacketStats()).Run()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +100,7 @@ func TestBaselineOptions(t *testing.T) {
 	if mwu.Completed != 128 {
 		t.Fatalf("MWU completed = %d", mwu.Completed)
 	}
-	saw, err := NewSimulation(WithSeed(2), WithBatchArrivals(128), WithSawtoothBackoff()).Run()
+	saw, err := NewSimulation(WithSeed(2), WithBatchArrivals(128), WithSawtoothBackoff(), WithRetainPacketStats()).Run()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,6 +217,108 @@ func TestCustomStationsOption(t *testing.T) {
 	}
 	if res.Completed != 32 {
 		t.Fatalf("completed = %d", res.Completed)
+	}
+}
+
+// TestOptionOrderIndependentOfSeed: seeded components (arrival processes,
+// random jammers) are constructed at Run time from the final seed, so
+// WithSeed works in any position. This is a regression test for a bug
+// where WithPoissonArrivals captured the seed at option-apply time and
+// NewSimulation(WithPoissonArrivals(...), WithSeed(7)) silently ran with
+// seed 0.
+func TestOptionOrderIndependentOfSeed(t *testing.T) {
+	run := func(opts ...Option) Result {
+		t.Helper()
+		res, err := NewSimulation(opts...).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	same := func(a, b Result) bool {
+		return a.Arrived == b.Arrived && a.Completed == b.Completed &&
+			a.ActiveSlots == b.ActiveSlots && a.JammedSlots == b.JammedSlots &&
+			a.LastSlot == b.LastSlot && a.Energy == b.Energy
+	}
+
+	seedFirst := run(WithSeed(7), WithPoissonArrivals(0.2, 200))
+	seedLast := run(WithPoissonArrivals(0.2, 200), WithSeed(7))
+	if !same(seedFirst, seedLast) {
+		t.Fatal("Poisson arrivals: option order changed the run")
+	}
+	// And the seed must actually take effect: seed 0 gives a different
+	// arrival pattern (the pre-fix failure mode was silently running with
+	// seed 0 whenever WithSeed came last).
+	seedZero := run(WithPoissonArrivals(0.2, 200))
+	if same(seedLast, seedZero) {
+		t.Fatal("WithSeed(7) after WithPoissonArrivals had no effect")
+	}
+
+	jamFirst := run(WithSeed(9), WithBatchArrivals(64), WithRandomJamming(0.2, 0))
+	jamLast := run(WithRandomJamming(0.2, 0), WithBatchArrivals(64), WithSeed(9))
+	if !same(jamFirst, jamLast) {
+		t.Fatal("random jamming: option order changed the run")
+	}
+
+	bernFirst := run(WithSeed(11), WithBernoulliArrivals(0.1, 100))
+	bernLast := run(WithBernoulliArrivals(0.1, 100), WithSeed(11))
+	if !same(bernFirst, bernLast) {
+		t.Fatal("Bernoulli arrivals: option order changed the run")
+	}
+
+	aqtFirst := run(WithSeed(13), WithQueueArrivals(128, 0.2, 4))
+	aqtLast := run(WithQueueArrivals(128, 0.2, 4), WithSeed(13))
+	if !same(aqtFirst, aqtLast) {
+		t.Fatal("AQT arrivals: option order changed the run")
+	}
+}
+
+// TestPacketRetentionIsOptIn: default runs carry only the streaming
+// accumulators; WithRetainPacketStats materializes Packets and
+// WithPacketSink streams every packet without retention.
+func TestPacketRetentionIsOptIn(t *testing.T) {
+	def, err := NewSimulation(WithSeed(1), WithBatchArrivals(64)).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Packets != nil {
+		t.Fatalf("default run retained %d packets", len(def.Packets))
+	}
+	if def.Energy.Packets() != 64 || def.MeanAccesses() <= 0 {
+		t.Fatalf("accumulators missing: %d packets, mean %v", def.Energy.Packets(), def.MeanAccesses())
+	}
+
+	var sunk []PacketStats
+	res, err := NewSimulation(
+		WithSeed(1),
+		WithBatchArrivals(64),
+		WithPacketSink(func(p PacketStats) { sunk = append(sunk, p) }),
+	).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Packets != nil {
+		t.Fatal("sink run retained packets")
+	}
+	if int64(len(sunk)) != res.Arrived {
+		t.Fatalf("sink saw %d of %d packets", len(sunk), res.Arrived)
+	}
+
+	ret, err := NewSimulation(WithSeed(1), WithBatchArrivals(64), WithRetainPacketStats()).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(ret.Packets)) != ret.Arrived {
+		t.Fatalf("retained %d of %d packets", len(ret.Packets), ret.Arrived)
+	}
+	// Same seed: sink, retained, and accumulator views must agree.
+	for _, p := range sunk {
+		if ret.Packets[p.ID] != p {
+			t.Fatalf("packet %d: sink %+v vs retained %+v", p.ID, p, ret.Packets[p.ID])
+		}
+	}
+	if ret.Energy != def.Energy {
+		t.Fatal("accumulators differ between retention modes")
 	}
 }
 
