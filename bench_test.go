@@ -1,4 +1,7 @@
-package lowsensing
+// Package lowsensing_test: the external test package breaks the
+// lowsensing ↔ internal/harness import cycle now that the harness drives
+// its experiments through the public API.
+package lowsensing_test
 
 // This file is the benchmark harness entry point (deliverable (d)): one
 // testing.B target per experiment of DESIGN.md §5. Each BenchmarkE*/A*

@@ -1,19 +1,25 @@
 // Command experiments regenerates the reproduction's tables (DESIGN.md §5,
 // recorded in EXPERIMENTS.md). By default it runs every experiment at full
 // scale and prints ASCII tables to stdout; -outdir also writes one .txt and
-// one .csv per experiment.
+// one .csv per experiment. It also executes user-defined declarative sweeps
+// from JSON spec files (-spec), aggregating every point with streaming
+// statistics.
 //
 // Examples:
 //
 //	experiments                       # everything, full scale, all cores
+//	experiments -list                 # experiment IDs with descriptions
 //	experiments -id E1,E2 -scale small
 //	experiments -parallel 1           # serial; output identical to parallel
 //	experiments -outdir results/
+//	experiments -spec sweep.json      # run a declarative sweep spec
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
@@ -21,37 +27,73 @@ import (
 	"strings"
 	"time"
 
+	"lowsensing"
 	"lowsensing/internal/harness"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
 
+// run parses args and executes the requested experiments or sweep spec,
+// writing tables to out. Split from main so tests can drive the command
+// end to end.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(out)
 	var (
-		idList   = flag.String("id", "all", "comma-separated experiment IDs, or \"all\"")
-		scale    = flag.String("scale", "full", "sweep scale: full or small")
-		reps     = flag.Int("reps", 0, "replications per data point (0 = scale default)")
-		seed     = flag.Uint64("seed", 0, "base seed (0 = default)")
-		parallel = flag.Int("parallel", runtime.NumCPU(), "simulations run concurrently; tables are identical for every value")
-		outdir   = flag.String("outdir", "", "directory to write per-experiment .txt/.csv (optional)")
+		list     = fs.Bool("list", false, "print experiment IDs with one-line descriptions and exit")
+		idList   = fs.String("id", "all", "comma-separated experiment IDs, or \"all\"")
+		scale    = fs.String("scale", "full", "sweep scale: full or small")
+		reps     = fs.Int("reps", 0, "replications per data point (0 = scale default)")
+		seed     = fs.Uint64("seed", 0, "base seed (0 = default)")
+		parallel = fs.Int("parallel", runtime.NumCPU(), "simulations run concurrently; tables are identical for every value")
+		outdir   = fs.String("outdir", "", "directory to write per-experiment .txt/.csv (optional)")
+		specFile = fs.String("spec", "", "JSON sweep-spec file to run instead of the registry (see lowsensing.SweepSpec)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // usage already printed; -h is not an error
+		}
+		return err
+	}
+
+	if *list {
+		return listExperiments(out)
+	}
+	if *parallel < 1 {
+		return fmt.Errorf("-parallel must be >= 1, got %d", *parallel)
+	}
+	if *outdir != "" {
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			return err
+		}
+	}
+	if *specFile != "" {
+		explicit := map[string]bool{}
+		fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		if explicit["id"] || explicit["scale"] {
+			return fmt.Errorf("-id/-scale select registry experiments and do not apply to -spec sweeps")
+		}
+		// -seed and -reps, when given, override the spec file's values.
+		return runSpec(*specFile, *parallel, *outdir, *seed, *reps, out)
+	}
 
 	rc := harness.DefaultRunConfig()
 	if *scale == "small" {
 		rc = harness.SmallRunConfig()
 	} else if *scale != "full" {
-		log.Fatalf("unknown scale %q", *scale)
+		return fmt.Errorf("unknown scale %q", *scale)
 	}
 	if *reps > 0 {
 		rc.Reps = *reps
 	}
 	if *seed != 0 {
 		rc.Seed = *seed
-	}
-	if *parallel < 1 {
-		log.Fatalf("-parallel must be >= 1, got %d", *parallel)
 	}
 	rc.Workers = *parallel
 
@@ -62,15 +104,9 @@ func main() {
 		for _, id := range strings.Split(*idList, ",") {
 			e, err := harness.ByID(strings.TrimSpace(id))
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			exps = append(exps, e)
-		}
-	}
-
-	if *outdir != "" {
-		if err := os.MkdirAll(*outdir, 0o755); err != nil {
-			log.Fatal(err)
 		}
 	}
 
@@ -78,20 +114,101 @@ func main() {
 		start := time.Now()
 		tab, err := exp.Run(rc)
 		if err != nil {
-			log.Fatalf("%s: %v", exp.ID, err)
+			return fmt.Errorf("%s: %w", exp.ID, err)
 		}
 		elapsed := time.Since(start).Round(time.Millisecond)
-		fmt.Println(tab)
-		fmt.Printf("(%s completed in %s)\n\n", exp.ID, elapsed)
-		if *outdir != "" {
-			txt := filepath.Join(*outdir, exp.ID+".txt")
-			if err := os.WriteFile(txt, []byte(tab.String()), 0o644); err != nil {
-				log.Fatal(err)
-			}
-			csv := filepath.Join(*outdir, exp.ID+".csv")
-			if err := os.WriteFile(csv, []byte(tab.CSV()), 0o644); err != nil {
-				log.Fatal(err)
-			}
+		fmt.Fprintln(out, tab)
+		fmt.Fprintf(out, "(%s completed in %s)\n\n", exp.ID, elapsed)
+		if err := writeTable(*outdir, exp.ID, tab); err != nil {
+			return err
 		}
 	}
+	return nil
+}
+
+// listExperiments prints one "ID  Title — Claim" line per experiment.
+func listExperiments(out io.Writer) error {
+	for _, exp := range harness.All() {
+		if _, err := fmt.Fprintf(out, "%-4s %s — %s\n", exp.ID, exp.Title, exp.Claim); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runSpec executes a declarative sweep spec and renders one aggregate
+// table: a row per grid point, streamed off the worker pool in grid order.
+// Non-zero seed/reps override the spec file's values.
+func runSpec(path string, workers int, outdir string, seed uint64, reps int, out io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	ss, err := lowsensing.ParseSweepSpec(data)
+	if err != nil {
+		return err
+	}
+	if seed != 0 {
+		ss.Seed = seed
+	}
+	if reps > 0 {
+		ss.Reps = reps
+	}
+	sw, err := ss.Sweep()
+	if err != nil {
+		return err
+	}
+	sw.Workers(workers)
+
+	id := ss.ID
+	if id == "" {
+		id = "sweep"
+	}
+	tab := &harness.Table{
+		ID:    id,
+		Title: fmt.Sprintf("Declarative sweep from %s", filepath.Base(path)),
+		Columns: []string{
+			"point", "reps", "arrived", "delivered", "tput", "meanAcc", "p99Acc", "maxAcc", "meanLat",
+		},
+	}
+	start := time.Now()
+	if err := sw.Stream(func(pr lowsensing.PointResult) error {
+		tab.AddRow(
+			pr.Point.String(),
+			fmt.Sprintf("%d", pr.Reps),
+			fmt.Sprintf("%d", pr.Arrived),
+			fmt.Sprintf("%.3f", pr.DeliveredFrac()),
+			fmt.Sprintf("%.3f", pr.Throughput.Mean()),
+			fmt.Sprintf("%.1f", pr.Energy.Accesses.Mean()),
+			fmt.Sprintf("%.0f", pr.Energy.Accesses.Quantile(0.99)),
+			fmt.Sprintf("%d", pr.Energy.Accesses.MaxV),
+			fmt.Sprintf("%.1f", pr.Latency.Mean()),
+		)
+		return nil
+	}); err != nil {
+		return err
+	}
+	tab.AddNote("%d points x %d reps, aggregated with streaming stats (no per-packet retention)",
+		len(tab.Rows), sweepReps(ss))
+	fmt.Fprintln(out, tab)
+	fmt.Fprintf(out, "(%s completed in %s)\n", id, time.Since(start).Round(time.Millisecond))
+	return writeTable(outdir, id, tab)
+}
+
+func sweepReps(ss lowsensing.SweepSpec) int {
+	if ss.Reps < 1 {
+		return 1
+	}
+	return ss.Reps
+}
+
+// writeTable writes the .txt and .csv renderings when outdir is set.
+func writeTable(outdir, id string, tab *harness.Table) error {
+	if outdir == "" {
+		return nil
+	}
+	if err := os.WriteFile(filepath.Join(outdir, id+".txt"), []byte(tab.String()), 0o644); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(outdir, id+".csv"), []byte(tab.CSV()), 0o644)
 }

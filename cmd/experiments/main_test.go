@@ -1,0 +1,142 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lowsensing/internal/harness"
+)
+
+// TestListFlag: -list prints every registered experiment ID with a
+// one-line description and runs nothing.
+func TestListFlag(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	all := harness.All()
+	if len(lines) != len(all) {
+		t.Fatalf("-list printed %d lines, want %d:\n%s", len(lines), len(all), got)
+	}
+	for i, exp := range all {
+		if !strings.HasPrefix(lines[i], exp.ID) {
+			t.Fatalf("line %d = %q, want prefix %q", i, lines[i], exp.ID)
+		}
+		if !strings.Contains(lines[i], exp.Title) {
+			t.Fatalf("line %d misses title %q: %q", i, exp.Title, lines[i])
+		}
+	}
+}
+
+// TestRunSingleExperiment drives the command end to end on the fastest
+// experiment and checks the table and output files.
+func TestRunSingleExperiment(t *testing.T) {
+	dir := t.TempDir()
+	var buf strings.Builder
+	if err := run([]string{"-id", "E9", "-scale", "small", "-outdir", dir}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "== E9:") {
+		t.Fatalf("no E9 table in output:\n%s", buf.String())
+	}
+	for _, name := range []string{"E9.txt", "E9.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("missing %s: %v", name, err)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-scale", "nope"}, &buf); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+	if err := run([]string{"-parallel", "0"}, &buf); err == nil {
+		t.Fatal("-parallel 0 accepted")
+	}
+	if err := run([]string{"-id", "E99", "-scale", "small"}, &buf); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+// TestSpecFlag runs a small declarative sweep from a JSON file.
+func TestSpecFlag(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "sweep.json")
+	if err := os.WriteFile(spec, []byte(`{
+		"id": "demo",
+		"seed": 7,
+		"reps": 2,
+		"base": {"arrivals": {"kind": "batch", "n": 32}},
+		"axes": [
+			{"name": "n", "variants": [
+				{"label": "32"},
+				{"label": "64", "patch": {"arrivals": {"n": 64}}}
+			]},
+			{"name": "protocol", "variants": [
+				{"label": "lsb"},
+				{"label": "beb", "patch": {"protocol": {"kind": "beb"}}}
+			]}
+		]
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf strings.Builder
+	if err := run([]string{"-spec", spec, "-outdir", dir}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	for _, frag := range []string{"== demo:", "n=32 protocol=lsb", "n=64 protocol=beb"} {
+		if !strings.Contains(got, frag) {
+			t.Fatalf("spec output missing %q:\n%s", frag, got)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "demo.csv")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Deterministic: a second run renders the identical table.
+	var buf2 strings.Builder
+	if err := run([]string{"-spec", spec}, &buf2); err != nil {
+		t.Fatal(err)
+	}
+	tableOf := func(s string) string { return s[:strings.Index(s, "\n(")] }
+	if tableOf(buf.String()) != tableOf(buf2.String()) {
+		t.Fatalf("spec sweep not deterministic:\n%s\nvs\n%s", buf.String(), buf2.String())
+	}
+
+	// -seed/-reps override the spec file; -id/-scale conflict with it.
+	var buf3 strings.Builder
+	if err := run([]string{"-spec", spec, "-seed", "1234", "-reps", "3"}, &buf3); err != nil {
+		t.Fatal(err)
+	}
+	if tableOf(buf3.String()) == tableOf(buf.String()) {
+		t.Fatal("-seed/-reps override did not change the sweep output")
+	}
+	if !strings.Contains(buf3.String(), "x 3 reps") {
+		t.Fatalf("-reps override not reflected:\n%s", buf3.String())
+	}
+	if err := run([]string{"-spec", spec, "-id", "E1"}, &buf); err == nil {
+		t.Fatal("-spec with -id accepted")
+	}
+	if err := run([]string{"-spec", spec, "-scale", "small"}, &buf); err == nil {
+		t.Fatal("-spec with -scale accepted")
+	}
+
+	// Malformed specs are rejected.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"base": {"arrivals": {"kind": "nope"}}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-spec", bad}, &buf); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+	if err := run([]string{"-spec", filepath.Join(dir, "missing.json")}, &buf); err == nil {
+		t.Fatal("missing spec file accepted")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"log"
 	"os"
 
+	"lowsensing"
 	"lowsensing/internal/arrivals"
 	"lowsensing/internal/core"
 	"lowsensing/internal/jamming"
@@ -45,43 +46,56 @@ func main() {
 		maxSlots  = flag.Int64("maxslots", 0, "slot cap (0 = generous default)")
 		c         = flag.Float64("c", 0, "LSB constant c (0 = default)")
 		wmin      = flag.Float64("wmin", 0, "LSB minimum window (0 = default)")
+		specFile  = flag.String("spec", "", "JSON scenario file; replaces the flag-built scenario (see lowsensing.Scenario)")
 	)
 	flag.Parse()
 
-	factory, err := makeFactory(*protocol, *n, *c, *wmin)
-	if err != nil {
-		log.Fatal(err)
-	}
-	src, err := makeArrivals(*arrival, *traceFile, *n, *rate, *gran, *seed)
-	if err != nil {
-		log.Fatal(err)
-	}
-	jammer, err := makeJammer(*jam, *jamRate, *jamFrom, *jamTo, *jamBudget, *seed)
-	if err != nil {
-		log.Fatal(err)
-	}
-	cap := *maxSlots
-	if cap == 0 {
-		cap = 2000**n + (1 << 22)
-	}
-
-	e, err := sim.NewEngine(sim.Params{
-		Seed:       *seed,
-		Arrivals:   src,
-		NewStation: factory,
-		Jammer:     jammer,
-		MaxSlots:   cap,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	r, err := e.Run()
-	if err != nil {
-		log.Fatal(err)
+	var (
+		r        sim.Result
+		protoLbl string
+	)
+	if *specFile != "" {
+		if conflict := specFlagConflict(); conflict != "" {
+			log.Fatalf("-spec takes the whole scenario from the file; -%s does not apply (edit the spec instead)", conflict)
+		}
+		var err error
+		if r, protoLbl, err = runSpecFile(*specFile); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		factory, err := makeFactory(*protocol, *n, *c, *wmin)
+		if err != nil {
+			log.Fatal(err)
+		}
+		src, err := makeArrivals(*arrival, *traceFile, *n, *rate, *gran, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		jammer, err := makeJammer(*jam, *jamRate, *jamFrom, *jamTo, *jamBudget, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cap := *maxSlots
+		if cap == 0 {
+			cap = 2000**n + (1 << 22)
+		}
+		protoLbl = *protocol
+		// The flag path feeds its hand-built components through the public
+		// API; the engine is constructed by the same code users call.
+		r, err = lowsensing.NewSimulation(
+			lowsensing.WithSeed(*seed),
+			lowsensing.WithArrivals(src),
+			lowsensing.WithStations(factory),
+			lowsensing.WithJammer(jammer),
+			lowsensing.WithMaxSlots(cap),
+		).Run()
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	es := metrics.SummarizeEnergy(r)
-	fmt.Printf("protocol            %s\n", *protocol)
+	fmt.Printf("protocol            %s\n", protoLbl)
 	fmt.Printf("packets             %d arrived, %d delivered", r.Arrived, r.Completed)
 	if r.Truncated {
 		fmt.Printf("  (TRUNCATED at slot %d)", r.LastSlot)
@@ -181,4 +195,37 @@ func max64(a, b int64) int64 {
 		return a
 	}
 	return b
+}
+
+// specFlagConflict returns the name of the first flag other than -spec the
+// user set explicitly, or "". A spec file defines the entire scenario, so
+// combining it with the flag-built scenario would silently drop whichever
+// side lost; reject the mix instead.
+func specFlagConflict() string {
+	conflict := ""
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name != "spec" && conflict == "" {
+			conflict = f.Name
+		}
+	})
+	return conflict
+}
+
+// runSpecFile loads a declarative JSON scenario and executes it through
+// the public API, returning the result and a label for the report header.
+func runSpecFile(path string) (sim.Result, string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return sim.Result{}, "", err
+	}
+	sc, err := lowsensing.ParseScenario(data)
+	if err != nil {
+		return sim.Result{}, "", err
+	}
+	label := sc.Protocol.Kind
+	if label == "" {
+		label = lowsensing.ProtocolLSB
+	}
+	r, err := sc.Run()
+	return r, label + " (spec)", err
 }

@@ -4,6 +4,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"lowsensing"
 )
 
 func TestMakeFactory(t *testing.T) {
@@ -87,5 +89,52 @@ func TestMakeJammer(t *testing.T) {
 	}
 	if _, err := makeJammer("burst", 0.5, 10, 10, 0, 1); err == nil {
 		t.Fatal("empty burst accepted")
+	}
+}
+
+func TestRunSpecFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "scenario.json")
+	if err := os.WriteFile(path, []byte(`{
+		"seed": 3,
+		"arrivals": {"kind": "batch", "n": 64},
+		"jammer": {"kind": "burst", "to": 128}
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, label, err := runSpecFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if label != "lsb (spec)" {
+		t.Fatalf("label = %q", label)
+	}
+	if r.Completed != 64 || r.JammedSlots == 0 {
+		t.Fatalf("spec run result: %+v", r)
+	}
+
+	// Identical to the equivalent option-built run: the spec is just data
+	// over the same engine path.
+	want, err := lowsensing.NewSimulation(
+		lowsensing.WithSeed(3),
+		lowsensing.WithBatchArrivals(64),
+		lowsensing.WithBurstJamming(0, 128),
+	).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Energy != want.Energy || r.ActiveSlots != want.ActiveSlots {
+		t.Fatal("spec run differs from option-built run")
+	}
+
+	if _, _, err := runSpecFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing spec accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"arrivals": {"kind": "nope"}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := runSpecFile(bad); err == nil {
+		t.Fatal("bad spec accepted")
 	}
 }

@@ -4,11 +4,10 @@ import (
 	"fmt"
 	"math"
 
-	"lowsensing/internal/arrivals"
+	"lowsensing"
 	"lowsensing/internal/core"
 	"lowsensing/internal/jamming"
 	"lowsensing/internal/metrics"
-	"lowsensing/internal/protocols"
 	"lowsensing/internal/sim"
 	"lowsensing/internal/stats"
 )
@@ -50,16 +49,14 @@ func runE2(rc RunConfig) (*Table, error) {
 	type e2rep struct{ mean, p99, max float64 }
 	grouped, err := sweep(rc, "E2", len(ns), func(point, _ int, seed uint64) (e2rep, error) {
 		n := ns[point]
-		r, err := runOnce(runSpec{
-			seed:     seed,
-			arrivals: func() sim.ArrivalSource { return arrivals.NewBatch(n) },
-			factory:  lsbFactory,
-			maxSlots: capFor(n, 0),
-		})
+		r, err := run(seed,
+			lowsensing.WithBatchArrivals(n),
+			lowsensing.WithMaxSlots(capFor(n, 0)),
+		)
 		if err != nil {
 			return e2rep{}, err
 		}
-		es := metrics.SummarizeEnergy(r)
+		es := lowsensing.SummarizeEnergy(r)
 		return e2rep{mean: es.Accesses.Mean, p99: es.Accesses.P99, max: es.Accesses.Max}, nil
 	})
 	if err != nil {
@@ -121,35 +118,35 @@ func runE6(rc RunConfig) (*Table, error) {
 		}
 		var spent func() int64
 		var targetAcc float64
-		spec := runSpec{
-			seed:     seed,
-			arrivals: func() sim.ArrivalSource { return arrivals.NewBatch(n) },
-			factory:  lsbFactory,
-			maxSlots: capFor(n, budget),
+		opts := []lowsensing.Option{
+			lowsensing.WithBatchArrivals(n),
+			lowsensing.WithMaxSlots(capFor(n, budget)),
 			// The victim's access count streams out through the sink; the
 			// fleet-wide mean and max come from the accumulators.
-			sink: func(p sim.PacketStats) {
+			lowsensing.WithPacketSink(func(p sim.PacketStats) {
 				if p.ID == 0 {
 					targetAcc = float64(p.Accesses())
 				}
-			},
+			}),
 		}
 		if budget > 0 {
-			spec.jammer = func() sim.Jammer {
-				if targeted {
-					jam, err := jamming.NewReactiveTargeted(0, budget)
-					if err != nil {
-						panic(err)
-					}
-					spent = jam.Spent
-					return jam
+			// The global ReactiveAll jammer and the Spent() diagnostics have
+			// no declarative spec, so both reactive adversaries are built as
+			// instances and injected with WithJammer.
+			if targeted {
+				jam, err := jamming.NewReactiveTargeted(0, budget)
+				if err != nil {
+					return e6rep{}, err
 				}
+				spent = jam.Spent
+				opts = append(opts, lowsensing.WithJammer(jam))
+			} else {
 				jam := jamming.NewReactiveAll(budget)
 				spent = jam.Spent
-				return jam
+				opts = append(opts, lowsensing.WithJammer(jam))
 			}
 		}
-		r, err := runOnce(spec)
+		r, err := run(seed, opts...)
 		if err != nil {
 			return e6rep{}, err
 		}
@@ -200,30 +197,16 @@ func runE7(rc RunConfig) (*Table, error) {
 	}
 	n := pick(rc, int64(256), int64(2048))
 
-	alohaF := func() sim.StationFactory {
-		fa, err := protocols.NewAlohaFactory(1 / float64(n))
-		if err != nil {
-			panic(err)
-		}
-		return fa
-	}
-	polyF := func() sim.StationFactory {
-		fp, err := protocols.NewPolyFactory(2, 2)
-		if err != nil {
-			panic(err)
-		}
-		return fp
-	}
 	rows := []struct {
-		name    string
-		factory func() sim.StationFactory
+		name  string
+		proto lowsensing.ProtocolSpec
 	}{
-		{"LSB", lsbFactory},
-		{"BEB", bebFactory},
-		{"Poly(a=2)", polyF},
-		{"ALOHA 1/N", alohaF},
-		{"MWU", mwuFactory},
-		{"Genie", protocols.NewGenieAlohaFactory},
+		{"LSB", lsbSpec()},
+		{"BEB", lowsensing.BEB()},
+		{"Poly(a=2)", lowsensing.Poly(2, 2)},
+		{"ALOHA 1/N", lowsensing.Aloha(1 / float64(n))},
+		{"MWU", lowsensing.MWU()},
+		{"Genie", lowsensing.GenieAloha()},
 	}
 
 	t := &Table{
@@ -237,16 +220,15 @@ func runE7(rc RunConfig) (*Table, error) {
 		tput, activeS, sends, listens, acc, maxAcc float64
 	}
 	grouped, err := sweep(rc, "E7", len(rows), func(point, _ int, seed uint64) (e7rep, error) {
-		r, err := runOnce(runSpec{
-			seed:     seed,
-			arrivals: func() sim.ArrivalSource { return arrivals.NewBatch(n) },
-			factory:  rows[point].factory,
-			maxSlots: capFor(n, 0) * 20, // fixed-rate ALOHA needs ~N·ln N slots
-		})
+		r, err := run(seed,
+			lowsensing.WithBatchArrivals(n),
+			lowsensing.WithProtocol(rows[point].proto),
+			lowsensing.WithMaxSlots(capFor(n, 0)*20), // fixed-rate ALOHA needs ~N·ln N slots
+		)
 		if err != nil {
 			return e7rep{}, err
 		}
-		es := metrics.SummarizeEnergy(r)
+		es := lowsensing.SummarizeEnergy(r)
 		return e7rep{
 			tput:    r.Throughput(),
 			activeS: float64(r.ActiveSlots),
@@ -282,7 +264,7 @@ func runE7(rc RunConfig) (*Table, error) {
 	return t, nil
 }
 
-// potentialProbe is shared by E8 and tests: a collector plus the regime
+// potentialCollector is shared by E8 and tests: a collector plus the regime
 // bounds used to label samples.
 func potentialCollector() (*metrics.Collector, core.RegimeBounds) {
 	return &metrics.Collector{}, core.DefaultRegimeBounds(core.Default())

@@ -3,9 +3,8 @@ package harness
 import (
 	"fmt"
 
-	"lowsensing/internal/arrivals"
+	"lowsensing"
 	"lowsensing/internal/metrics"
-	"lowsensing/internal/protocols"
 	"lowsensing/internal/sim"
 	"lowsensing/internal/stats"
 )
@@ -26,13 +25,13 @@ func runE10(rc RunConfig) (*Table, error) {
 	n := pick(rc, int64(256), int64(2048))
 
 	rows := []struct {
-		name    string
-		factory func() sim.StationFactory
+		name  string
+		proto lowsensing.ProtocolSpec
 	}{
-		{"LSB", lsbFactory},
-		{"BEB", bebFactory},
-		{"MWU", mwuFactory},
-		{"Genie", protocols.NewGenieAlohaFactory},
+		{"LSB", lsbSpec()},
+		{"BEB", lowsensing.BEB()},
+		{"MWU", lowsensing.MWU()},
+		{"Genie", lowsensing.GenieAloha()},
 	}
 
 	t := &Table{
@@ -53,16 +52,15 @@ func runE10(rc RunConfig) (*Table, error) {
 		lats := make([]float64, 0, n)
 		accs := make([]float64, 0, n)
 		recordLat := latencySink(&lats)
-		_, err := runOnce(runSpec{
-			seed:     seed,
-			arrivals: func() sim.ArrivalSource { return arrivals.NewBatch(n) },
-			factory:  rows[point].factory,
-			maxSlots: capFor(n, 0),
-			sink: func(p sim.PacketStats) {
+		_, err := run(seed,
+			lowsensing.WithBatchArrivals(n),
+			lowsensing.WithProtocol(rows[point].proto),
+			lowsensing.WithMaxSlots(capFor(n, 0)),
+			lowsensing.WithPacketSink(func(p sim.PacketStats) {
 				recordLat(p)
 				accs = append(accs, float64(p.Accesses()))
-			},
-		})
+			}),
+		)
 		if err != nil {
 			return e10rep{}, err
 		}

@@ -3,11 +3,10 @@ package harness
 import (
 	"fmt"
 
-	"lowsensing/internal/arrivals"
+	"lowsensing"
 	"lowsensing/internal/core"
 	"lowsensing/internal/metrics"
 	"lowsensing/internal/protocols"
-	"lowsensing/internal/sim"
 )
 
 func init() {
@@ -44,33 +43,21 @@ func runE11(rc RunConfig) (*Table, error) {
 		Columns: []string{"workload", "protocol", "tput", "delivered", "meanAcc", "p99Lat"},
 	}
 
+	aqtS := pick(rc, int64(256), int64(1024))
 	workloads := []struct {
-		name string
-		mk   func(seed uint64) sim.ArrivalSource
+		name     string
+		arrivals lowsensing.ArrivalsSpec
 	}{
-		{"batch", func(uint64) sim.ArrivalSource { return arrivals.NewBatch(n) }},
-		{"bernoulli 0.1", func(seed uint64) sim.ArrivalSource {
-			src, err := arrivals.NewBernoulli(0.1, n, seed)
-			if err != nil {
-				panic(err)
-			}
-			return src
-		}},
-		{"aqt bursts", func(seed uint64) sim.ArrivalSource {
-			s := pick(rc, int64(256), int64(1024))
-			src, err := arrivals.NewAQT(s, 0.1, n/max64(1, int64(0.1*float64(s))), arrivals.AQTBurst, seed)
-			if err != nil {
-				panic(err)
-			}
-			return src
-		}},
+		{"batch", lowsensing.BatchArrivals(n)},
+		{"bernoulli 0.1", lowsensing.BernoulliArrivals(0.1, n)},
+		{"aqt bursts", lowsensing.QueueArrivals(aqtS, 0.1, n/max64(1, int64(0.1*float64(aqtS))))},
 	}
 	protos := []struct {
-		name string
-		mk   func() sim.StationFactory
+		name  string
+		proto lowsensing.ProtocolSpec
 	}{
-		{"LSB", lsbFactory},
-		{"Sawtooth", func() sim.StationFactory { return protocols.NewSawtoothFactory() }},
+		{"LSB", lsbSpec()},
+		{"Sawtooth", lowsensing.Sawtooth()},
 	}
 
 	// Sweep points enumerate the (workload, protocol) grid row-major.
@@ -78,16 +65,15 @@ func runE11(rc RunConfig) (*Table, error) {
 	grouped, err := sweep(rc, "E11", len(workloads)*len(protos), func(point, _ int, seed uint64) (e11rep, error) {
 		w := workloads[point/len(protos)]
 		p := protos[point%len(protos)]
-		r, err := runOnce(runSpec{
-			seed:     seed,
-			arrivals: func() sim.ArrivalSource { return w.mk(seed) },
-			factory:  p.mk,
-			maxSlots: capFor(n, 0) * 4,
-		})
+		r, err := run(seed,
+			lowsensing.WithArrivalsSpec(w.arrivals),
+			lowsensing.WithProtocol(p.proto),
+			lowsensing.WithMaxSlots(capFor(n, 0)*4),
+		)
 		if err != nil {
 			return e11rep{}, err
 		}
-		es := metrics.SummarizeEnergy(r)
+		es := lowsensing.SummarizeEnergy(r)
 		return e11rep{
 			tput:  r.Throughput(),
 			deliv: float64(r.Completed) / float64(r.Arrived),
@@ -127,35 +113,42 @@ func runE12(rc RunConfig) (*Table, error) {
 		Columns: []string{"feedback", "delivered", "tput", "activeSlots", "meanAcc"},
 	}
 
+	// The no-CD wrappers have no declarative spec; they are custom station
+	// factories layered over the public API with WithStations.
 	variants := []struct {
 		name string
-		mk   func() sim.StationFactory
+		opt  func() (lowsensing.Option, error)
 	}{
-		{"ternary (paper)", lsbFactory},
-		{"non-success=empty", func() sim.StationFactory {
+		{"ternary (paper)", func() (lowsensing.Option, error) {
+			return lowsensing.WithProtocol(lsbSpec()), nil
+		}},
+		{"non-success=empty", func() (lowsensing.Option, error) {
 			f, err := protocols.NewNoCDFactory(core.MustFactory(core.Default()), protocols.CDAsEmpty)
 			if err != nil {
-				panic(err)
+				return nil, err
 			}
-			return f
+			return lowsensing.WithStations(f), nil
 		}},
-		{"non-success=noisy", func() sim.StationFactory {
+		{"non-success=noisy", func() (lowsensing.Option, error) {
 			f, err := protocols.NewNoCDFactory(core.MustFactory(core.Default()), protocols.CDAsNoisy)
 			if err != nil {
-				panic(err)
+				return nil, err
 			}
-			return f
+			return lowsensing.WithStations(f), nil
 		}},
 	}
 
 	type e12rep struct{ deliv, tput, slots, acc float64 }
 	grouped, err := sweep(rc, "E12", len(variants), func(point, _ int, seed uint64) (e12rep, error) {
-		r, err := runOnce(runSpec{
-			seed:     seed,
-			arrivals: func() sim.ArrivalSource { return arrivals.NewBatch(n) },
-			factory:  variants[point].mk,
-			maxSlots: maxSlots,
-		})
+		proto, err := variants[point].opt()
+		if err != nil {
+			return e12rep{}, err
+		}
+		r, err := run(seed,
+			lowsensing.WithBatchArrivals(n),
+			proto,
+			lowsensing.WithMaxSlots(maxSlots),
+		)
 		if err != nil {
 			return e12rep{}, err
 		}
@@ -205,25 +198,15 @@ func runE13(rc RunConfig) (*Table, error) {
 	grouped, err := sweep(rc, "E13", len(rates), func(point, _ int, seed uint64) (e13rep, error) {
 		lambda := rates[point]
 		col := &metrics.Collector{Every: 64}
-		src, err := arrivals.NewBernoulli(lambda, n, seed)
+		r, err := run(seed,
+			lowsensing.WithBernoulliArrivals(lambda, n),
+			lowsensing.WithMaxSlots(int64(float64(n)/lambda)+(1<<18)),
+			lowsensing.WithCollector(col),
+		)
 		if err != nil {
 			return e13rep{}, err
 		}
-		e, err := sim.NewEngine(sim.Params{
-			Seed:       seed,
-			Arrivals:   src,
-			NewStation: lsbFactory(),
-			MaxSlots:   int64(float64(n)/lambda) + (1 << 18),
-			Probe:      col.Probe,
-		})
-		if err != nil {
-			return e13rep{}, err
-		}
-		r, err := e.Run()
-		if err != nil {
-			return e13rep{}, err
-		}
-		es := metrics.SummarizeEnergy(r)
+		es := lowsensing.SummarizeEnergy(r)
 		return e13rep{
 			deliv: float64(r.Completed) / float64(r.Arrived),
 			maxB:  float64(col.MaxBacklog()),

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"strings"
 
-	"lowsensing/internal/arrivals"
+	"lowsensing"
 	"lowsensing/internal/core"
 	"lowsensing/internal/metrics"
 	"lowsensing/internal/plot"
@@ -58,26 +58,17 @@ func init() {
 	})
 }
 
-// aqtRun executes one adversarial-queuing run and returns the collector and
-// result. The run is truncated at the end of the arrival stream; packets
-// still in flight there are expected and excluded from latency stats.
+// aqtRun executes one adversarial-queuing run through the public API and
+// returns the collector and result. The run is truncated at the end of the
+// arrival stream; packets still in flight there are expected and excluded
+// from latency stats.
 func aqtRun(seed uint64, s int64, lambda float64, windows int64, every int64) (*metrics.Collector, sim.Result, error) {
 	col := &metrics.Collector{Every: every}
-	src, err := arrivals.NewAQT(s, lambda, windows, arrivals.AQTBurst, seed)
-	if err != nil {
-		return nil, sim.Result{}, err
-	}
-	e, err := sim.NewEngine(sim.Params{
-		Seed:       seed,
-		Arrivals:   src,
-		NewStation: core.MustFactory(core.Default()),
-		MaxSlots:   s * windows,
-		Probe:      col.Probe,
-	})
-	if err != nil {
-		return nil, sim.Result{}, err
-	}
-	r, err := e.Run()
+	r, err := run(seed,
+		lowsensing.WithQueueArrivals(s, lambda, windows),
+		lowsensing.WithMaxSlots(s*windows),
+		lowsensing.WithCollector(col),
+	)
 	return col, r, err
 }
 
@@ -156,7 +147,7 @@ func runE5(rc RunConfig) (*Table, error) {
 		if err != nil {
 			return e5rep{}, err
 		}
-		es := metrics.SummarizeEnergy(r)
+		es := lowsensing.SummarizeEnergy(r)
 		return e5rep{
 			meanAcc: es.Accesses.Mean,
 			p99:     es.Accesses.P99,
@@ -193,12 +184,11 @@ func runE8(rc RunConfig) (*Table, error) {
 	}
 	n := pick(rc, int64(128), int64(1024))
 	col, bounds := potentialCollector()
-	r, err := one(rc, "E8", runSpec{
-		arrivals: func() sim.ArrivalSource { return arrivals.NewBatch(n) },
-		factory:  lsbFactory,
-		maxSlots: capFor(n, 0),
-		probe:    col.Probe,
-	})
+	r, err := one(rc, "E8",
+		lowsensing.WithBatchArrivals(n),
+		lowsensing.WithMaxSlots(capFor(n, 0)),
+		lowsensing.WithCollector(col),
+	)
 	if err != nil {
 		return nil, err
 	}
@@ -247,12 +237,11 @@ func runE9(rc RunConfig) (*Table, error) {
 	}
 	const n = 8
 	tr := &trace.Tracer{}
-	r, err := one(rc, "E9", runSpec{
-		arrivals: func() sim.ArrivalSource { return arrivals.NewBatch(n) },
-		factory:  lsbFactory,
-		maxSlots: capFor(n, 0),
-		probe:    tr.Probe,
-	})
+	r, err := one(rc, "E9",
+		lowsensing.WithBatchArrivals(n),
+		lowsensing.WithMaxSlots(capFor(n, 0)),
+		lowsensing.WithTracer(tr),
+	)
 	if err != nil {
 		return nil, err
 	}
@@ -307,13 +296,11 @@ func runA1(rc RunConfig) (*Table, error) {
 	type a1rep struct{ tput, meanAcc, maxAcc, aqtMaxB float64 }
 	grouped, err := sweep(rc, "A1", len(rules), func(point, _ int, seed uint64) (a1rep, error) {
 		cfg := rules[point].cfg
-		factory := func() sim.StationFactory { return core.MustFactory(cfg) }
-		r, err := runOnce(runSpec{
-			seed:     seed,
-			arrivals: func() sim.ArrivalSource { return arrivals.NewBatch(n) },
-			factory:  factory,
-			maxSlots: capFor(n, 0),
-		})
+		r, err := run(seed,
+			lowsensing.WithBatchArrivals(n),
+			lowsensing.WithLowSensing(cfg),
+			lowsensing.WithMaxSlots(capFor(n, 0)),
+		)
 		if err != nil {
 			return a1rep{}, err
 		}
@@ -324,21 +311,12 @@ func runA1(rc RunConfig) (*Table, error) {
 		}
 		// Burst stability: AQT max backlog.
 		col := &metrics.Collector{Every: max64(1, aqtS/64)}
-		src, err := arrivals.NewAQT(aqtS, 0.1, windows, arrivals.AQTBurst, seed)
-		if err != nil {
-			return a1rep{}, err
-		}
-		e, err := sim.NewEngine(sim.Params{
-			Seed:       seed,
-			Arrivals:   src,
-			NewStation: factory(),
-			MaxSlots:   aqtS * windows,
-			Probe:      col.Probe,
-		})
-		if err != nil {
-			return a1rep{}, err
-		}
-		if _, err := e.Run(); err != nil {
+		if _, err := run(seed,
+			lowsensing.WithQueueArrivals(aqtS, 0.1, windows),
+			lowsensing.WithLowSensing(cfg),
+			lowsensing.WithMaxSlots(aqtS*windows),
+			lowsensing.WithCollector(col),
+		); err != nil {
 			return a1rep{}, err
 		}
 		out.aqtMaxB = float64(col.MaxBacklog())
@@ -389,13 +367,11 @@ func runA2(rc RunConfig) (*Table, error) {
 		if !combos[point].valid {
 			return a2rep{}, nil
 		}
-		cfg := combos[point].cfg
-		r, err := runOnce(runSpec{
-			seed:     seed,
-			arrivals: func() sim.ArrivalSource { return arrivals.NewBatch(n) },
-			factory:  func() sim.StationFactory { return core.MustFactory(cfg) },
-			maxSlots: capFor(n, 0) * 4,
-		})
+		r, err := run(seed,
+			lowsensing.WithBatchArrivals(n),
+			lowsensing.WithLowSensing(combos[point].cfg),
+			lowsensing.WithMaxSlots(capFor(n, 0)*4),
+		)
 		if err != nil {
 			return a2rep{}, err
 		}
@@ -450,17 +426,15 @@ func runA3(rc RunConfig) (*Table, error) {
 
 	type a3rep struct{ tput, sends, listens, maxAcc float64 }
 	grouped, err := sweep(rc, "A3", len(configs), func(point, _ int, seed uint64) (a3rep, error) {
-		cfg := configs[point]
-		r, err := runOnce(runSpec{
-			seed:     seed,
-			arrivals: func() sim.ArrivalSource { return arrivals.NewBatch(n) },
-			factory:  func() sim.StationFactory { return core.MustFactory(cfg) },
-			maxSlots: capFor(n, 0) * 4,
-		})
+		r, err := run(seed,
+			lowsensing.WithBatchArrivals(n),
+			lowsensing.WithLowSensing(configs[point]),
+			lowsensing.WithMaxSlots(capFor(n, 0)*4),
+		)
 		if err != nil {
 			return a3rep{}, err
 		}
-		es := metrics.SummarizeEnergy(r)
+		es := lowsensing.SummarizeEnergy(r)
 		return a3rep{
 			tput:    r.Throughput(),
 			sends:   es.Sends.Mean,

@@ -3,7 +3,7 @@ package harness
 import (
 	"fmt"
 
-	"lowsensing/internal/arrivals"
+	"lowsensing"
 	"lowsensing/internal/jamming"
 	"lowsensing/internal/metrics"
 	"lowsensing/internal/plot"
@@ -54,26 +54,18 @@ func runE14(rc RunConfig) (*Table, error) {
 	single.Reps = 1
 	grouped, err := sweep(single, "E14", 1, func(_, _ int, seed uint64) (e14out, error) {
 		col := &metrics.Collector{Every: max64(1, horizon/4096)}
-		src, err := arrivals.NewBernoulli(lambda, 0, seed) // unbounded
-		if err != nil {
-			return e14out{}, err
-		}
+		// The jammer keeps its historical experiment-local seed stream
+		// (seed^0xe14), so it is injected as an instance.
 		jam, err := jamming.NewRandom(0.2, 0, seed^0xe14)
 		if err != nil {
 			return e14out{}, err
 		}
-		eng, err := sim.NewEngine(sim.Params{
-			Seed:       seed,
-			Arrivals:   src,
-			NewStation: lsbFactory(),
-			Jammer:     jam,
-			MaxSlots:   horizon,
-			Probe:      col.Probe,
-		})
-		if err != nil {
-			return e14out{}, err
-		}
-		r, err := eng.Run()
+		r, err := run(seed,
+			lowsensing.WithBernoulliArrivals(lambda, 0), // unbounded
+			lowsensing.WithJammer(jam),
+			lowsensing.WithMaxSlots(horizon),
+			lowsensing.WithCollector(col),
+		)
 		return e14out{r: r, col: col}, err
 	})
 	if err != nil {
@@ -93,7 +85,7 @@ func runE14(rc RunConfig) (*Table, error) {
 
 	minImpl := col.MinImplicitThroughput()
 	t.AddNote("min implicit throughput over all %d samples: %.3f — the 'for all t' clause of Thm 1.3", len(samples), minImpl)
-	es := metrics.SummarizeEnergy(r)
+	es := lowsensing.SummarizeEnergy(r)
 	t.AddNote("per-packet accesses over the whole stream: mean %.1f, p99 %.0f, max %.0f (Nt=%d)",
 		es.Accesses.Mean, es.Accesses.P99, es.Accesses.Max, r.Arrived)
 	t.AddNote("backlog(t): |%s|", plot.Sparkline(downsample(col.Series("backlog"), 64)))
@@ -110,12 +102,11 @@ func runE15(rc RunConfig) (*Table, error) {
 	// Baseline median latency without jamming calibrates the deadlines.
 	// Latencies stream out through a sink so nothing is retained.
 	baseLats := make([]float64, 0, n)
-	_, err := one(rc, "E15/base", runSpec{
-		arrivals: func() sim.ArrivalSource { return arrivals.NewBatch(n) },
-		factory:  lsbFactory,
-		maxSlots: capFor(n, 0),
-		sink:     latencySink(&baseLats),
-	})
+	_, err := one(rc, "E15/base",
+		lowsensing.WithBatchArrivals(n),
+		lowsensing.WithMaxSlots(capFor(n, 0)),
+		lowsensing.WithPacketSink(latencySink(&baseLats)),
+	)
 	if err != nil {
 		return nil, err
 	}
@@ -138,23 +129,20 @@ func runE15(rc RunConfig) (*Table, error) {
 	grouped, err := sweep(rc, "E15", len(jamRates), func(point, _ int, seed uint64) (e15rep, error) {
 		rate := jamRates[point]
 		lats := make([]float64, 0, n)
-		spec := runSpec{
-			seed:     seed,
-			arrivals: func() sim.ArrivalSource { return arrivals.NewBatch(n) },
-			factory:  lsbFactory,
-			maxSlots: capFor(n, 8*n),
-			sink:     latencySink(&lats),
+		opts := []lowsensing.Option{
+			lowsensing.WithBatchArrivals(n),
+			lowsensing.WithMaxSlots(capFor(n, 8*n)),
+			lowsensing.WithPacketSink(latencySink(&lats)),
 		}
 		if rate > 0 {
-			spec.jammer = func() sim.Jammer {
-				jm, err := jamming.NewRandom(rate, 0, seed^0xe15)
-				if err != nil {
-					panic(err)
-				}
-				return jm
+			// Historical experiment-local jam seed stream (seed^0xe15).
+			jm, err := jamming.NewRandom(rate, 0, seed^0xe15)
+			if err != nil {
+				return e15rep{}, err
 			}
+			opts = append(opts, lowsensing.WithJammer(jm))
 		}
-		r, err := runOnce(spec)
+		r, err := run(seed, opts...)
 		if err != nil {
 			return e15rep{}, err
 		}

@@ -3,11 +3,8 @@ package harness
 import (
 	"fmt"
 
-	"lowsensing/internal/arrivals"
-	"lowsensing/internal/core"
+	"lowsensing"
 	"lowsensing/internal/jamming"
-	"lowsensing/internal/protocols"
-	"lowsensing/internal/sim"
 	"lowsensing/internal/stats"
 )
 
@@ -18,23 +15,8 @@ func capFor(n, j int64) int64 {
 	return 500*(n+j) + (1 << 20)
 }
 
-func lsbFactory() sim.StationFactory { return core.MustFactory(core.Default()) }
-
-func bebFactory() sim.StationFactory {
-	f, err := protocols.NewBEBFactory(2, 0)
-	if err != nil {
-		panic(err)
-	}
-	return f
-}
-
-func mwuFactory() sim.StationFactory {
-	f, err := protocols.NewMWUFactory(protocols.DefaultMWUConfig())
-	if err != nil {
-		panic(err)
-	}
-	return f
-}
+// lsbSpec is the default protocol spec (LOW-SENSING BACKOFF, DefaultConfig).
+func lsbSpec() lowsensing.ProtocolSpec { return lowsensing.ProtocolSpec{} }
 
 func init() {
 	register(Experiment{
@@ -75,15 +57,12 @@ func runE1(rc RunConfig) (*Table, error) {
 	}
 	grouped, err := sweep(rc, "E1", len(ns), func(point, _ int, seed uint64) (e1rep, error) {
 		n := ns[point]
-		spec := runSpec{
-			seed:     seed,
-			arrivals: func() sim.ArrivalSource { return arrivals.NewBatch(n) },
-			maxSlots: capFor(n, 0),
-		}
-		tput := func(factory func() sim.StationFactory) (float64, error) {
-			s := spec
-			s.factory = factory
-			r, err := runOnce(s)
+		tput := func(proto lowsensing.ProtocolSpec) (float64, error) {
+			r, err := run(seed,
+				lowsensing.WithBatchArrivals(n),
+				lowsensing.WithMaxSlots(capFor(n, 0)),
+				lowsensing.WithProtocol(proto),
+			)
 			if err != nil {
 				return 0, err
 			}
@@ -91,18 +70,18 @@ func runE1(rc RunConfig) (*Table, error) {
 		}
 		var out e1rep
 		var err error
-		if out.lsb, err = tput(lsbFactory); err != nil {
+		if out.lsb, err = tput(lsbSpec()); err != nil {
 			return out, err
 		}
-		if out.beb, err = tput(bebFactory); err != nil {
+		if out.beb, err = tput(lowsensing.BEB()); err != nil {
 			return out, err
 		}
 		if n <= fullSenseCap {
 			out.full = true
-			if out.mwu, err = tput(mwuFactory); err != nil {
+			if out.mwu, err = tput(lowsensing.MWU()); err != nil {
 				return out, err
 			}
-			if out.genie, err = tput(protocols.NewGenieAlohaFactory); err != nil {
+			if out.genie, err = tput(lowsensing.GenieAloha()); err != nil {
 				return out, err
 			}
 		}
@@ -156,37 +135,30 @@ func runE3(rc RunConfig) (*Table, error) {
 	type e3rep struct{ tput, impl, deliv, acc float64 }
 	points := len(burstJs) + len(randRates)
 	grouped, err := sweep(rc, "E3", points, func(point, _ int, seed uint64) (e3rep, error) {
-		spec := runSpec{
-			seed:     seed,
-			arrivals: func() sim.ArrivalSource { return arrivals.NewBatch(n) },
-			factory:  lsbFactory,
-		}
+		opts := []lowsensing.Option{lowsensing.WithBatchArrivals(n)}
 		if point < len(burstJs) {
 			j := burstJs[point]
-			spec.maxSlots = capFor(n, j)
+			opts = append(opts, lowsensing.WithMaxSlots(capFor(n, j)))
 			if j > 0 {
-				spec.jammer = func() sim.Jammer {
-					iv, err := jamming.NewInterval(0, j)
-					if err != nil {
-						panic(err)
-					}
-					return iv
-				}
+				opts = append(opts, lowsensing.WithBurstJamming(0, j))
 			}
 		} else {
 			rate := randRates[point-len(burstJs)]
 			// A rate-ρ unbounded random jammer: packets must finish between
 			// jams; budget scales with the cap so the jam level is sustained.
-			spec.maxSlots = capFor(n, 8*n)
-			spec.jammer = func() sim.Jammer {
-				jm, err := jamming.NewRandom(rate, 0, seed^0xe3)
-				if err != nil {
-					panic(err)
-				}
-				return jm
+			// The jammer keeps its historical experiment-local seed stream
+			// (seed^0xe3, not the public option's derivation), so it is
+			// built as an instance and injected with WithJammer.
+			jm, err := jamming.NewRandom(rate, 0, seed^0xe3)
+			if err != nil {
+				return e3rep{}, err
 			}
+			opts = append(opts,
+				lowsensing.WithMaxSlots(capFor(n, 8*n)),
+				lowsensing.WithJammer(jm),
+			)
 		}
-		r, err := runOnce(spec)
+		r, err := run(seed, opts...)
 		if err != nil {
 			return e3rep{}, err
 		}

@@ -1,0 +1,51 @@
+package harness
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/small from the current experiment output")
+
+// TestGoldenSmallTables locks every experiment's small-scale table — ASCII
+// and CSV — to the checked-in goldens under testdata/small. The goldens
+// were captured before the harness migrated onto the public Scenario/Sweep
+// layer, so this test is the byte-identical-reproduction contract for that
+// migration and for every future engine change. CI runs the same
+// comparison through `cmd/experiments -scale small -outdir` (the goldens
+// are exactly what -outdir writes).
+//
+// Regenerate deliberately with:
+//
+//	go test ./internal/harness -run TestGoldenSmallTables -update-golden
+func TestGoldenSmallTables(t *testing.T) {
+	for _, exp := range All() {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			t.Parallel()
+			tab, err := exp.Run(SmallRunConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for suffix, got := range map[string]string{".txt": tab.String(), ".csv": tab.CSV()} {
+				path := filepath.Join("testdata", "small", exp.ID+suffix)
+				if *updateGolden {
+					if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					continue
+				}
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("missing golden (run with -update-golden to create): %v", err)
+				}
+				if got != string(want) {
+					t.Errorf("%s diverged from golden %s — the reproduction is no longer byte-identical.\ngot:\n%s\nwant:\n%s",
+						exp.ID, path, got, want)
+				}
+			}
+		})
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"lowsensing"
 	"lowsensing/internal/runner"
 	"lowsensing/internal/sim"
 	"lowsensing/internal/stats"
@@ -106,38 +107,16 @@ func ids() []string {
 	return out
 }
 
-// runSpec bundles everything needed for one engine run. Experiments that
-// need per-packet data attach a sink rather than retaining Result.Packets,
-// so sweeps stay O(backlog) per job however large the instance.
-type runSpec struct {
-	seed     uint64
-	arrivals func() sim.ArrivalSource
-	factory  func() sim.StationFactory
-	jammer   func() sim.Jammer // nil means none
-	maxSlots int64
-	probe    func(*sim.Engine, int64)
-	sink     func(sim.PacketStats)
-}
-
-// runOnce executes a single simulation.
-func runOnce(spec runSpec) (sim.Result, error) {
-	var jam sim.Jammer
-	if spec.jammer != nil {
-		jam = spec.jammer()
-	}
-	e, err := sim.NewEngine(sim.Params{
-		Seed:       spec.seed,
-		Arrivals:   spec.arrivals(),
-		NewStation: spec.factory(),
-		Jammer:     jam,
-		MaxSlots:   spec.maxSlots,
-		Probe:      spec.probe,
-		PacketSink: spec.sink,
-	})
-	if err != nil {
-		return sim.Result{}, err
-	}
-	return e.Run()
+// run executes one simulation through the public lowsensing API with the
+// given seed. The harness migrated off direct engine construction: every
+// engine an experiment drives is now built by the exact code path library
+// users call (NewSimulation + options over Scenario data), so the tables
+// double as an end-to-end regression suite for the public surface.
+func run(seed uint64, opts ...lowsensing.Option) (sim.Result, error) {
+	full := make([]lowsensing.Option, 0, len(opts)+1)
+	full = append(full, lowsensing.WithSeed(seed))
+	full = append(full, opts...)
+	return lowsensing.NewSimulation(full...).Run()
 }
 
 // sweep runs body for every (point, rep) pair of a points×Reps grid as one
@@ -174,23 +153,14 @@ func sweep[T any](rc RunConfig, expID string, points int, body func(point, rep i
 	return out, nil
 }
 
-// sweepSpecs runs each spec rc.Reps times through the runner, seeding
-// every run from its (point, rep) coordinates, and returns the raw engine
-// results grouped by spec.
-func sweepSpecs(rc RunConfig, expID string, specs []runSpec) ([][]sim.Result, error) {
-	return sweep(rc, expID, len(specs), func(point, _ int, seed uint64) (sim.Result, error) {
-		s := specs[point]
-		s.seed = seed
-		return runOnce(s)
-	})
-}
-
 // one submits a single simulation as a runner job and returns its result;
 // used by the trajectory/trace experiments whose claims are about a single
 // evolving execution rather than a replicated sweep.
-func one(rc RunConfig, expID string, spec runSpec) (sim.Result, error) {
+func one(rc RunConfig, expID string, opts ...lowsensing.Option) (sim.Result, error) {
 	rc.Reps = 1
-	rs, err := sweepSpecs(rc, expID, []runSpec{spec})
+	rs, err := sweep(rc, expID, 1, func(_, _ int, seed uint64) (sim.Result, error) {
+		return run(seed, opts...)
+	})
 	if err != nil {
 		return sim.Result{}, err
 	}

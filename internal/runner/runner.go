@@ -193,6 +193,14 @@ func Stream[T any](p *Pool, jobs []Job[T], emit func(i int, r T) error) error {
 				mu.Unlock()
 
 				r, err := jobs[i].Run(jobs[i].Seed)
+				if err != nil {
+					// Flag cancellation immediately (as Run does) rather
+					// than waiting for the collector to drain to the
+					// failure: no new jobs start after the first error.
+					mu.Lock()
+					stopped = true
+					mu.Unlock()
+				}
 				results <- done[T]{i: i, r: r, err: err}
 			}
 		}()

@@ -225,3 +225,108 @@ func TestStreamEmpty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestDeriveSeedGolden freezes the seed mapping: these values are baked
+// into every recorded experiment table (and the checked-in golden tables),
+// so the derivation can never drift silently. If this test fails, the
+// change redefines every experiment's randomness — that is almost never
+// intended.
+func TestDeriveSeedGolden(t *testing.T) {
+	golden := []struct {
+		base  uint64
+		expID string
+		point int
+		rep   int
+		want  uint64
+	}{
+		{20240617, "E1", 0, 0, 0x7abb0e46608fa1a4},
+		{20240617, "E1", 0, 1, 0xd4b382eeb7a34444},
+		{20240617, "E1", 1, 0, 0xa3b11605d534a166},
+		{20240617, "E15/base", 0, 0, 0x19260a02dd4ffba7},
+		{20240617, "sweep", 3, 2, 0x7130bdf07543a9e6},
+		{1, "A1", 7, 4, 0x2b1e261c93996f9f},
+	}
+	for _, g := range golden {
+		if got := DeriveSeed(g.base, g.expID, g.point, g.rep); got != g.want {
+			t.Errorf("DeriveSeed(%d, %q, %d, %d) = 0x%016x, want 0x%016x — the seed mapping drifted",
+				g.base, g.expID, g.point, g.rep, got, g.want)
+		}
+	}
+}
+
+// TestStreamCancelsOnError mirrors TestRunCancelsOnError for the streaming
+// path: after the first failure no new jobs may start (in-flight jobs
+// finish), and the error is the failing job's.
+func TestStreamCancelsOnError(t *testing.T) {
+	boom := errors.New("boom")
+	var started atomic.Int64
+	jobs := make([]Job[int], 1000)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{Run: func(uint64) (int, error) {
+			started.Add(1)
+			if i == 3 {
+				return 0, boom
+			}
+			return i, nil
+		}}
+	}
+	var emitted atomic.Int64
+	err := Stream(New(4), jobs, func(i int, _ int) error {
+		emitted.Add(1)
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if !strings.Contains(err.Error(), "job 3") {
+		t.Fatalf("err = %v, want job index 3", err)
+	}
+	// Cancel-on-first-error: nowhere near all 1000 jobs may have started,
+	// and nothing at or past the failure index may have been emitted.
+	if n := started.Load(); n > 100 {
+		t.Fatalf("%d jobs started after an early failure", n)
+	}
+	if n := emitted.Load(); n > 3 {
+		t.Fatalf("%d results emitted past the failure", n)
+	}
+}
+
+// TestStreamEmitErrorStopsJobs: an emit error must also stop the workers,
+// not just the reorder loop. A gate holds jobs past the first batch until
+// after the emit error has set the stopped flag, so the assertion is free
+// of scheduling luck: any job claimed once the gate opens would prove the
+// flag was ignored.
+func TestStreamEmitErrorStopsJobs(t *testing.T) {
+	stop := errors.New("stop")
+	gate := make(chan struct{})
+	var started atomic.Int64
+	jobs := make([]Job[int], 1000)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{Run: func(uint64) (int, error) {
+			started.Add(1)
+			if i >= 8 {
+				<-gate
+			}
+			return i, nil
+		}}
+	}
+	err := Stream(New(4), jobs, func(i int, _ int) error {
+		if i == 0 {
+			// Release the gated workers well after the collector has
+			// processed this error and flagged cancellation.
+			time.AfterFunc(100*time.Millisecond, func() { close(gate) })
+			return stop
+		}
+		return nil
+	})
+	if !errors.Is(err, stop) {
+		t.Fatalf("err = %v, want stop", err)
+	}
+	// Claimed before the flag: the 8 ungated jobs plus at most one gated
+	// job per worker. Anything beyond means workers kept claiming.
+	if n := started.Load(); n > 12 {
+		t.Fatalf("%d jobs started after emit aborted the sweep", n)
+	}
+}

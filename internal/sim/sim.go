@@ -181,6 +181,17 @@ func (e *EnergyStats) AddPacket(p PacketStats) {
 	}
 }
 
+// Merge folds another run's accumulators into this one: the result is
+// identical to having fed both runs' packets through a single EnergyStats.
+// Sweep aggregation uses this to combine replications in constant memory.
+func (e *EnergyStats) Merge(o *EnergyStats) {
+	e.Sends.Merge(&o.Sends)
+	e.Listens.Merge(&o.Listens)
+	e.Accesses.Merge(&o.Accesses)
+	e.Latency.Merge(&o.Latency)
+	e.Undelivered += o.Undelivered
+}
+
 // Packets returns the number of packets accounted so far.
 func (e *EnergyStats) Packets() int64 { return e.Accesses.Count }
 

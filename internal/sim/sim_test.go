@@ -591,3 +591,30 @@ func TestNoJammer(t *testing.T) {
 		t.Fatal("NoJammer jammed something")
 	}
 }
+
+// TestEnergyStatsMerge: merging per-run accumulators must equal feeding
+// every packet through one accumulator — the sweep-aggregation contract.
+func TestEnergyStatsMerge(t *testing.T) {
+	packets := []PacketStats{
+		{ID: 0, Arrival: 0, Departure: 9, Sends: 3, Listens: 2},
+		{ID: 1, Arrival: 0, Departure: -1, Sends: 7, Listens: 0},
+		{ID: 2, Arrival: 4, Departure: 40, Sends: 1, Listens: 9},
+		{ID: 3, Arrival: 5, Departure: 5, Sends: 1, Listens: 0},
+	}
+	var whole, a, b EnergyStats
+	for i, p := range packets {
+		whole.AddPacket(p)
+		if i < 2 {
+			a.AddPacket(p)
+		} else {
+			b.AddPacket(p)
+		}
+	}
+	a.Merge(&b)
+	if a != whole {
+		t.Fatalf("merged EnergyStats differ:\n%+v\nvs\n%+v", a, whole)
+	}
+	if a.Undelivered != 1 || a.Packets() != 4 {
+		t.Fatalf("merged undelivered=%d packets=%d", a.Undelivered, a.Packets())
+	}
+}

@@ -69,6 +69,15 @@ func (h *LogHist) Add(v int64) {
 // N returns the number of observations recorded.
 func (h *LogHist) N() int64 { return h.n }
 
+// Merge folds another histogram into this one: the result is identical to
+// having Added both observation streams to a single histogram.
+func (h *LogHist) Merge(o *LogHist) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.n += o.n
+}
+
 // Quantile returns the q-quantile (0 <= q <= 1) using the same rank
 // convention as Quantile on a sorted sample: the rank q·(n-1) is linearly
 // interpolated between the values at the two surrounding integer ranks.
@@ -148,6 +157,29 @@ func (t *Tally) Add(v int64) {
 	t.Sum += v
 	t.SumSq += float64(v) * float64(v)
 	t.Hist.Add(v)
+}
+
+// Merge folds another accumulator into this one: the result is identical
+// to having Added both observation streams to a single Tally. Sweep
+// aggregation uses this to combine replications without retaining samples.
+func (t *Tally) Merge(o *Tally) {
+	if o.Count == 0 {
+		return
+	}
+	if t.Count == 0 {
+		t.MinV, t.MaxV = o.MinV, o.MaxV
+	} else {
+		if o.MinV < t.MinV {
+			t.MinV = o.MinV
+		}
+		if o.MaxV > t.MaxV {
+			t.MaxV = o.MaxV
+		}
+	}
+	t.Count += o.Count
+	t.Sum += o.Sum
+	t.SumSq += o.SumSq
+	t.Hist.Merge(&o.Hist)
 }
 
 // Mean returns the exact mean (0 if empty): the sum is kept as an integer,

@@ -178,3 +178,62 @@ func relDiff(a, b float64) float64 {
 	}
 	return math.Abs(a-b) / math.Abs(b)
 }
+
+// TestTallyMerge: merging split streams must be bit-identical to feeding
+// one Tally the whole stream — the property sweep aggregation relies on.
+func TestTallyMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var whole, a, b, c Tally
+	for i := 0; i < 3000; i++ {
+		v := rng.Int63n(1 << 20)
+		whole.Add(v)
+		switch i % 3 {
+		case 0:
+			a.Add(v)
+		case 1:
+			b.Add(v)
+		case 2:
+			c.Add(v)
+		}
+	}
+	var merged Tally
+	merged.Merge(&a)
+	merged.Merge(&b)
+	merged.Merge(&c)
+	if merged != whole {
+		t.Fatalf("merged tally differs from whole-stream tally:\n%+v\nvs\n%+v",
+			merged.Summary(), whole.Summary())
+	}
+
+	// Merging an empty tally is a no-op; merging into an empty tally copies.
+	var empty Tally
+	before := merged
+	merged.Merge(&empty)
+	if merged != before {
+		t.Fatal("merging empty changed the tally")
+	}
+	var dst Tally
+	dst.Merge(&whole)
+	if dst != whole {
+		t.Fatal("merge into empty did not copy")
+	}
+}
+
+func TestLogHistMerge(t *testing.T) {
+	var whole, a, b LogHist
+	for v := int64(0); v < 500; v++ {
+		whole.Add(v * v)
+		if v%2 == 0 {
+			a.Add(v * v)
+		} else {
+			b.Add(v * v)
+		}
+	}
+	a.Merge(&b)
+	if a != whole {
+		t.Fatal("merged histogram differs from whole-stream histogram")
+	}
+	if a.N() != whole.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), whole.N())
+	}
+}

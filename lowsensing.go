@@ -13,10 +13,15 @@
 //	).Run()
 //	// res.Throughput() ≈ 0.3, res.MeanAccesses() = O(polylog N)
 //
-// Deeper control is available through the option set in this package; the
-// internal packages (sim, core, protocols, jamming, arrivals, metrics,
-// harness) carry the full machinery and are what the examples and
-// cmd/experiments build on.
+// Runs are described declaratively by a Scenario — a serializable value
+// covering arrivals, protocol, jammer, slot cap, and seed — and multi-run
+// experiments by a Sweep, which executes every (point, replication) pair of
+// a parameter grid on a worker pool with deterministic per-job seeding and
+// streams per-point aggregates. The functional options below are
+// constructors over the same Scenario data, so the two styles compose:
+//
+//	sc, _ := lowsensing.ParseScenario(jsonSpec) // specs can live in files
+//	res, _ := sc.Run()
 //
 // Default runs are constant-memory per live packet — the engine state and
 // the Result both stay O(backlog) on arbitrarily long streams, with energy
@@ -25,16 +30,14 @@
 package lowsensing
 
 import (
-	"fmt"
+	"errors"
 
-	"lowsensing/internal/arrivals"
 	"lowsensing/internal/core"
-	"lowsensing/internal/jamming"
 	"lowsensing/internal/livenet"
 	"lowsensing/internal/metrics"
 	"lowsensing/internal/prng"
-	"lowsensing/internal/protocols"
 	"lowsensing/internal/sim"
+	"lowsensing/internal/stats"
 	"lowsensing/internal/trace"
 )
 
@@ -50,6 +53,19 @@ type Result = sim.Result
 // PacketStats is the per-packet lifetime/energy record inside Result.
 type PacketStats = sim.PacketStats
 
+// EnergyStats holds the streaming per-packet accumulators every Result
+// carries (Result.Energy): one Tally per metric, in constant memory.
+type EnergyStats = sim.EnergyStats
+
+// Tally is a streaming accumulator — count, exact sum, min/max, second
+// moment, and a log-bucketed histogram answering quantile queries — used by
+// EnergyStats and sweep aggregates.
+type Tally = stats.Tally
+
+// Welford accumulates mean, variance, min, and max in one pass without
+// storing the sample; sweep aggregates use it for per-replication scalars.
+type Welford = stats.Welford
+
 // EnergySummary aggregates per-packet access statistics.
 type EnergySummary = metrics.EnergySummary
 
@@ -60,6 +76,23 @@ type Collector = metrics.Collector
 // Tracer records per-slot channel events; attach one with WithTracer.
 type Tracer = trace.Tracer
 
+// ArrivalSource produces the (slot, count) arrival schedule of a run; see
+// sim.ArrivalSource for the contract. Supply a custom one with
+// WithArrivals.
+type ArrivalSource = sim.ArrivalSource
+
+// Jammer decides which slots the adversary jams; see sim.Jammer for the
+// contract. Supply a custom one with WithJammer.
+type Jammer = sim.Jammer
+
+// Station is the per-packet protocol state machine; see sim.Station for
+// the engine contract.
+type Station = sim.Station
+
+// StationFactory builds the Station for each newly injected packet. Supply
+// a custom one with WithStations.
+type StationFactory = sim.StationFactory
+
 // DefaultConfig returns the reference algorithm parameters used throughout
 // the experiments (c = 0.5, w_min = 8, k = 3).
 func DefaultConfig() Config { return core.Default() }
@@ -67,21 +100,31 @@ func DefaultConfig() Config { return core.Default() }
 // SummarizeEnergy computes per-packet energy and latency statistics.
 func SummarizeEnergy(r Result) EnergySummary { return metrics.SummarizeEnergy(r) }
 
+// ErrReused is returned by Run when a Simulation wired to stateful
+// instances (WithArrivals, WithJammer) is run a second time: the instance's
+// arrival stream or jam budget was consumed by the first run, so re-running
+// would silently simulate a different workload. Rebuild the Simulation, or
+// describe the run as a Scenario — scenario-backed simulations reconstruct
+// every component per Run and can be re-run freely.
+var ErrReused = errors.New("lowsensing: Simulation already run; WithArrivals/WithJammer wrap single-use instances — rebuild it or use a Scenario")
+
 // Simulation is a configured run, built by NewSimulation.
 //
-// Seeded components (arrival processes, random jammers) are constructed at
-// Run time from the final seed, so WithSeed composes with the other
-// options in any order.
+// The serializable part of the configuration lives in an underlying
+// Scenario (see the Scenario method); options are constructors over that
+// data. Seeded components (arrival processes, random jammers) are
+// constructed at Run time from the final seed, so WithSeed composes with
+// the other options in any order.
 type Simulation struct {
-	err      error
-	seed     uint64
-	maxSlots int64
-	arrivals func(seed uint64) (sim.ArrivalSource, error)
-	factory  sim.StationFactory
-	jammer   func(seed uint64) (sim.Jammer, error)
-	probes   []func(*sim.Engine, int64)
-	sink     func(sim.PacketStats)
-	retain   bool
+	err error
+	sc  Scenario
+	// Custom (non-serializable) components override the scenario fields.
+	customArrivals ArrivalSource
+	customFactory  StationFactory
+	customJammer   Jammer
+	probes         []func(*sim.Engine, int64)
+	sink           func(PacketStats)
+	ran            bool
 }
 
 // Option configures a Simulation.
@@ -106,32 +149,40 @@ func NewSimulation(opts ...Option) *Simulation {
 	return s
 }
 
+// Scenario returns the serializable description of this simulation. It is
+// complete — marshal it, store it, Run it later — unless custom instances
+// (WithArrivals, WithStations, WithJammer) or probes/sinks were attached;
+// those cannot be expressed as data and are absent from the Scenario.
+func (s *Simulation) Scenario() Scenario { return s.sc }
+
 // Run executes the simulation.
 func (s *Simulation) Run() (Result, error) {
 	if s.err != nil {
 		return Result{}, s.err
 	}
-	if s.arrivals == nil {
-		return Result{}, fmt.Errorf("lowsensing: no arrival process configured (use WithBatchArrivals or friends)")
+	if s.ran && (s.customArrivals != nil || s.customJammer != nil) {
+		return Result{}, ErrReused
 	}
-	src, err := s.arrivals(s.seed)
-	if err != nil {
-		return Result{}, err
-	}
-	var jammer sim.Jammer
-	if s.jammer != nil {
-		jammer, err = s.jammer(s.seed)
-		if err != nil {
+	src := s.customArrivals
+	if src == nil {
+		var err error
+		if src, err = s.sc.Arrivals.Source(s.sc.Seed); err != nil {
 			return Result{}, err
 		}
 	}
-	factory := s.factory
+	jammer := s.customJammer
+	if jammer == nil {
+		var err error
+		if jammer, err = s.sc.Jammer.Jammer(s.sc.Seed); err != nil {
+			return Result{}, err
+		}
+	}
+	factory := s.customFactory
 	if factory == nil {
-		f, err := core.NewFactory(core.Default())
-		if err != nil {
+		var err error
+		if factory, err = s.sc.Protocol.Factory(); err != nil {
 			return Result{}, err
 		}
-		factory = f
 	}
 	var probe func(*sim.Engine, int64)
 	if len(s.probes) == 1 {
@@ -144,15 +195,19 @@ func (s *Simulation) Run() (Result, error) {
 			}
 		}
 	}
+	// Only past this point can the engine consume custom instances; earlier
+	// configuration errors leave the Simulation retryable, so a failed Run
+	// keeps reporting its real error rather than ErrReused.
+	s.ran = true
 	e, err := sim.NewEngine(sim.Params{
-		Seed:          s.seed,
+		Seed:          s.sc.Seed,
 		Arrivals:      src,
 		NewStation:    factory,
 		Jammer:        jammer,
-		MaxSlots:      s.maxSlots,
+		MaxSlots:      s.sc.MaxSlots,
 		Probe:         probe,
 		PacketSink:    s.sink,
-		RetainPackets: s.retain,
+		RetainPackets: s.sc.RetainPackets,
 	})
 	if err != nil {
 		return Result{}, err
@@ -166,130 +221,135 @@ func (s *Simulation) fail(err error) {
 	}
 }
 
+// FromScenario loads a whole scenario at once, replacing any previously
+// configured scenario fields and custom components. Probes and sinks
+// attached by other options are kept.
+func FromScenario(sc Scenario) Option {
+	return func(s *Simulation) {
+		s.sc = sc
+		s.customArrivals = nil
+		s.customFactory = nil
+		s.customJammer = nil
+	}
+}
+
 // WithSeed fixes the run's random seed; identical seeds give identical
 // runs.
-func WithSeed(seed uint64) Option { return func(s *Simulation) { s.seed = seed } }
+func WithSeed(seed uint64) Option { return func(s *Simulation) { s.sc.Seed = seed } }
 
 // WithMaxSlots caps the run length (0 means the engine default).
-func WithMaxSlots(n int64) Option { return func(s *Simulation) { s.maxSlots = n } }
+func WithMaxSlots(n int64) Option { return func(s *Simulation) { s.sc.MaxSlots = n } }
+
+// setArrivals installs an arrivals spec, clearing any custom source.
+func setArrivals(s *Simulation, a ArrivalsSpec) {
+	s.sc.Arrivals = a
+	s.customArrivals = nil
+}
 
 // WithBatchArrivals injects n packets at slot 0 — the classic batch
 // instance.
 func WithBatchArrivals(n int64) Option {
-	return func(s *Simulation) {
-		if n <= 0 {
-			s.fail(fmt.Errorf("lowsensing: batch size must be > 0, got %d", n))
-			return
-		}
-		s.arrivals = func(uint64) (sim.ArrivalSource, error) { return arrivals.NewBatch(n), nil }
-	}
+	return func(s *Simulation) { setArrivals(s, BatchArrivals(n)) }
 }
 
 // WithBernoulliArrivals injects one packet per slot with the given
 // probability, stopping after total packets (total <= 0 means unbounded —
 // pair with WithMaxSlots).
 func WithBernoulliArrivals(rate float64, total int64) Option {
-	return func(s *Simulation) {
-		s.arrivals = func(seed uint64) (sim.ArrivalSource, error) {
-			return arrivals.NewBernoulli(rate, total, seed)
-		}
-	}
+	return func(s *Simulation) { setArrivals(s, BernoulliArrivals(rate, total)) }
 }
 
 // WithPoissonArrivals injects Poisson(lambda) packets per slot, stopping
 // after total packets (total <= 0 means unbounded).
 func WithPoissonArrivals(lambda float64, total int64) Option {
-	return func(s *Simulation) {
-		s.arrivals = func(seed uint64) (sim.ArrivalSource, error) {
-			return arrivals.NewPoisson(lambda, total, seed)
-		}
-	}
+	return func(s *Simulation) { setArrivals(s, PoissonArrivals(lambda, total)) }
 }
 
 // WithQueueArrivals injects adversarial-queuing-theory arrivals: in each of
 // `windows` consecutive windows of S slots, a burst of floor(lambda·S)
 // packets lands at the window start (the model's worst case).
 func WithQueueArrivals(S int64, lambda float64, windows int64) Option {
+	return func(s *Simulation) { setArrivals(s, QueueArrivals(S, lambda, windows)) }
+}
+
+// WithArrivalsSpec selects the arrival process from a declarative spec
+// (see the Arrivals* constants and the BatchArrivals/BernoulliArrivals/...
+// constructors); it is the data-driven counterpart of the WithXxxArrivals
+// options.
+func WithArrivalsSpec(a ArrivalsSpec) Option {
+	return func(s *Simulation) { setArrivals(s, a) }
+}
+
+// WithArrivals supplies a custom arrival source instance. Arrival sources
+// are consumed as they run, so a Simulation carrying one is single-use:
+// a second Run returns ErrReused.
+func WithArrivals(src ArrivalSource) Option {
 	return func(s *Simulation) {
-		s.arrivals = func(seed uint64) (sim.ArrivalSource, error) {
-			return arrivals.NewAQT(S, lambda, windows, arrivals.AQTBurst, seed)
-		}
+		s.sc.Arrivals = ArrivalsSpec{}
+		s.customArrivals = src
 	}
 }
 
-// WithArrivals supplies a custom arrival source.
-func WithArrivals(src sim.ArrivalSource) Option {
+// WithProtocol selects the protocol from a declarative spec (see the
+// Protocol* constants and the LowSensing/BEB/MWU/... constructors).
+func WithProtocol(p ProtocolSpec) Option {
 	return func(s *Simulation) {
-		s.arrivals = func(uint64) (sim.ArrivalSource, error) { return src, nil }
+		s.sc.Protocol = p
+		s.customFactory = nil
 	}
 }
 
 // WithLowSensing runs LOW-SENSING BACKOFF with the given parameters (the
-// default protocol uses DefaultConfig).
+// default protocol uses DefaultConfig). Unlike the ProtocolSpec rule that a
+// zero Config means DefaultConfig, an explicitly supplied invalid Config —
+// including the zero Config — is rejected.
 func WithLowSensing(cfg Config) Option {
 	return func(s *Simulation) {
-		f, err := core.NewFactory(cfg)
-		if err != nil {
+		if err := cfg.Validate(); err != nil {
 			s.fail(err)
 			return
 		}
-		s.factory = f
+		s.sc.Protocol = LowSensing(cfg)
+		s.customFactory = nil
 	}
 }
 
 // WithBinaryExponentialBackoff runs the classic oblivious baseline instead
 // of LOW-SENSING BACKOFF.
-func WithBinaryExponentialBackoff() Option {
-	return func(s *Simulation) {
-		f, err := protocols.NewBEBFactory(2, 0)
-		if err != nil {
-			s.fail(err)
-			return
-		}
-		s.factory = f
-	}
-}
+func WithBinaryExponentialBackoff() Option { return WithProtocol(BEB()) }
 
 // WithFullSensingMWU runs the short-feedback-loop multiplicative-weights
 // baseline (listens every slot).
-func WithFullSensingMWU() Option {
-	return func(s *Simulation) {
-		f, err := protocols.NewMWUFactory(protocols.DefaultMWUConfig())
-		if err != nil {
-			s.fail(err)
-			return
-		}
-		s.factory = f
-	}
-}
+func WithFullSensingMWU() Option { return WithProtocol(MWU()) }
 
 // WithSawtoothBackoff runs the fully oblivious sawtooth-backoff baseline
 // (constant throughput on batches without any feedback; see experiment
 // E11 for how it fares under dynamic arrivals).
-func WithSawtoothBackoff() Option {
-	return func(s *Simulation) { s.factory = protocols.NewSawtoothFactory() }
-}
+func WithSawtoothBackoff() Option { return WithProtocol(Sawtooth()) }
 
 // WithStations supplies a custom station factory (any sim.Station
 // implementation).
-func WithStations(f sim.StationFactory) Option {
-	return func(s *Simulation) { s.factory = f }
+func WithStations(f StationFactory) Option {
+	return func(s *Simulation) {
+		s.sc.Protocol = ProtocolSpec{}
+		s.customFactory = f
+	}
 }
 
 // WithRandomJamming jams each slot independently with the given rate, up to
 // budget jams (budget <= 0 means unbounded).
 func WithRandomJamming(rate float64, budget int64) Option {
 	return func(s *Simulation) {
-		s.jammer = func(seed uint64) (sim.Jammer, error) {
-			return jamming.NewRandom(rate, budget, seed^0x6a)
-		}
+		s.sc.Jammer = RandomJamming(rate, budget)
+		s.customJammer = nil
 	}
 }
 
 // WithBurstJamming jams every slot in [from, to).
 func WithBurstJamming(from, to int64) Option {
 	return func(s *Simulation) {
-		s.jammer = func(uint64) (sim.Jammer, error) { return jamming.NewInterval(from, to) }
+		s.sc.Jammer = BurstJamming(from, to)
+		s.customJammer = nil
 	}
 }
 
@@ -297,14 +357,18 @@ func WithBurstJamming(from, to int64) Option {
 // whenever the given packet transmits, up to budget jams.
 func WithReactiveJamming(target, budget int64) Option {
 	return func(s *Simulation) {
-		s.jammer = func(uint64) (sim.Jammer, error) { return jamming.NewReactiveTargeted(target, budget) }
+		s.sc.Jammer = ReactiveJamming(target, budget)
+		s.customJammer = nil
 	}
 }
 
-// WithJammer supplies a custom jammer.
-func WithJammer(j sim.Jammer) Option {
+// WithJammer supplies a custom jammer instance. Jammers spend budget as
+// they run, so a Simulation carrying one is single-use: a second Run
+// returns ErrReused.
+func WithJammer(j Jammer) Option {
 	return func(s *Simulation) {
-		s.jammer = func(uint64) (sim.Jammer, error) { return j, nil }
+		s.sc.Jammer = JammerSpec{}
+		s.customJammer = j
 	}
 }
 
@@ -339,7 +403,7 @@ func WithPacketSink(sink func(PacketStats)) Option {
 // Result.Energy; retain only when the analysis genuinely needs the full
 // per-packet table (use WithPacketSink otherwise).
 func WithRetainPacketStats() Option {
-	return func(s *Simulation) { s.retain = true }
+	return func(s *Simulation) { s.sc.RetainPackets = true }
 }
 
 // LiveResult is the outcome of a concurrent (goroutine-per-device) run.

@@ -1,0 +1,314 @@
+package lowsensing
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"lowsensing/internal/arrivals"
+	"lowsensing/internal/core"
+	"lowsensing/internal/jamming"
+	"lowsensing/internal/protocols"
+)
+
+// Scenario is a declarative, serializable description of one simulation
+// run: arrivals, protocol, jammer, slot cap, retention, and seed. It is the
+// value-type counterpart of the functional options — every option that
+// configures something expressible as data writes into the Simulation's
+// underlying Scenario, and FromScenario goes the other way — so specs can
+// live in JSON files, be diffed, and be swept over.
+//
+// A Scenario is pure data: Run constructs every stateful component
+// (arrival sources, jammers, stations) fresh from the spec and the seed, so
+// the same Scenario can be Run any number of times and always describes the
+// same distribution over executions. The JSON encoding round-trips:
+// unmarshal(marshal(sc)) runs identically to sc.
+type Scenario struct {
+	// Seed fixes the run's randomness; identical seeds give identical runs.
+	Seed uint64 `json:"seed,omitempty"`
+	// MaxSlots caps the run length (0 means the engine default).
+	MaxSlots int64 `json:"max_slots,omitempty"`
+	// Arrivals is the packet arrival process. Required.
+	Arrivals ArrivalsSpec `json:"arrivals"`
+	// Protocol selects the contention-resolution protocol. The zero value
+	// is LOW-SENSING BACKOFF with DefaultConfig.
+	Protocol ProtocolSpec `json:"protocol,omitzero"`
+	// Jammer selects the adversary. The zero value means no jamming.
+	Jammer JammerSpec `json:"jammer,omitzero"`
+	// RetainPackets materializes Result.Packets (O(arrivals) memory).
+	RetainPackets bool `json:"retain_packets,omitempty"`
+}
+
+// Simulation builds a runnable Simulation from the scenario; extra options
+// (probes, sinks, custom components) may be layered on top.
+func (sc Scenario) Simulation(opts ...Option) *Simulation {
+	return NewSimulation(append([]Option{FromScenario(sc)}, opts...)...)
+}
+
+// Run executes the scenario once. All stateful components are constructed
+// fresh, so Run may be called repeatedly and concurrently on copies.
+func (sc Scenario) Run() (Result, error) { return sc.Simulation().Run() }
+
+// Validate checks that every part of the scenario is constructible. It
+// builds (and discards) the seeded components, so a nil error means Run
+// cannot fail before the engine starts.
+func (sc Scenario) Validate() error {
+	if _, err := sc.Arrivals.Source(sc.Seed); err != nil {
+		return err
+	}
+	if _, err := sc.Protocol.Factory(); err != nil {
+		return err
+	}
+	if _, err := sc.Jammer.Jammer(sc.Seed); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ParseScenario decodes a JSON scenario strictly (unknown fields are
+// errors, catching typos in spec files) and validates it.
+func ParseScenario(data []byte) (Scenario, error) {
+	var sc Scenario
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sc); err != nil {
+		return Scenario{}, fmt.Errorf("lowsensing: parsing scenario: %w", err)
+	}
+	if err := sc.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	return sc, nil
+}
+
+// Arrival process kinds.
+const (
+	// ArrivalsBatch injects N packets at slot 0.
+	ArrivalsBatch = "batch"
+	// ArrivalsBernoulli injects one packet per slot with probability Rate.
+	ArrivalsBernoulli = "bernoulli"
+	// ArrivalsPoisson injects Poisson(Rate) packets per slot.
+	ArrivalsPoisson = "poisson"
+	// ArrivalsQueue is the adversarial-queuing model: bursts of
+	// floor(Rate·Granularity) packets at the start of each window.
+	ArrivalsQueue = "aqt"
+)
+
+// ArrivalsSpec describes a packet arrival process as data.
+type ArrivalsSpec struct {
+	// Kind is one of the Arrivals* constants.
+	Kind string `json:"kind"`
+	// N is the batch size (batch) or the total packet budget
+	// (bernoulli/poisson; <= 0 means unbounded — pair with MaxSlots).
+	N int64 `json:"n,omitempty"`
+	// Rate is the per-slot probability (bernoulli), intensity (poisson),
+	// or window rate λ (aqt).
+	Rate float64 `json:"rate,omitempty"`
+	// Granularity is the AQT window length S.
+	Granularity int64 `json:"granularity,omitempty"`
+	// Windows is the number of AQT windows.
+	Windows int64 `json:"windows,omitempty"`
+}
+
+// BatchArrivals describes n packets injected at slot 0 — the classic batch
+// instance.
+func BatchArrivals(n int64) ArrivalsSpec { return ArrivalsSpec{Kind: ArrivalsBatch, N: n} }
+
+// BernoulliArrivals describes one packet per slot with the given
+// probability, stopping after total packets (total <= 0 means unbounded).
+func BernoulliArrivals(rate float64, total int64) ArrivalsSpec {
+	return ArrivalsSpec{Kind: ArrivalsBernoulli, Rate: rate, N: total}
+}
+
+// PoissonArrivals describes Poisson(lambda) packets per slot, stopping
+// after total packets (total <= 0 means unbounded).
+func PoissonArrivals(lambda float64, total int64) ArrivalsSpec {
+	return ArrivalsSpec{Kind: ArrivalsPoisson, Rate: lambda, N: total}
+}
+
+// QueueArrivals describes adversarial-queuing-theory arrivals: in each of
+// `windows` consecutive windows of S slots, a burst of floor(lambda·S)
+// packets lands at the window start (the model's worst case).
+func QueueArrivals(S int64, lambda float64, windows int64) ArrivalsSpec {
+	return ArrivalsSpec{Kind: ArrivalsQueue, Granularity: S, Rate: lambda, Windows: windows}
+}
+
+// Source constructs the arrival source the spec describes, seeded for one
+// run. Most callers never need it — Scenario.Run builds components
+// internally — but it lets a spec'd process feed WithArrivals or a custom
+// engine.
+func (a ArrivalsSpec) Source(seed uint64) (ArrivalSource, error) {
+	switch a.Kind {
+	case "":
+		return nil, fmt.Errorf("lowsensing: no arrival process configured (use WithBatchArrivals or friends)")
+	case ArrivalsBatch:
+		if a.N <= 0 {
+			return nil, fmt.Errorf("lowsensing: batch size must be > 0, got %d", a.N)
+		}
+		return arrivals.NewBatch(a.N), nil
+	case ArrivalsBernoulli:
+		return arrivals.NewBernoulli(a.Rate, a.N, seed)
+	case ArrivalsPoisson:
+		return arrivals.NewPoisson(a.Rate, a.N, seed)
+	case ArrivalsQueue:
+		return arrivals.NewAQT(a.Granularity, a.Rate, a.Windows, arrivals.AQTBurst, seed)
+	default:
+		return nil, fmt.Errorf("lowsensing: unknown arrival kind %q", a.Kind)
+	}
+}
+
+// Protocol kinds.
+const (
+	// ProtocolLSB is LOW-SENSING BACKOFF (the paper's algorithm).
+	ProtocolLSB = "lsb"
+	// ProtocolBEB is classic binary exponential backoff.
+	ProtocolBEB = "beb"
+	// ProtocolMWU is the full-sensing multiplicative-weights baseline.
+	ProtocolMWU = "mwu"
+	// ProtocolSawtooth is the fully oblivious sawtooth-backoff baseline.
+	ProtocolSawtooth = "sawtooth"
+	// ProtocolAloha is fixed-rate slotted ALOHA with send probability
+	// SendProb.
+	ProtocolAloha = "aloha"
+	// ProtocolPoly is polynomial backoff with initial window W0 and
+	// exponent Alpha.
+	ProtocolPoly = "poly"
+	// ProtocolGenie is the genie-aided ALOHA oracle (knows the backlog).
+	ProtocolGenie = "genie"
+)
+
+// ProtocolSpec describes a contention-resolution protocol as data. The
+// zero value is LOW-SENSING BACKOFF with DefaultConfig.
+type ProtocolSpec struct {
+	// Kind is one of the Protocol* constants; "" means ProtocolLSB.
+	Kind string `json:"kind,omitempty"`
+	// Config holds the LSB parameters; the zero value means
+	// DefaultConfig. Ignored by other kinds.
+	Config Config `json:"config,omitzero"`
+	// SendProb is the ALOHA per-slot send probability.
+	SendProb float64 `json:"send_prob,omitempty"`
+	// W0 and Alpha parameterize polynomial backoff (defaults 2 and 2).
+	W0    int64   `json:"w0,omitempty"`
+	Alpha float64 `json:"alpha,omitempty"`
+}
+
+// LowSensing describes LOW-SENSING BACKOFF with the given parameters. A
+// zero Config means DefaultConfig (prefer WithLowSensing when configuring a
+// Simulation directly: it validates the parameters eagerly).
+func LowSensing(cfg Config) ProtocolSpec { return ProtocolSpec{Kind: ProtocolLSB, Config: cfg} }
+
+// BEB describes classic binary exponential backoff.
+func BEB() ProtocolSpec { return ProtocolSpec{Kind: ProtocolBEB} }
+
+// MWU describes the full-sensing multiplicative-weights baseline.
+func MWU() ProtocolSpec { return ProtocolSpec{Kind: ProtocolMWU} }
+
+// Sawtooth describes the oblivious sawtooth-backoff baseline.
+func Sawtooth() ProtocolSpec { return ProtocolSpec{Kind: ProtocolSawtooth} }
+
+// Aloha describes fixed-rate slotted ALOHA with per-slot send probability p.
+func Aloha(p float64) ProtocolSpec { return ProtocolSpec{Kind: ProtocolAloha, SendProb: p} }
+
+// Poly describes polynomial backoff with initial window w0 and exponent
+// alpha.
+func Poly(w0 int64, alpha float64) ProtocolSpec {
+	return ProtocolSpec{Kind: ProtocolPoly, W0: w0, Alpha: alpha}
+}
+
+// GenieAloha describes the genie-aided ALOHA oracle.
+func GenieAloha() ProtocolSpec { return ProtocolSpec{Kind: ProtocolGenie} }
+
+// Factory constructs the station factory the spec describes.
+func (p ProtocolSpec) Factory() (StationFactory, error) {
+	switch p.Kind {
+	case "", ProtocolLSB:
+		cfg := p.Config
+		if cfg == (Config{}) {
+			cfg = DefaultConfig()
+		}
+		return core.NewFactory(cfg)
+	case ProtocolBEB:
+		return protocols.NewBEBFactory(2, 0)
+	case ProtocolMWU:
+		return protocols.NewMWUFactory(protocols.DefaultMWUConfig())
+	case ProtocolSawtooth:
+		return protocols.NewSawtoothFactory(), nil
+	case ProtocolAloha:
+		return protocols.NewAlohaFactory(p.SendProb)
+	case ProtocolPoly:
+		w0, alpha := p.W0, p.Alpha
+		if w0 == 0 {
+			w0 = 2
+		}
+		if alpha == 0 {
+			alpha = 2
+		}
+		return protocols.NewPolyFactory(w0, alpha)
+	case ProtocolGenie:
+		return protocols.NewGenieAlohaFactory(), nil
+	default:
+		return nil, fmt.Errorf("lowsensing: unknown protocol kind %q", p.Kind)
+	}
+}
+
+// Jammer kinds.
+const (
+	// JammerRandom jams each slot independently with probability Rate, up
+	// to Budget jams (0 = unbounded).
+	JammerRandom = "random"
+	// JammerBurst jams every slot in [From, To).
+	JammerBurst = "burst"
+	// JammerReactive jams whenever packet Target transmits, up to Budget
+	// jams.
+	JammerReactive = "reactive"
+)
+
+// JammerSpec describes an adversary as data. The zero value means no
+// jamming.
+type JammerSpec struct {
+	// Kind is one of the Jammer* constants; "" means no jammer.
+	Kind string `json:"kind,omitempty"`
+	// Rate is the random jammer's per-slot probability.
+	Rate float64 `json:"rate,omitempty"`
+	// From and To bound the burst jammer's interval [From, To).
+	From int64 `json:"from,omitempty"`
+	To   int64 `json:"to,omitempty"`
+	// Budget caps the total jams (0 = unbounded for random; required > 0
+	// semantics follow the underlying jammer).
+	Budget int64 `json:"budget,omitempty"`
+	// Target is the reactive jammer's victim packet id.
+	Target int64 `json:"target,omitempty"`
+}
+
+// RandomJamming describes an adversary that jams each slot independently
+// with the given rate, up to budget jams (budget <= 0 means unbounded).
+func RandomJamming(rate float64, budget int64) JammerSpec {
+	return JammerSpec{Kind: JammerRandom, Rate: rate, Budget: budget}
+}
+
+// BurstJamming describes an adversary that jams every slot in [from, to).
+func BurstJamming(from, to int64) JammerSpec {
+	return JammerSpec{Kind: JammerBurst, From: from, To: to}
+}
+
+// ReactiveJamming describes a reactive adversary (paper §1.3) that jams
+// whenever the given packet transmits, up to budget jams.
+func ReactiveJamming(target, budget int64) JammerSpec {
+	return JammerSpec{Kind: JammerReactive, Target: target, Budget: budget}
+}
+
+// Jammer constructs the jammer the spec describes, seeded for one run; a
+// nil Jammer (zero spec) means no jamming.
+func (j JammerSpec) Jammer(seed uint64) (Jammer, error) {
+	switch j.Kind {
+	case "":
+		return nil, nil
+	case JammerRandom:
+		return jamming.NewRandom(j.Rate, j.Budget, seed^0x6a)
+	case JammerBurst:
+		return jamming.NewInterval(j.From, j.To)
+	case JammerReactive:
+		return jamming.NewReactiveTargeted(j.Target, j.Budget)
+	default:
+		return nil, fmt.Errorf("lowsensing: unknown jammer kind %q", j.Kind)
+	}
+}

@@ -1,0 +1,412 @@
+package lowsensing
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"lowsensing/internal/runner"
+)
+
+// Sweep is a declarative multi-run experiment: a base Scenario, one or more
+// axes that each vary part of it, and a replication count. Executing the
+// sweep runs every (point, replication) pair of the cartesian grid on a
+// worker pool and aggregates each point's replications into streaming
+// statistics — no per-packet data is ever retained, so sweeps scale to
+// arbitrarily long runs.
+//
+// Reproducibility contract: every job's seed is derived only from
+// (Seed, ID, point index, replication index) via the same SplitMix64 chain
+// the experiment harness uses, results are folded in job order, and
+// aggregation is single-threaded — so the output is a pure function of the
+// sweep definition, whatever Workers is.
+//
+//	points, err := lowsensing.NewSweep(lowsensing.Scenario{Arrivals: lowsensing.BatchArrivals(512)}).
+//	    Vary("rate", []float64{0.05, 0.1, 0.2}, func(sc *lowsensing.Scenario, v float64) {
+//	        sc.Arrivals = lowsensing.BernoulliArrivals(v, 512)
+//	    }).
+//	    VaryProtocol(lowsensing.LowSensing(lowsensing.DefaultConfig()), lowsensing.BEB()).
+//	    Reps(5).
+//	    Run()
+type Sweep struct {
+	err     error
+	base    Scenario
+	id      string
+	seed    uint64
+	reps    int
+	workers int
+	axes    []sweepAxis
+}
+
+type sweepAxis struct {
+	name   string
+	labels []string
+	apply  []func(*Scenario)
+}
+
+// NewSweep starts a sweep over variations of the base scenario. The sweep
+// seed defaults to the base scenario's seed, the ID to "sweep", and Reps
+// to 1.
+func NewSweep(base Scenario) *Sweep {
+	return &Sweep{base: base, id: "sweep", seed: base.Seed, reps: 1}
+}
+
+func (sw *Sweep) fail(err error) *Sweep {
+	if sw.err == nil && err != nil {
+		sw.err = err
+	}
+	return sw
+}
+
+// ID names the sweep. The name domain-separates seed derivation: two sweeps
+// with different IDs draw independent randomness from the same seed.
+func (sw *Sweep) ID(id string) *Sweep {
+	sw.id = id
+	return sw
+}
+
+// Seed fixes the base seed all job seeds are derived from.
+func (sw *Sweep) Seed(seed uint64) *Sweep {
+	sw.seed = seed
+	return sw
+}
+
+// Reps sets how many replications run at every point (default 1).
+func (sw *Sweep) Reps(n int) *Sweep {
+	if n < 1 {
+		return sw.fail(fmt.Errorf("lowsensing: sweep reps must be >= 1, got %d", n))
+	}
+	sw.reps = n
+	return sw
+}
+
+// Workers bounds how many simulations run concurrently; 0 (the default)
+// means one worker per usable CPU. Results are identical for every value.
+func (sw *Sweep) Workers(n int) *Sweep {
+	if n < 0 {
+		return sw.fail(fmt.Errorf("lowsensing: sweep workers must be >= 0, got %d", n))
+	}
+	sw.workers = n
+	return sw
+}
+
+// addAxis validates and appends one axis.
+func (sw *Sweep) addAxis(name string, labels []string, apply []func(*Scenario)) *Sweep {
+	if name == "" {
+		return sw.fail(fmt.Errorf("lowsensing: sweep axis needs a name"))
+	}
+	if len(labels) == 0 {
+		return sw.fail(fmt.Errorf("lowsensing: sweep axis %q has no values", name))
+	}
+	sw.axes = append(sw.axes, sweepAxis{name: name, labels: labels, apply: apply})
+	return sw
+}
+
+// Vary adds an axis over float64 values: at each point, apply rewrites the
+// scenario for one value (set an arrival rate, a jam rate, an algorithm
+// constant, ...).
+func (sw *Sweep) Vary(name string, values []float64, apply func(*Scenario, float64)) *Sweep {
+	labels := make([]string, len(values))
+	applies := make([]func(*Scenario), len(values))
+	for i, v := range values {
+		v := v
+		labels[i] = strconv.FormatFloat(v, 'g', -1, 64)
+		applies[i] = func(sc *Scenario) { apply(sc, v) }
+	}
+	return sw.addAxis(name, labels, applies)
+}
+
+// VaryInt is Vary over integer values (batch sizes, budgets, slot caps).
+func (sw *Sweep) VaryInt(name string, values []int64, apply func(*Scenario, int64)) *Sweep {
+	labels := make([]string, len(values))
+	applies := make([]func(*Scenario), len(values))
+	for i, v := range values {
+		v := v
+		labels[i] = strconv.FormatInt(v, 10)
+		applies[i] = func(sc *Scenario) { apply(sc, v) }
+	}
+	return sw.addAxis(name, labels, applies)
+}
+
+// VaryProtocol adds a protocol axis: each point runs one of the given
+// protocol specs.
+func (sw *Sweep) VaryProtocol(specs ...ProtocolSpec) *Sweep {
+	labels := make([]string, len(specs))
+	applies := make([]func(*Scenario), len(specs))
+	for i, p := range specs {
+		p := p
+		labels[i] = p.Kind
+		if labels[i] == "" {
+			labels[i] = ProtocolLSB
+		}
+		applies[i] = func(sc *Scenario) { sc.Protocol = p }
+	}
+	return sw.addAxis("protocol", labels, applies)
+}
+
+// VaryScenario adds a fully general axis: variant i is labelled labels[i]
+// and produced by apply(sc, i). It is the escape hatch when an axis varies
+// several fields at once.
+func (sw *Sweep) VaryScenario(name string, labels []string, apply func(*Scenario, int)) *Sweep {
+	applies := make([]func(*Scenario), len(labels))
+	for i := range labels {
+		i := i
+		applies[i] = func(sc *Scenario) { apply(sc, i) }
+	}
+	return sw.addAxis(name, labels, applies)
+}
+
+// Point is one cell of a sweep's parameter grid.
+type Point struct {
+	// Index is the point's position in row-major grid order (the first
+	// axis varies slowest).
+	Index int
+	// Labels holds one "axis=value" label per axis.
+	Labels []string
+	// Scenario is the fully applied scenario for this point. Its Seed is
+	// the base scenario's; execution overrides it per replication.
+	Scenario Scenario
+}
+
+// String joins the point's labels, e.g. "rate=0.1 protocol=beb".
+func (p Point) String() string { return strings.Join(p.Labels, " ") }
+
+// Points enumerates the sweep's grid in row-major order (first axis
+// outermost). A sweep with no axes has exactly one point: the base
+// scenario.
+func (sw *Sweep) Points() []Point {
+	total := 1
+	for _, ax := range sw.axes {
+		total *= len(ax.labels)
+	}
+	pts := make([]Point, total)
+	for idx := range pts {
+		sc := sw.base
+		labels := make([]string, len(sw.axes))
+		rem := idx
+		stride := total
+		for ai, ax := range sw.axes {
+			stride /= len(ax.labels)
+			vi := rem / stride
+			rem %= stride
+			ax.apply[vi](&sc)
+			labels[ai] = ax.name + "=" + ax.labels[vi]
+		}
+		pts[idx] = Point{Index: idx, Labels: labels, Scenario: sc}
+	}
+	return pts
+}
+
+// PointResult aggregates every replication at one sweep point. All
+// aggregates are streaming — totals, Welford scalars, and merged Tally
+// accumulators with log-histogram quantiles — so a PointResult costs the
+// same memory whether the point simulated a thousand packets or a billion.
+type PointResult struct {
+	Point Point
+	// Reps is the number of replications aggregated.
+	Reps int
+	// Truncated counts replications that hit MaxSlots with packets left.
+	Truncated int
+	// Arrived, Completed, ActiveSlots, and JammedSlots are summed across
+	// replications.
+	Arrived, Completed, ActiveSlots, JammedSlots int64
+	// Energy merges every replication's streaming accumulators; quantiles
+	// (Energy.Accesses.Quantile(0.99), ...) are over the pooled packets of
+	// all replications.
+	Energy EnergyStats
+	// Throughput summarizes the per-replication overall throughput
+	// (T+J)/S. Latency summarizes the per-replication mean latency of
+	// delivered packets; replications that delivered nothing contribute no
+	// observation, so Latency.N() can be smaller than Reps.
+	Throughput Welford
+	Latency    Welford
+}
+
+// DeliveredFrac returns the fraction of arrived packets delivered, pooled
+// across replications (1 if nothing arrived).
+func (pr PointResult) DeliveredFrac() float64 {
+	if pr.Arrived == 0 {
+		return 1
+	}
+	return float64(pr.Completed) / float64(pr.Arrived)
+}
+
+// fold accumulates one replication's result.
+func (pr *PointResult) fold(r Result) {
+	pr.Reps++
+	if r.Truncated {
+		pr.Truncated++
+	}
+	pr.Arrived += r.Arrived
+	pr.Completed += r.Completed
+	pr.ActiveSlots += r.ActiveSlots
+	pr.JammedSlots += r.JammedSlots
+	pr.Energy.Merge(&r.Energy)
+	pr.Throughput.Add(r.Throughput())
+	if r.Energy.Latency.Count > 0 {
+		pr.Latency.Add(r.Energy.Latency.Mean())
+	}
+}
+
+// Run executes the sweep and returns one aggregate per point, in grid
+// order.
+func (sw *Sweep) Run() ([]PointResult, error) {
+	out := make([]PointResult, 0)
+	if err := sw.Stream(func(pr PointResult) error {
+		out = append(out, pr)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Stream executes the sweep and delivers each point's aggregate to emit in
+// grid order, as soon as its last replication finishes. Replication
+// results are folded into the aggregate and discarded as they are
+// delivered; results completed out of grid order wait in the runner's
+// reorder buffer, so the worst-case footprint is one (small, retention-
+// free) Result per outstanding job — typically O(workers), degrading
+// toward O(points·reps) only when an early job far outlasts the rest. An
+// error from a job or from emit cancels the sweep.
+func (sw *Sweep) Stream(emit func(PointResult) error) error {
+	if sw.err != nil {
+		return sw.err
+	}
+	points := sw.Points()
+	jobs := make([]runner.Job[Result], 0, len(points)*sw.reps)
+	for pi := range points {
+		// Replications must never retain per-packet tables: the aggregate
+		// is streaming by construction.
+		sc := points[pi].Scenario
+		sc.RetainPackets = false
+		for rep := 0; rep < sw.reps; rep++ {
+			sc := sc
+			jobs = append(jobs, runner.Job[Result]{
+				Seed: runner.DeriveSeed(sw.seed, sw.id, pi, rep),
+				Run: func(seed uint64) (Result, error) {
+					sc.Seed = seed
+					return sc.Run()
+				},
+			})
+		}
+	}
+	var acc PointResult
+	return runner.Stream(runner.New(sw.workers), jobs, func(i int, r Result) error {
+		pi := i / sw.reps
+		if i%sw.reps == 0 {
+			acc = PointResult{Point: points[pi]}
+		}
+		acc.fold(r)
+		if i%sw.reps == sw.reps-1 {
+			return emit(acc)
+		}
+		return nil
+	})
+}
+
+// SweepSpec is the serializable form of a Sweep, so whole experiments —
+// not just single runs — can live in JSON files. Each axis is a list of
+// variants; a variant is a JSON merge patch applied to the base scenario
+// (e.g. {"arrivals": {"rate": 0.2}} or {"protocol": {"kind": "beb"}}), so
+// any Scenario field can be swept without code.
+type SweepSpec struct {
+	// ID domain-separates seed derivation (default "sweep").
+	ID string `json:"id,omitempty"`
+	// Seed is the base seed (default: the base scenario's seed).
+	Seed uint64 `json:"seed,omitempty"`
+	// Reps is the replication count per point (default 1).
+	Reps int `json:"reps,omitempty"`
+	// Base is the scenario every point starts from.
+	Base Scenario `json:"base"`
+	// Axes are applied outermost first.
+	Axes []AxisSpec `json:"axes,omitempty"`
+}
+
+// AxisSpec is one serializable sweep axis.
+type AxisSpec struct {
+	Name     string    `json:"name"`
+	Variants []Variant `json:"variants"`
+}
+
+// Variant is one value of an axis: a label plus a JSON merge patch over
+// the base scenario.
+type Variant struct {
+	Label string          `json:"label,omitempty"`
+	Patch json.RawMessage `json:"patch,omitempty"`
+}
+
+// ParseSweepSpec decodes a JSON sweep spec strictly (unknown fields are
+// errors). Semantic validation — patch shapes and every grid point's
+// scenario — happens once, in Sweep, so parse-then-build costs a single
+// validation pass.
+func ParseSweepSpec(data []byte) (SweepSpec, error) {
+	var ss SweepSpec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&ss); err != nil {
+		return SweepSpec{}, fmt.Errorf("lowsensing: parsing sweep spec: %w", err)
+	}
+	return ss, nil
+}
+
+// Sweep builds the executable sweep. Every patch is applied strictly
+// (unknown fields are errors) and every grid point's scenario is validated
+// up front, so a nil error means Run cannot fail on a malformed spec.
+func (ss SweepSpec) Sweep() (*Sweep, error) {
+	sw := NewSweep(ss.Base)
+	if ss.ID != "" {
+		sw.ID(ss.ID)
+	}
+	if ss.Seed != 0 {
+		sw.Seed(ss.Seed)
+	}
+	if ss.Reps != 0 {
+		sw.Reps(ss.Reps)
+	}
+	for _, ax := range ss.Axes {
+		labels := make([]string, len(ax.Variants))
+		patches := make([]json.RawMessage, len(ax.Variants))
+		for vi, v := range ax.Variants {
+			labels[vi] = v.Label
+			if labels[vi] == "" {
+				labels[vi] = strconv.Itoa(vi)
+			}
+			patches[vi] = v.Patch
+			if len(v.Patch) > 0 {
+				// Validate the patch shape eagerly against the base.
+				probe := ss.Base
+				if err := strictPatch(&probe, v.Patch); err != nil {
+					return nil, fmt.Errorf("lowsensing: sweep axis %q variant %q: %w", ax.Name, labels[vi], err)
+				}
+			}
+		}
+		sw.VaryScenario(ax.Name, labels, func(sc *Scenario, i int) {
+			if p := patches[i]; len(p) > 0 {
+				// Already validated above; on the impossible error the
+				// scenario is left partially patched and point validation
+				// below reports it.
+				_ = strictPatch(sc, p)
+			}
+		})
+	}
+	if sw.err != nil {
+		return nil, sw.err
+	}
+	for _, p := range sw.Points() {
+		if err := p.Scenario.Validate(); err != nil {
+			return nil, fmt.Errorf("lowsensing: sweep point %q: %w", p, err)
+		}
+	}
+	return sw, nil
+}
+
+// strictPatch merge-patches a scenario in place from JSON, rejecting
+// unknown fields.
+func strictPatch(sc *Scenario, patch json.RawMessage) error {
+	dec := json.NewDecoder(bytes.NewReader(patch))
+	dec.DisallowUnknownFields()
+	return dec.Decode(sc)
+}
