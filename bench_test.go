@@ -20,8 +20,8 @@ import (
 	"lowsensing/internal/harness"
 	"lowsensing/internal/jamming"
 	"lowsensing/internal/livenet"
-	"lowsensing/internal/prng"
 	"lowsensing/internal/sim"
+	"lowsensing/prng"
 )
 
 // benchExperiment runs one registered experiment per iteration.

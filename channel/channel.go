@@ -1,0 +1,160 @@
+// Package channel defines the engine-facing contracts of the slotted
+// multiple-access channel model of Bender, Fineman, Gilbert, Kuszmaul, and
+// Young (PODC 2024), §1.1: synchronized slots, ternary feedback
+// (empty / success / noisy), adversarial packet arrivals, and adversarial
+// jamming.
+//
+// These are the extension points of the lowsensing module. A contention-
+// resolution protocol is a Station implementation, an arrival process is an
+// ArrivalSource, and an adversary is a Jammer (or ReactiveJammer); anything
+// implementing them — inside this module or out — runs on the same engine,
+// metrics, and experiment harness as the paper's algorithm. Register
+// implementations with lowsensing.RegisterProtocol, RegisterArrivals, and
+// RegisterJammer to make them resolvable from declarative Scenario and
+// SweepSpec JSON, CLI flags, and sweeps, exactly like the built-ins.
+//
+// # Slot-level semantics
+//
+// Time is divided into synchronized slots 0, 1, 2, ... Packets arrive
+// adversarially (ArrivalSource), each running its own protocol instance
+// (Station). In every slot each live packet either sends, listens, or
+// sleeps; a slot in which it sends or listens is a channel access and costs
+// one unit of energy. The channel resolves each slot to one of three
+// outcomes: OutcomeSuccess iff exactly one packet sent and the slot was not
+// jammed (that packet then leaves the system), OutcomeEmpty iff nobody sent
+// and the slot was not jammed, and OutcomeNoisy otherwise — two or more
+// senders, or any jamming. Only accessing packets observe the outcome.
+//
+// All randomness must come from the *prng.Source values handed to the
+// implementation, never from global or wall-clock entropy: a run is
+// required to be a deterministic function of its seed, which is what makes
+// scenarios reproducible, sweeps order-independent, and the differential
+// reference engine bit-exact.
+package channel
+
+import "lowsensing/prng"
+
+// Outcome is the ternary channel feedback for one slot.
+type Outcome uint8
+
+// The three channel outcomes of the ternary-feedback model. A jammed slot
+// is always Noisy regardless of how many packets sent.
+const (
+	// OutcomeEmpty means no packet sent and the slot was not jammed.
+	OutcomeEmpty Outcome = iota + 1
+	// OutcomeSuccess means exactly one packet sent in an unjammed slot.
+	OutcomeSuccess
+	// OutcomeNoisy means two or more packets sent, or the slot was jammed.
+	OutcomeNoisy
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeEmpty:
+		return "empty"
+	case OutcomeSuccess:
+		return "success"
+	case OutcomeNoisy:
+		return "noisy"
+	default:
+		return "unknown"
+	}
+}
+
+// Observation is what a station learns at a slot in which it accessed the
+// channel. Sent reports whether the station itself transmitted; Succeeded
+// reports whether that transmission was the slot's unique unjammed send.
+// A station that sent and did not succeed knows the slot was Noisy without
+// listening (paper footnote 2).
+type Observation struct {
+	Slot      int64
+	Outcome   Outcome
+	Sent      bool
+	Succeeded bool
+}
+
+// Station is the per-packet protocol state machine — the protocol contract.
+// The engine drives it with the following two-step loop:
+//
+//  1. ScheduleNext(from, rng) returns the first slot >= from at which the
+//     station will access the channel, and whether that access includes a
+//     transmission (send=false means listen only). The station must commit
+//     to this decision: it will not be consulted again until that slot, and
+//     the engine is free to skip the slots in between entirely (that skip
+//     is what makes large-window protocols cost O(accesses), not O(slots)).
+//  2. At that slot the engine resolves the channel and calls Observe with
+//     the ternary feedback. If the station succeeded it is removed;
+//     otherwise ScheduleNext is called again with from = slot+1.
+//
+// Station implementations must be deterministic given the rng stream: all
+// randomness must be drawn from the rng argument (the same per-packet
+// stream is passed to every call), and no state may depend on anything but
+// prior calls. Each packet gets an independent stream, so adding a packet
+// never perturbs another packet's draws.
+type Station interface {
+	ScheduleNext(from int64, rng *prng.Source) (slot int64, send bool)
+	Observe(obs Observation)
+}
+
+// Windowed is implemented by stations that expose a backoff window, which
+// probes use to compute contention and the paper's potential function.
+type Windowed interface {
+	Window() float64
+}
+
+// StationFactory builds the Station for a newly injected packet. The id is
+// the packet's global index in arrival order (0-based); rng is the packet's
+// private deterministic stream (the same one later passed to ScheduleNext).
+type StationFactory func(id int64, rng *prng.Source) Station
+
+// ArrivalSource produces the (slot, count) arrival schedule — the arrivals
+// contract. Next returns batches in nondecreasing slot order with count > 0,
+// and ok=false when the schedule is exhausted. Next is called once per
+// batch, after the previous batch has been injected; adaptive sources may
+// consult engine state at that point (history up to, not including, the
+// pending batch's slot). Sources are consumed as they run: a fresh source
+// must be constructed per run.
+type ArrivalSource interface {
+	Next() (slot int64, count int64, ok bool)
+}
+
+// Jammer decides which slots the adversary jams — the adversary contract.
+//
+// Jammed is called for slots the engine actually resolves (some station
+// accesses the channel) and must be a deterministic function of the slot
+// and the jammer's own state. CountRange accounts for jammed slots inside
+// a skipped active range [from, to) that no station observed;
+// implementations may sample the count from the correct distribution
+// rather than materialize per-slot decisions, because those slots are
+// unobservable by everyone.
+//
+// Within one busy period the engine consults the jammer in nondecreasing
+// slot order and covers every active slot exactly once (CountRange over the
+// gaps, Jammed at resolved slots), so stateful jammers — budgets, Markov
+// channels — may advance sequentially. Slots in which no packet is live are
+// never consulted: jamming an idle channel affects nothing in the model.
+type Jammer interface {
+	Jammed(slot int64) bool
+	CountRange(from, to int64) int64
+}
+
+// ReactiveJammer is a Jammer that additionally sees, and may react to, the
+// set of packets transmitting in the current slot before the channel is
+// resolved (paper §1.3). The engine calls JammedReactive instead of Jammed
+// for resolved slots; CountRange still covers unobserved slots.
+type ReactiveJammer interface {
+	Jammer
+	JammedReactive(slot int64, senders []int64) bool
+}
+
+// NoJammer is a Jammer that never jams. The zero value is ready to use.
+type NoJammer struct{}
+
+// Jammed always reports false.
+func (NoJammer) Jammed(int64) bool { return false }
+
+// CountRange always returns 0.
+func (NoJammer) CountRange(int64, int64) int64 { return 0 }
+
+var _ Jammer = NoJammer{}

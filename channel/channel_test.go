@@ -1,0 +1,35 @@
+package channel_test
+
+import (
+	"testing"
+
+	"lowsensing/channel"
+)
+
+func TestOutcomeString(t *testing.T) {
+	cases := []struct {
+		o    channel.Outcome
+		want string
+	}{
+		{channel.OutcomeEmpty, "empty"},
+		{channel.OutcomeSuccess, "success"},
+		{channel.OutcomeNoisy, "noisy"},
+		{channel.Outcome(0), "unknown"},
+		{channel.Outcome(42), "unknown"},
+	}
+	for _, c := range cases {
+		if got := c.o.String(); got != c.want {
+			t.Errorf("Outcome(%d).String() = %q, want %q", c.o, got, c.want)
+		}
+	}
+}
+
+func TestNoJammer(t *testing.T) {
+	var j channel.Jammer = channel.NoJammer{}
+	if j.Jammed(0) || j.Jammed(1<<40) {
+		t.Fatal("NoJammer jammed a slot")
+	}
+	if n := j.CountRange(0, 1<<30); n != 0 {
+		t.Fatalf("NoJammer counted %d jams", n)
+	}
+}

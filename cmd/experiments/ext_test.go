@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	// Registers the "logbackoff" protocol and "gilbert_elliott" jammer —
+	// components defined entirely outside the module's internal packages,
+	// on top of the public API only. Nothing in this command or in any
+	// internal package knows about them; the blank import is all it takes
+	// for -spec and -kinds to resolve them like built-ins.
+	_ "lowsensing/examples/ext"
+)
+
+// TestSpecResolvesRegisteredKinds is the extension acceptance test: a
+// protocol and a jammer registered by an outside package run end to end
+// from a JSON SweepSpec through the real -spec code path.
+func TestSpecResolvesRegisteredKinds(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "ext.json")
+	if err := os.WriteFile(spec, []byte(`{
+		"id": "ext",
+		"seed": 5,
+		"reps": 2,
+		"base": {"arrivals": {"kind": "batch", "n": 48}, "max_slots": 2000000},
+		"axes": [
+			{"name": "protocol", "variants": [
+				{"label": "lsb"},
+				{"label": "logbackoff", "patch": {"protocol": {"kind": "logbackoff", "params": {"w0": 4}}}}
+			]},
+			{"name": "jam", "variants": [
+				{"label": "off"},
+				{"label": "ge", "patch": {"jammer": {"kind": "gilbert_elliott", "params": {"p_gb": 0.05, "p_bg": 0.2}}}}
+			]}
+		]
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf strings.Builder
+	if err := run([]string{"-spec", spec, "-parallel", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	for _, frag := range []string{
+		"== ext:",
+		"protocol=lsb jam=off",
+		"protocol=logbackoff jam=off",
+		"protocol=lsb jam=ge",
+		"protocol=logbackoff jam=ge",
+	} {
+		if !strings.Contains(got, frag) {
+			t.Fatalf("spec output missing %q:\n%s", frag, got)
+		}
+	}
+
+	// The registered kinds appear in -kinds alongside the built-ins, with
+	// their registration docs.
+	var kindsBuf strings.Builder
+	if err := run([]string{"-kinds"}, &kindsBuf); err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"logbackoff", "gilbert_elliott", "log-backoff baseline", "Gilbert-Elliott bursty channel"} {
+		if !strings.Contains(kindsBuf.String(), frag) {
+			t.Fatalf("-kinds missing %q:\n%s", frag, kindsBuf.String())
+		}
+	}
+}

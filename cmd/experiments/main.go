@@ -9,6 +9,7 @@
 //
 //	experiments                       # everything, full scale, all cores
 //	experiments -list                 # experiment IDs with descriptions
+//	experiments -kinds                # registered protocol/arrival/jammer kinds
 //	experiments -id E1,E2 -scale small
 //	experiments -parallel 1           # serial; output identical to parallel
 //	experiments -outdir results/
@@ -47,6 +48,7 @@ func run(args []string, out io.Writer) error {
 	fs.SetOutput(out)
 	var (
 		list     = fs.Bool("list", false, "print experiment IDs with one-line descriptions and exit")
+		kinds    = fs.Bool("kinds", false, "list every registered protocol/arrival/jammer kind usable in -spec files and exit")
 		idList   = fs.String("id", "all", "comma-separated experiment IDs, or \"all\"")
 		scale    = fs.String("scale", "full", "sweep scale: full or small")
 		reps     = fs.Int("reps", 0, "replications per data point (0 = scale default)")
@@ -64,6 +66,9 @@ func run(args []string, out io.Writer) error {
 
 	if *list {
 		return listExperiments(out)
+	}
+	if *kinds {
+		return lowsensing.WriteKinds(out)
 	}
 	if *parallel < 1 {
 		return fmt.Errorf("-parallel must be >= 1, got %d", *parallel)

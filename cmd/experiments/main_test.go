@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"lowsensing"
 	"lowsensing/internal/harness"
 )
 
@@ -138,5 +139,29 @@ func TestSpecFlag(t *testing.T) {
 	}
 	if err := run([]string{"-spec", filepath.Join(dir, "missing.json")}, &buf); err == nil {
 		t.Fatal("missing spec file accepted")
+	}
+}
+
+// TestKindsFlag: -kinds prints every registered kind with its registration
+// doc, grouped by registry, and runs nothing.
+func TestKindsFlag(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-kinds"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	for _, section := range []string{"protocols:", "arrivals:", "jammers:"} {
+		if !strings.Contains(got, section) {
+			t.Fatalf("-kinds output missing section %q:\n%s", section, got)
+		}
+	}
+	for _, kinds := range [][]lowsensing.KindDoc{
+		lowsensing.ProtocolKinds(), lowsensing.ArrivalKinds(), lowsensing.JammerKinds(),
+	} {
+		for _, kd := range kinds {
+			if !strings.Contains(got, kd.Kind) || !strings.Contains(got, kd.Doc) {
+				t.Fatalf("-kinds output missing %q / %q:\n%s", kd.Kind, kd.Doc, got)
+			}
+		}
 	}
 }

@@ -2,6 +2,12 @@
 // summary: throughput, implicit throughput, active/jammed slots, and
 // per-packet energy statistics.
 //
+// The flags compile down to a declarative lowsensing.Scenario, so every
+// flag-built run is also expressible as a -spec JSON file, and any
+// protocol/arrival/jammer kind registered with the lowsensing registries —
+// not just the built-ins — can be named by -protocol, -arrivals, and -jam
+// (see -kinds for the full list).
+//
 // Examples:
 //
 //	lsbsim -n 4096                                # LSB, batch of 4096
@@ -9,184 +15,227 @@
 //	lsbsim -n 1024 -arrivals poisson -rate 0.1    # Poisson arrivals
 //	lsbsim -n 1024 -jam random -jamrate 0.25      # random jamming
 //	lsbsim -n 1024 -jam reactive -jambudget 64    # reactive jam on packet 0
+//	lsbsim -spec scenario.json                    # whole scenario from JSON
+//	lsbsim -kinds                                 # list registered kinds
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
 	"lowsensing"
-	"lowsensing/internal/arrivals"
-	"lowsensing/internal/core"
-	"lowsensing/internal/jamming"
 	"lowsensing/internal/metrics"
-	"lowsensing/internal/protocols"
-	"lowsensing/internal/sim"
 )
+
+// errUndelivered signals the historical exit code 2: the run finished with
+// packets still in the system.
+var errUndelivered = errors.New("undelivered packets remain")
+
+// errUsage signals a flag parse error. The FlagSet has already printed the
+// error and usage, so main exits 2 (flag.ExitOnError's historical code)
+// without printing again.
+var errUsage = errors.New("usage error")
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("lsbsim: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, errUndelivered) || errors.Is(err, errUsage) {
+			os.Exit(2)
+		}
+		log.Fatal(err)
+	}
+}
 
+// run parses args, executes one simulation, and prints the summary. Split
+// from main so tests can drive the command end to end.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("lsbsim", flag.ContinueOnError)
+	fs.SetOutput(out)
 	var (
-		n         = flag.Int64("n", 1024, "number of packets")
-		protocol  = flag.String("protocol", "lsb", "protocol: lsb, beb, poly, aloha, mwu, genie")
-		arrival   = flag.String("arrivals", "batch", "arrival process: batch, bernoulli, poisson, aqt, file")
-		traceFile = flag.String("tracefile", "", "arrival trace file for -arrivals file (lines: slot count)")
-		rate      = flag.Float64("rate", 0.1, "arrival rate (bernoulli/poisson) or lambda (aqt)")
-		gran      = flag.Int64("granularity", 1024, "aqt granularity S")
-		jam       = flag.String("jam", "none", "jammer: none, random, burst, reactive")
-		jamRate   = flag.Float64("jamrate", 0.25, "random jam rate")
-		jamFrom   = flag.Int64("jamfrom", 0, "burst jam start slot")
-		jamTo     = flag.Int64("jamto", 1024, "burst jam end slot (exclusive)")
-		jamBudget = flag.Int64("jambudget", 0, "jam budget (0 = unbounded; reactive target is packet 0)")
-		seed      = flag.Uint64("seed", 1, "random seed")
-		maxSlots  = flag.Int64("maxslots", 0, "slot cap (0 = generous default)")
-		c         = flag.Float64("c", 0, "LSB constant c (0 = default)")
-		wmin      = flag.Float64("wmin", 0, "LSB minimum window (0 = default)")
-		specFile  = flag.String("spec", "", "JSON scenario file; replaces the flag-built scenario (see lowsensing.Scenario)")
+		n         = fs.Int64("n", 1024, "number of packets")
+		protocol  = fs.String("protocol", "lsb", "protocol kind (see -kinds)")
+		arrival   = fs.String("arrivals", "batch", "arrival process kind (see -kinds)")
+		traceFile = fs.String("tracefile", "", "arrival trace file for -arrivals file (lines: slot count)")
+		rate      = fs.Float64("rate", 0.1, "arrival rate (bernoulli/poisson) or lambda (aqt)")
+		gran      = fs.Int64("granularity", 1024, "aqt granularity S")
+		jam       = fs.String("jam", "none", "jammer kind, or none (see -kinds)")
+		jamRate   = fs.Float64("jamrate", 0.25, "random jam rate")
+		jamFrom   = fs.Int64("jamfrom", 0, "burst jam start slot")
+		jamTo     = fs.Int64("jamto", 1024, "burst jam end slot (exclusive)")
+		jamBudget = fs.Int64("jambudget", 0, "jam budget (0 = unbounded; reactive target is packet 0)")
+		seed      = fs.Uint64("seed", 1, "random seed")
+		maxSlots  = fs.Int64("maxslots", 0, "slot cap (0 = generous default)")
+		c         = fs.Float64("c", 0, "LSB constant c (0 = default)")
+		wmin      = fs.Float64("wmin", 0, "LSB minimum window (0 = default)")
+		specFile  = fs.String("spec", "", "JSON scenario file; replaces the flag-built scenario (see lowsensing.Scenario)")
+		kinds     = fs.Bool("kinds", false, "list every registered protocol/arrival/jammer kind and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // usage already printed; -h is not an error
+		}
+		return errUsage // the FlagSet already printed the error and usage
+	}
+	if *kinds {
+		return lowsensing.WriteKinds(out)
+	}
 
 	var (
-		r        sim.Result
+		sc       lowsensing.Scenario
 		protoLbl string
 	)
 	if *specFile != "" {
-		if conflict := specFlagConflict(); conflict != "" {
-			log.Fatalf("-spec takes the whole scenario from the file; -%s does not apply (edit the spec instead)", conflict)
+		if conflict := specFlagConflict(fs); conflict != "" {
+			return fmt.Errorf("-spec takes the whole scenario from the file; -%s does not apply (edit the spec instead)", conflict)
 		}
 		var err error
-		if r, protoLbl, err = runSpecFile(*specFile); err != nil {
-			log.Fatal(err)
+		if sc, err = loadSpecFile(*specFile); err != nil {
+			return err
 		}
+		protoLbl = protocolLabel(sc) + " (spec)"
 	} else {
-		factory, err := makeFactory(*protocol, *n, *c, *wmin)
-		if err != nil {
-			log.Fatal(err)
+		// The flags compile to a Scenario: kinds are resolved through the
+		// registries, so the flag path and the -spec path are the same code.
+		var err error
+		if sc, err = makeScenario(flagScenario{
+			n: *n, protocol: *protocol, arrivals: *arrival, traceFile: *traceFile,
+			rate: *rate, gran: *gran, jam: *jam, jamRate: *jamRate,
+			jamFrom: *jamFrom, jamTo: *jamTo, jamBudget: *jamBudget,
+			seed: *seed, maxSlots: *maxSlots, c: *c, wmin: *wmin,
+		}); err != nil {
+			return err
 		}
-		src, err := makeArrivals(*arrival, *traceFile, *n, *rate, *gran, *seed)
-		if err != nil {
-			log.Fatal(err)
-		}
-		jammer, err := makeJammer(*jam, *jamRate, *jamFrom, *jamTo, *jamBudget, *seed)
-		if err != nil {
-			log.Fatal(err)
-		}
-		cap := *maxSlots
-		if cap == 0 {
-			cap = 2000**n + (1 << 22)
-		}
-		protoLbl = *protocol
-		// The flag path feeds its hand-built components through the public
-		// API; the engine is constructed by the same code users call.
-		r, err = lowsensing.NewSimulation(
-			lowsensing.WithSeed(*seed),
-			lowsensing.WithArrivals(src),
-			lowsensing.WithStations(factory),
-			lowsensing.WithJammer(jammer),
-			lowsensing.WithMaxSlots(cap),
-		).Run()
-		if err != nil {
-			log.Fatal(err)
-		}
+		protoLbl = protocolLabel(sc)
+	}
+
+	r, err := sc.Run()
+	if err != nil {
+		return err
 	}
 
 	es := metrics.SummarizeEnergy(r)
-	fmt.Printf("protocol            %s\n", protoLbl)
-	fmt.Printf("packets             %d arrived, %d delivered", r.Arrived, r.Completed)
+	fmt.Fprintf(out, "protocol            %s\n", protoLbl)
+	fmt.Fprintf(out, "packets             %d arrived, %d delivered", r.Arrived, r.Completed)
 	if r.Truncated {
-		fmt.Printf("  (TRUNCATED at slot %d)", r.LastSlot)
+		fmt.Fprintf(out, "  (TRUNCATED at slot %d)", r.LastSlot)
 	}
-	fmt.Println()
-	fmt.Printf("active slots        %d\n", r.ActiveSlots)
-	fmt.Printf("jammed slots        %d\n", r.JammedSlots)
-	fmt.Printf("throughput          %.4f   (T+J)/S\n", r.Throughput())
-	fmt.Printf("implicit throughput %.4f   (N+J)/S\n", r.ImplicitThroughput())
-	fmt.Printf("sends/packet        mean %.1f  p99 %.0f  max %.0f\n", es.Sends.Mean, es.Sends.P99, es.Sends.Max)
-	fmt.Printf("listens/packet      mean %.1f  p99 %.0f  max %.0f\n", es.Listens.Mean, es.Listens.P99, es.Listens.Max)
-	fmt.Printf("accesses/packet     mean %.1f  p99 %.0f  max %.0f\n", es.Accesses.Mean, es.Accesses.P99, es.Accesses.Max)
+	fmt.Fprintln(out)
+	fmt.Fprintf(out, "active slots        %d\n", r.ActiveSlots)
+	fmt.Fprintf(out, "jammed slots        %d\n", r.JammedSlots)
+	fmt.Fprintf(out, "throughput          %.4f   (T+J)/S\n", r.Throughput())
+	fmt.Fprintf(out, "implicit throughput %.4f   (N+J)/S\n", r.ImplicitThroughput())
+	fmt.Fprintf(out, "sends/packet        mean %.1f  p99 %.0f  max %.0f\n", es.Sends.Mean, es.Sends.P99, es.Sends.Max)
+	fmt.Fprintf(out, "listens/packet      mean %.1f  p99 %.0f  max %.0f\n", es.Listens.Mean, es.Listens.P99, es.Listens.Max)
+	fmt.Fprintf(out, "accesses/packet     mean %.1f  p99 %.0f  max %.0f\n", es.Accesses.Mean, es.Accesses.P99, es.Accesses.Max)
 	if es.Latency.N > 0 {
-		fmt.Printf("latency (slots)     mean %.1f  p99 %.0f  max %.0f\n", es.Latency.Mean, es.Latency.P99, es.Latency.Max)
+		fmt.Fprintf(out, "latency (slots)     mean %.1f  p99 %.0f  max %.0f\n", es.Latency.Mean, es.Latency.P99, es.Latency.Max)
 	}
 	if es.Undelivered > 0 {
-		fmt.Printf("undelivered         %d\n", es.Undelivered)
-		os.Exit(2)
+		fmt.Fprintf(out, "undelivered         %d\n", es.Undelivered)
+		return errUndelivered
 	}
+	return nil
 }
 
-func makeFactory(name string, n int64, c, wmin float64) (sim.StationFactory, error) {
-	switch name {
-	case "lsb":
-		cfg := core.Default()
-		if c > 0 {
-			cfg.C = c
+// flagScenario is the bag of scenario-shaping flag values.
+type flagScenario struct {
+	n                         int64
+	protocol, arrivals        string
+	traceFile                 string
+	rate                      float64
+	gran                      int64
+	jam                       string
+	jamRate                   float64
+	jamFrom, jamTo, jamBudget int64
+	seed                      uint64
+	maxSlots                  int64
+	c, wmin                   float64
+}
+
+// makeScenario compiles the flag values into a declarative Scenario and
+// validates it (so unknown kinds and bad parameters are reported before the
+// run starts, with the registry's kind listing in the message).
+func makeScenario(f flagScenario) (lowsensing.Scenario, error) {
+	if f.arrivals == lowsensing.ArrivalsFile && f.traceFile == "" {
+		return lowsensing.Scenario{}, fmt.Errorf("-arrivals file requires -tracefile")
+	}
+	sc := lowsensing.Scenario{
+		Seed:     f.seed,
+		Arrivals: makeArrivalsSpec(f),
+		Protocol: makeProtocolSpec(f),
+		Jammer:   makeJammerSpec(f),
+		MaxSlots: f.maxSlots,
+	}
+	if sc.MaxSlots == 0 {
+		sc.MaxSlots = 2000*f.n + (1 << 22)
+	}
+	if err := sc.Validate(); err != nil {
+		return lowsensing.Scenario{}, err
+	}
+	return sc, nil
+}
+
+// makeProtocolSpec maps the protocol flags onto a spec. Kinds with
+// flag-derived parameters (lsb overrides, aloha's 1/n rate) are filled in;
+// anything else — including user-registered kinds — passes through by name.
+func makeProtocolSpec(f flagScenario) lowsensing.ProtocolSpec {
+	switch f.protocol {
+	case lowsensing.ProtocolLSB:
+		cfg := lowsensing.DefaultConfig()
+		if f.c > 0 {
+			cfg.C = f.c
 		}
-		if wmin > 0 {
-			cfg.WMin = wmin
+		if f.wmin > 0 {
+			cfg.WMin = f.wmin
 		}
-		return core.NewFactory(cfg)
-	case "beb":
-		return protocols.NewBEBFactory(2, 0)
-	case "poly":
-		return protocols.NewPolyFactory(2, 2)
-	case "aloha":
-		return protocols.NewAlohaFactory(1 / float64(n))
-	case "mwu":
-		return protocols.NewMWUFactory(protocols.DefaultMWUConfig())
-	case "genie":
-		return protocols.NewGenieAlohaFactory(), nil
+		return lowsensing.LowSensing(cfg)
+	case lowsensing.ProtocolAloha:
+		return lowsensing.Aloha(1 / float64(f.n))
 	default:
-		return nil, fmt.Errorf("unknown protocol %q", name)
+		return lowsensing.ProtocolSpec{Kind: f.protocol}
 	}
 }
 
-func makeArrivals(kind, traceFile string, n int64, rate float64, gran int64, seed uint64) (sim.ArrivalSource, error) {
-	switch kind {
-	case "file":
-		if traceFile == "" {
-			return nil, fmt.Errorf("-arrivals file requires -tracefile")
-		}
-		f, err := os.Open(traceFile)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return arrivals.ParseTrace(f)
-	case "batch":
-		if n <= 0 {
-			return nil, fmt.Errorf("batch needs -n > 0")
-		}
-		return arrivals.NewBatch(n), nil
-	case "bernoulli":
-		return arrivals.NewBernoulli(rate, n, seed)
-	case "poisson":
-		return arrivals.NewPoisson(rate, n, seed)
-	case "aqt":
-		windows := n / max64(1, int64(rate*float64(gran)))
+// makeArrivalsSpec maps the arrival flags onto a spec.
+func makeArrivalsSpec(f flagScenario) lowsensing.ArrivalsSpec {
+	switch f.arrivals {
+	case lowsensing.ArrivalsFile:
+		return lowsensing.FileArrivals(f.traceFile)
+	case lowsensing.ArrivalsBatch:
+		return lowsensing.BatchArrivals(f.n)
+	case lowsensing.ArrivalsBernoulli:
+		return lowsensing.BernoulliArrivals(f.rate, f.n)
+	case lowsensing.ArrivalsPoisson:
+		return lowsensing.PoissonArrivals(f.rate, f.n)
+	case lowsensing.ArrivalsQueue:
+		windows := f.n / max64(1, int64(f.rate*float64(f.gran)))
 		if windows < 1 {
 			windows = 1
 		}
-		return arrivals.NewAQT(gran, rate, windows, arrivals.AQTBurst, seed)
+		return lowsensing.QueueArrivals(f.gran, f.rate, windows)
 	default:
-		return nil, fmt.Errorf("unknown arrival process %q", kind)
+		return lowsensing.ArrivalsSpec{Kind: f.arrivals, N: f.n, Rate: f.rate}
 	}
 }
 
-func makeJammer(kind string, rate float64, from, to, budget int64, seed uint64) (sim.Jammer, error) {
-	switch kind {
+// makeJammerSpec maps the jam flags onto a spec ("none" means no jammer).
+func makeJammerSpec(f flagScenario) lowsensing.JammerSpec {
+	switch f.jam {
 	case "none":
-		return nil, nil
-	case "random":
-		return jamming.NewRandom(rate, budget, seed^0x6a)
-	case "burst":
-		return jamming.NewInterval(from, to)
-	case "reactive":
-		return jamming.NewReactiveTargeted(0, budget)
+		return lowsensing.JammerSpec{}
+	case lowsensing.JammerRandom:
+		return lowsensing.RandomJamming(f.jamRate, f.jamBudget)
+	case lowsensing.JammerBurst:
+		return lowsensing.BurstJamming(f.jamFrom, f.jamTo)
+	case lowsensing.JammerReactive:
+		return lowsensing.ReactiveJamming(0, f.jamBudget)
 	default:
-		return nil, fmt.Errorf("unknown jammer %q", kind)
+		return lowsensing.JammerSpec{Kind: f.jam, Rate: f.jamRate, Budget: f.jamBudget}
 	}
 }
 
@@ -201,9 +250,9 @@ func max64(a, b int64) int64 {
 // user set explicitly, or "". A spec file defines the entire scenario, so
 // combining it with the flag-built scenario would silently drop whichever
 // side lost; reject the mix instead.
-func specFlagConflict() string {
+func specFlagConflict(fs *flag.FlagSet) string {
 	conflict := ""
-	flag.Visit(func(f *flag.Flag) {
+	fs.Visit(func(f *flag.Flag) {
 		if f.Name != "spec" && conflict == "" {
 			conflict = f.Name
 		}
@@ -211,21 +260,19 @@ func specFlagConflict() string {
 	return conflict
 }
 
-// runSpecFile loads a declarative JSON scenario and executes it through
-// the public API, returning the result and a label for the report header.
-func runSpecFile(path string) (sim.Result, string, error) {
+// loadSpecFile loads and validates a declarative JSON scenario.
+func loadSpecFile(path string) (lowsensing.Scenario, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return sim.Result{}, "", err
+		return lowsensing.Scenario{}, err
 	}
-	sc, err := lowsensing.ParseScenario(data)
-	if err != nil {
-		return sim.Result{}, "", err
+	return lowsensing.ParseScenario(data)
+}
+
+// protocolLabel names the scenario's protocol for the report header.
+func protocolLabel(sc lowsensing.Scenario) string {
+	if sc.Protocol.Kind == "" {
+		return lowsensing.ProtocolLSB
 	}
-	label := sc.Protocol.Kind
-	if label == "" {
-		label = lowsensing.ProtocolLSB
-	}
-	r, err := sc.Run()
-	return r, label + " (spec)", err
+	return sc.Protocol.Kind
 }

@@ -1,64 +1,112 @@
 package main
 
 import (
+	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"lowsensing"
 )
 
-func TestMakeFactory(t *testing.T) {
-	for _, name := range []string{"lsb", "beb", "poly", "aloha", "mwu", "genie"} {
-		f, err := makeFactory(name, 64, 0, 0)
-		if err != nil {
+func flags(over flagScenario) flagScenario {
+	f := flagScenario{
+		n: 64, protocol: "lsb", arrivals: "batch", rate: 0.1,
+		gran: 256, jam: "none", jamRate: 0.25, jamTo: 1024, seed: 1,
+	}
+	if over.protocol != "" {
+		f.protocol = over.protocol
+	}
+	if over.arrivals != "" {
+		f.arrivals = over.arrivals
+	}
+	if over.jam != "" {
+		f.jam = over.jam
+	}
+	if over.n != 0 {
+		f.n = over.n
+	}
+	if over.traceFile != "" {
+		f.traceFile = over.traceFile
+	}
+	if over.c != 0 {
+		f.c = over.c
+	}
+	if over.wmin != 0 {
+		f.wmin = over.wmin
+	}
+	if over.jamBudget != 0 {
+		f.jamBudget = over.jamBudget
+	}
+	return f
+}
+
+func TestMakeScenarioProtocols(t *testing.T) {
+	for _, name := range []string{"lsb", "beb", "poly", "aloha", "mwu", "genie", "sawtooth"} {
+		if _, err := makeScenario(flags(flagScenario{protocol: name})); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		if f == nil {
-			t.Fatalf("%s: nil factory", name)
-		}
 	}
-	if _, err := makeFactory("nope", 64, 0, 0); err == nil {
+	// Unknown kinds are rejected with the registry's kind listing.
+	_, err := makeScenario(flags(flagScenario{protocol: "nope"}))
+	if err == nil {
 		t.Fatal("unknown protocol accepted")
 	}
+	if !strings.Contains(err.Error(), "registered kinds:") {
+		t.Fatalf("error does not list registered kinds: %v", err)
+	}
 	// LSB overrides flow through validation.
-	if _, err := makeFactory("lsb", 64, 10, 8); err == nil {
+	if _, err := makeScenario(flags(flagScenario{c: 10, wmin: 8})); err == nil {
 		t.Fatal("invalid lsb overrides accepted")
 	}
-	if _, err := makeFactory("lsb", 64, 1, 128); err != nil {
+	if _, err := makeScenario(flags(flagScenario{c: 1, wmin: 128})); err != nil {
 		t.Fatalf("valid overrides rejected: %v", err)
 	}
 }
 
-func TestMakeArrivals(t *testing.T) {
+func TestMakeScenarioArrivals(t *testing.T) {
 	for _, kind := range []string{"batch", "bernoulli", "poisson", "aqt"} {
-		src, err := makeArrivals(kind, "", 100, 0.1, 256, 1)
+		sc, err := makeScenario(flags(flagScenario{arrivals: kind, n: 100}))
 		if err != nil {
 			t.Fatalf("%s: %v", kind, err)
+		}
+		src, err := sc.Arrivals.Source(sc.Seed)
+		if err != nil {
+			t.Fatal(err)
 		}
 		slot, count, ok := src.Next()
 		if !ok || count <= 0 || slot < 0 {
 			t.Fatalf("%s: first batch (%d,%d,%v)", kind, slot, count, ok)
 		}
 	}
-	if _, err := makeArrivals("nope", "", 100, 0.1, 256, 1); err == nil {
+	if _, err := makeScenario(flags(flagScenario{arrivals: "nope"})); err == nil {
 		t.Fatal("unknown arrivals accepted")
 	}
-	if _, err := makeArrivals("batch", "", 0, 0.1, 256, 1); err == nil {
-		t.Fatal("batch with n=0 accepted")
+	if _, err := makeScenario(flags(flagScenario{arrivals: "batch", n: -1})); err == nil {
+		t.Fatal("batch with n <= 0 accepted")
 	}
-	if _, err := makeArrivals("file", "", 100, 0.1, 256, 1); err == nil {
+	_, err := makeScenario(flags(flagScenario{arrivals: "file"}))
+	if err == nil {
 		t.Fatal("file arrivals without tracefile accepted")
+	}
+	if !strings.Contains(err.Error(), "-tracefile") {
+		t.Fatalf("error does not point at the -tracefile flag: %v", err)
 	}
 }
 
-func TestMakeArrivalsFromFile(t *testing.T) {
+func TestMakeScenarioArrivalsFromFile(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "trace.txt")
 	if err := os.WriteFile(path, []byte("0 3\n10 2\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	src, err := makeArrivals("file", path, 0, 0, 0, 1)
+	sc, err := makeScenario(flags(flagScenario{arrivals: "file", traceFile: path}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := sc.Arrivals.Source(sc.Seed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,29 +114,44 @@ func TestMakeArrivalsFromFile(t *testing.T) {
 	if !ok || slot != 0 || count != 3 {
 		t.Fatalf("first batch = (%d,%d,%v)", slot, count, ok)
 	}
-	if _, err := makeArrivals("file", filepath.Join(dir, "missing.txt"), 0, 0, 0, 1); err == nil {
+	if _, err := makeScenario(flags(flagScenario{arrivals: "file", traceFile: filepath.Join(dir, "missing.txt")})); err == nil {
 		t.Fatal("missing file accepted")
 	}
 }
 
-func TestMakeJammer(t *testing.T) {
-	if j, err := makeJammer("none", 0.5, 0, 10, 0, 1); err != nil || j != nil {
-		t.Fatalf("none: %v, %v", j, err)
+func TestMakeScenarioJammers(t *testing.T) {
+	sc, err := makeScenario(flags(flagScenario{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Jammer.Kind != "" {
+		t.Fatalf("jam none produced kind %q", sc.Jammer.Kind)
 	}
 	for _, kind := range []string{"random", "burst", "reactive"} {
-		j, err := makeJammer(kind, 0.5, 0, 10, 5, 1)
+		sc, err := makeScenario(flags(flagScenario{jam: kind, jamBudget: 5}))
 		if err != nil {
 			t.Fatalf("%s: %v", kind, err)
 		}
-		if j == nil {
-			t.Fatalf("%s: nil jammer", kind)
+		j, err := sc.Jammer.Jammer(sc.Seed)
+		if err != nil || j == nil {
+			t.Fatalf("%s: jammer %v err %v", kind, j, err)
 		}
 	}
-	if _, err := makeJammer("nope", 0.5, 0, 10, 0, 1); err == nil {
+	if _, err := makeScenario(flags(flagScenario{jam: "nope"})); err == nil {
 		t.Fatal("unknown jammer accepted")
 	}
-	if _, err := makeJammer("burst", 0.5, 10, 10, 0, 1); err == nil {
-		t.Fatal("empty burst accepted")
+}
+
+// TestRunFlagPath drives the command end to end through flags.
+func TestRunFlagPath(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "64", "-seed", "3"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "protocol            lsb") ||
+		!strings.Contains(out, "64 arrived, 64 delivered") {
+		t.Fatalf("unexpected output:\n%s", out)
 	}
 }
 
@@ -102,19 +165,28 @@ func TestRunSpecFile(t *testing.T) {
 	}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	r, label, err := runSpecFile(path)
-	if err != nil {
+	var buf bytes.Buffer
+	if err := run([]string{"-spec", path}, &buf); err != nil {
 		t.Fatal(err)
 	}
-	if label != "lsb (spec)" {
-		t.Fatalf("label = %q", label)
+	out := buf.String()
+	if !strings.Contains(out, "protocol            lsb (spec)") {
+		t.Fatalf("missing spec label:\n%s", out)
 	}
-	if r.Completed != 64 || r.JammedSlots == 0 {
-		t.Fatalf("spec run result: %+v", r)
+	if !strings.Contains(out, "64 arrived, 64 delivered") {
+		t.Fatalf("spec run did not deliver:\n%s", out)
 	}
 
 	// Identical to the equivalent option-built run: the spec is just data
 	// over the same engine path.
+	sc, err := loadSpecFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
 	want, err := lowsensing.NewSimulation(
 		lowsensing.WithSeed(3),
 		lowsensing.WithBatchArrivals(64),
@@ -127,14 +199,72 @@ func TestRunSpecFile(t *testing.T) {
 		t.Fatal("spec run differs from option-built run")
 	}
 
-	if _, _, err := runSpecFile(filepath.Join(dir, "missing.json")); err == nil {
+	// Mixing -spec with scenario flags is rejected.
+	if err := run([]string{"-spec", path, "-n", "32"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("-spec combined with -n accepted")
+	}
+
+	if err := run([]string{"-spec", filepath.Join(dir, "missing.json")}, &bytes.Buffer{}); err == nil {
 		t.Fatal("missing spec accepted")
 	}
 	bad := filepath.Join(dir, "bad.json")
 	if err := os.WriteFile(bad, []byte(`{"arrivals": {"kind": "nope"}}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := runSpecFile(bad); err == nil {
+	err = run([]string{"-spec", bad}, &bytes.Buffer{})
+	if err == nil {
 		t.Fatal("bad spec accepted")
+	}
+	if !strings.Contains(err.Error(), "registered kinds:") {
+		t.Fatalf("bad-kind error does not enumerate kinds: %v", err)
+	}
+}
+
+// TestRunKinds checks the -kinds listing: every registered kind appears,
+// with its registration doc, grouped by registry.
+func TestRunKinds(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-kinds"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, section := range []string{"protocols:", "arrivals:", "jammers:"} {
+		if !strings.Contains(out, section) {
+			t.Fatalf("missing section %q:\n%s", section, out)
+		}
+	}
+	for _, kd := range lowsensing.ProtocolKinds() {
+		if !strings.Contains(out, kd.Kind) || !strings.Contains(out, kd.Doc) {
+			t.Fatalf("kind %q or its doc missing:\n%s", kd.Kind, out)
+		}
+	}
+	if !strings.Contains(out, "LOW-SENSING BACKOFF") {
+		t.Fatalf("lsb doc missing:\n%s", out)
+	}
+}
+
+// TestRunBadFlag: a parse error returns the quiet errUsage sentinel (exit
+// code 2 in main) after the FlagSet has printed the error and usage once.
+func TestRunBadFlag(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-bogus"}, &buf)
+	if !errors.Is(err, errUsage) {
+		t.Fatalf("want errUsage, got %v", err)
+	}
+	if out := buf.String(); !strings.Contains(out, "-bogus") || !strings.Contains(out, "Usage") {
+		t.Fatalf("flag error/usage not printed:\n%s", out)
+	}
+}
+
+// TestRunUndeliveredExit checks the sentinel for the historical exit code:
+// a truncated run reports errUndelivered.
+func TestRunUndeliveredExit(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-n", "32", "-maxslots", "2"}, &buf)
+	if !errors.Is(err, errUndelivered) {
+		t.Fatalf("want errUndelivered, got %v", err)
+	}
+	if !strings.Contains(buf.String(), "undelivered") {
+		t.Fatalf("missing undelivered line:\n%s", buf.String())
 	}
 }

@@ -1,0 +1,78 @@
+// Extension demo: components the paper never shipped — a log-backoff
+// protocol and a Gilbert–Elliott bursty-channel jammer, both defined in
+// examples/ext on top of the public API only — registered into the
+// lowsensing kind registries and driven from a declarative JSON SweepSpec,
+// exactly like built-ins.
+//
+// The spec below also works verbatim with the experiments CLI once the
+// kinds are registered in the binary (any program importing examples/ext):
+//
+//	experiments -spec extension.json
+//	experiments -kinds     # lists logbackoff and gilbert_elliott
+//
+// Run with:
+//
+//	go run ./examples/extension
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lowsensing"
+	"lowsensing/examples/ext"
+)
+
+// spec compares LOW-SENSING BACKOFF against the registered log-backoff
+// baseline, on a clean channel and through Gilbert–Elliott bursty jamming
+// with mean burst length 10 slots (p_bg = 0.1) arriving every ~50 slots
+// (p_gb = 0.02).
+const spec = `{
+  "id": "extension-demo",
+  "seed": 42,
+  "reps": 4,
+  "base": {
+    "max_slots": 4000000,
+    "arrivals": {"kind": "batch", "n": 256}
+  },
+  "axes": [
+    {"name": "protocol", "variants": [
+      {"label": "lsb"},
+      {"label": "logbackoff", "patch": {"protocol": {"kind": "logbackoff", "params": {"w0": 2}}}}
+    ]},
+    {"name": "channel", "variants": [
+      {"label": "clean"},
+      {"label": "bursty", "patch": {"jammer": {"kind": "gilbert_elliott", "params": {"p_gb": 0.02, "p_bg": 0.1}}}}
+    ]}
+  ]
+}`
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Printf("registered extension kinds: %s (protocol), %s (jammer)\n\n",
+		ext.KindLogBackoff, ext.KindGilbertElliott)
+
+	ss, err := lowsensing.ParseSweepSpec([]byte(spec))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sw, err := ss.Sweep()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-38s %9s %8s %9s %9s\n", "point", "delivered", "tput", "meanAcc", "p99Acc")
+	if err := sw.Stream(func(pr lowsensing.PointResult) error {
+		fmt.Printf("%-38s %9.3f %8.3f %9.1f %9.0f\n",
+			pr.Point.String(), pr.DeliveredFrac(), pr.Throughput.Mean(),
+			pr.Energy.Accesses.Mean(), pr.Energy.Accesses.Quantile(0.99))
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nLog-backoff's window grows too slowly to spread a batch: its throughput")
+	fmt.Println("trails LSB's ~0.3 and keeps degrading as the batch grows. (T+J)/S rises")
+	fmt.Println("under bursty jamming for both, since jammed slots count as adversary spend.")
+}

@@ -3,7 +3,7 @@
 // arrivals, adversarial-queuing-theory (λ, S) streams with worst-case
 // bursts, explicit traces, and concatenations of the above.
 //
-// All sources implement sim.ArrivalSource: a stream of (slot, count)
+// All sources implement channel.ArrivalSource: a stream of (slot, count)
 // batches in nondecreasing slot order.
 package arrivals
 
@@ -11,9 +11,9 @@ import (
 	"fmt"
 	"math"
 
+	"lowsensing/channel"
 	"lowsensing/internal/dist"
-	"lowsensing/internal/prng"
-	"lowsensing/internal/sim"
+	"lowsensing/prng"
 )
 
 // Batch is the classic batch instance: Count packets all arriving at Slot.
@@ -32,7 +32,7 @@ func NewBatch(n int64) *Batch {
 	return &Batch{Slot: 0, Count: n}
 }
 
-// Next implements sim.ArrivalSource.
+// Next implements channel.ArrivalSource.
 func (b *Batch) Next() (int64, int64, bool) {
 	if b.done || b.Count <= 0 {
 		return 0, 0, false
@@ -41,7 +41,7 @@ func (b *Batch) Next() (int64, int64, bool) {
 	return b.Slot, b.Count, true
 }
 
-var _ sim.ArrivalSource = (*Batch)(nil)
+var _ channel.ArrivalSource = (*Batch)(nil)
 
 // Trace replays an explicit list of (slot, count) batches. Useful for
 // regression tests and hand-crafted adversarial instances.
@@ -72,7 +72,7 @@ func NewTrace(batches []TraceBatch) (*Trace, error) {
 	return &Trace{batches: batches}, nil
 }
 
-// Next implements sim.ArrivalSource.
+// Next implements channel.ArrivalSource.
 func (t *Trace) Next() (int64, int64, bool) {
 	if t.pos >= len(t.batches) {
 		return 0, 0, false
@@ -82,7 +82,7 @@ func (t *Trace) Next() (int64, int64, bool) {
 	return b.Slot, b.Count, true
 }
 
-var _ sim.ArrivalSource = (*Trace)(nil)
+var _ channel.ArrivalSource = (*Trace)(nil)
 
 // Bernoulli injects one packet per slot independently with probability
 // Rate, truncated after Total packets (Total <= 0 means unbounded; pair
@@ -105,7 +105,7 @@ func NewBernoulli(rate float64, total int64, seed uint64) (*Bernoulli, error) {
 	return &Bernoulli{rate: rate, total: total, slot: -1, rng: prng.NewStream(seed, 0x6265726e)}, nil
 }
 
-// Next implements sim.ArrivalSource.
+// Next implements channel.ArrivalSource.
 func (b *Bernoulli) Next() (int64, int64, bool) {
 	if b.total > 0 && b.emitted >= b.total {
 		return 0, 0, false
@@ -115,7 +115,7 @@ func (b *Bernoulli) Next() (int64, int64, bool) {
 	return b.slot, 1, true
 }
 
-var _ sim.ArrivalSource = (*Bernoulli)(nil)
+var _ channel.ArrivalSource = (*Bernoulli)(nil)
 
 // Poisson injects Poisson(Lambda) packets in every slot, truncated after
 // Total packets (Total <= 0 means unbounded). Slots with zero arrivals are
@@ -146,7 +146,7 @@ func NewPoisson(lambda float64, total int64, seed uint64) (*Poisson, error) {
 	}, nil
 }
 
-// Next implements sim.ArrivalSource.
+// Next implements channel.ArrivalSource.
 func (p *Poisson) Next() (int64, int64, bool) {
 	if p.total > 0 && p.emitted >= p.total {
 		return 0, 0, false
@@ -165,7 +165,7 @@ func (p *Poisson) Next() (int64, int64, bool) {
 	return p.slot, k, true
 }
 
-var _ sim.ArrivalSource = (*Poisson)(nil)
+var _ channel.ArrivalSource = (*Poisson)(nil)
 
 // AQT generates adversarial-queuing-theory arrivals with granularity S and
 // rate λ: every window of S consecutive slots receives at most λ·S packets
@@ -217,7 +217,7 @@ func NewAQT(s int64, lambda float64, windows int64, strategy AQTStrategy, seed u
 // Quota returns the per-window packet budget floor(λ·S).
 func (a *AQT) Quota() int64 { return a.quota }
 
-// Next implements sim.ArrivalSource.
+// Next implements channel.ArrivalSource.
 func (a *AQT) Next() (int64, int64, bool) {
 	if a.windows > 0 && a.produced >= a.windows {
 		return 0, 0, false
@@ -236,22 +236,22 @@ func (a *AQT) Next() (int64, int64, bool) {
 	}
 }
 
-var _ sim.ArrivalSource = (*AQT)(nil)
+var _ channel.ArrivalSource = (*AQT)(nil)
 
 // Concat chains several sources, consuming each to exhaustion in order.
 // The caller is responsible for slot monotonicity across the pieces (use
 // Shifted to offset a source).
 type Concat struct {
-	sources []sim.ArrivalSource
+	sources []channel.ArrivalSource
 	idx     int
 }
 
 // NewConcat returns a source that replays each given source in order.
-func NewConcat(sources ...sim.ArrivalSource) *Concat {
+func NewConcat(sources ...channel.ArrivalSource) *Concat {
 	return &Concat{sources: sources}
 }
 
-// Next implements sim.ArrivalSource.
+// Next implements channel.ArrivalSource.
 func (c *Concat) Next() (int64, int64, bool) {
 	for c.idx < len(c.sources) {
 		slot, count, ok := c.sources[c.idx].Next()
@@ -263,15 +263,15 @@ func (c *Concat) Next() (int64, int64, bool) {
 	return 0, 0, false
 }
 
-var _ sim.ArrivalSource = (*Concat)(nil)
+var _ channel.ArrivalSource = (*Concat)(nil)
 
 // Shifted offsets every slot of an inner source by Delta.
 type Shifted struct {
-	Inner sim.ArrivalSource
+	Inner channel.ArrivalSource
 	Delta int64
 }
 
-// Next implements sim.ArrivalSource.
+// Next implements channel.ArrivalSource.
 func (s *Shifted) Next() (int64, int64, bool) {
 	slot, count, ok := s.Inner.Next()
 	if !ok {
@@ -280,4 +280,4 @@ func (s *Shifted) Next() (int64, int64, bool) {
 	return slot + s.Delta, count, true
 }
 
-var _ sim.ArrivalSource = (*Shifted)(nil)
+var _ channel.ArrivalSource = (*Shifted)(nil)

@@ -4,13 +4,13 @@ import (
 	"math"
 	"testing"
 
-	"lowsensing/internal/sim"
+	"lowsensing/channel"
 )
 
 // drain pulls every batch from a source, asserting monotone slots, and
 // returns the batches. It aborts after limit batches (guards infinite
 // sources).
-func drain(t *testing.T, src sim.ArrivalSource, limit int) []TraceBatch {
+func drain(t *testing.T, src channel.ArrivalSource, limit int) []TraceBatch {
 	t.Helper()
 	var out []TraceBatch
 	prev := int64(-1)

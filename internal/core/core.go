@@ -17,9 +17,9 @@ import (
 	"fmt"
 	"math"
 
+	"lowsensing/channel"
 	"lowsensing/internal/dist"
-	"lowsensing/internal/prng"
-	"lowsensing/internal/sim"
+	"lowsensing/prng"
 )
 
 // Config holds the parameters of LOW-SENSING BACKOFF.
@@ -135,7 +135,7 @@ func (c Config) Backon(w float64) float64 {
 }
 
 // Packet is one packet running LOW-SENSING BACKOFF. It implements
-// sim.Station (event-driven scheduling) as well as the per-slot Decide
+// channel.Station (event-driven scheduling) as well as the per-slot Decide
 // interface used by the real-time livenet substrate. A Packet is not safe
 // for concurrent use.
 type Packet struct {
@@ -144,8 +144,8 @@ type Packet struct {
 }
 
 var (
-	_ sim.Station  = (*Packet)(nil)
-	_ sim.Windowed = (*Packet)(nil)
+	_ channel.Station  = (*Packet)(nil)
+	_ channel.Windowed = (*Packet)(nil)
 )
 
 // NewPacket returns a packet in its initial state (window WMin). It returns
@@ -157,20 +157,20 @@ func NewPacket(cfg Config) (*Packet, error) {
 	return &Packet{cfg: cfg, w: cfg.WMin}, nil
 }
 
-// NewFactory validates cfg once and returns a sim.StationFactory producing
+// NewFactory validates cfg once and returns a channel.StationFactory producing
 // LOW-SENSING BACKOFF packets.
-func NewFactory(cfg Config) (sim.StationFactory, error) {
+func NewFactory(cfg Config) (channel.StationFactory, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return func(_ int64, _ *prng.Source) sim.Station {
+	return func(_ int64, _ *prng.Source) channel.Station {
 		return &Packet{cfg: cfg, w: cfg.WMin}
 	}, nil
 }
 
 // MustFactory is NewFactory for known-good configurations; it panics on an
 // invalid config. Intended for examples and tests.
-func MustFactory(cfg Config) sim.StationFactory {
+func MustFactory(cfg Config) channel.StationFactory {
 	f, err := NewFactory(cfg)
 	if err != nil {
 		panic(err)
@@ -184,7 +184,7 @@ func (p *Packet) Window() float64 { return p.w }
 // Config returns the packet's configuration.
 func (p *Packet) Config() Config { return p.cfg }
 
-// ScheduleNext implements sim.Station. The access probability is constant
+// ScheduleNext implements channel.Station. The access probability is constant
 // between accesses (the window changes only on access), so the gap to the
 // next access is exactly Geometric(AccessProb(w)).
 func (p *Packet) ScheduleNext(from int64, rng *prng.Source) (int64, bool) {
@@ -204,19 +204,19 @@ func (p *Packet) Decide(rng *prng.Source) (access, send bool) {
 	return true, rng.Bernoulli(p.cfg.SendProbGivenAccess(p.w))
 }
 
-// Observe implements sim.Station: apply the multiplicative window update
+// Observe implements channel.Station: apply the multiplicative window update
 // for the observed outcome. A packet that sent and did not succeed knows
 // the slot was noisy without listening (paper footnote 2); a heard success
 // (someone else's) leaves the window unchanged.
-func (p *Packet) Observe(obs sim.Observation) {
+func (p *Packet) Observe(obs channel.Observation) {
 	switch {
 	case obs.Succeeded:
 		// Departing; no state to maintain.
-	case obs.Outcome == sim.OutcomeNoisy:
+	case obs.Outcome == channel.OutcomeNoisy:
 		p.w = p.cfg.Backoff(p.w)
-	case obs.Outcome == sim.OutcomeEmpty:
+	case obs.Outcome == channel.OutcomeEmpty:
 		p.w = p.cfg.Backon(p.w)
-	case obs.Outcome == sim.OutcomeSuccess:
+	case obs.Outcome == channel.OutcomeSuccess:
 		// Someone else succeeded: no change.
 	}
 }

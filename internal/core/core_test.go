@@ -6,8 +6,8 @@ import (
 	"testing/quick"
 
 	"lowsensing/internal/arrivals"
-	"lowsensing/internal/prng"
 	"lowsensing/internal/sim"
+	"lowsensing/prng"
 )
 
 func TestDefaultConfigValid(t *testing.T) {

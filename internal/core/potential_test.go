@@ -5,7 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
-	"lowsensing/internal/prng"
+	"lowsensing/prng"
 )
 
 func TestContention(t *testing.T) {

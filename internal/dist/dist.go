@@ -14,7 +14,7 @@ import (
 	"fmt"
 	"math"
 
-	"lowsensing/internal/prng"
+	"lowsensing/prng"
 )
 
 // maxGeometric caps a geometric draw so callers adding gaps to int64 slot

@@ -4,7 +4,7 @@ import (
 	"math"
 	"testing"
 
-	"lowsensing/internal/prng"
+	"lowsensing/prng"
 )
 
 const sampleN = 200_000
@@ -132,13 +132,13 @@ func TestBinomialMoments(t *testing.T) {
 		n int64
 		p float64
 	}{
-		{10, 0.3},            // BINV
-		{40, 0.5},            // BTRS at the p=0.5 boundary
-		{1000, 0.002},        // BINV with large n, tiny p
-		{1000, 0.3},          // BTRS
-		{10000, 0.45},        // BTRS, large n
-		{100, 0.9},           // reflected to p=0.1
-		{1 << 40, 4.5e-12},   // huge n, BINV regime: must not do O(n) work
+		{10, 0.3},                   // BINV
+		{40, 0.5},                   // BTRS at the p=0.5 boundary
+		{1000, 0.002},               // BINV with large n, tiny p
+		{1000, 0.3},                 // BTRS
+		{10000, 0.45},               // BTRS, large n
+		{100, 0.9},                  // reflected to p=0.1
+		{1 << 40, 4.5e-12},          // huge n, BINV regime: must not do O(n) work
 		{1 << 40, 13.0 / (1 << 40)}, // huge n, BTRS regime
 	}
 	for _, c := range cases {

@@ -3,7 +3,7 @@
 // public history, and reactive jammers that see the current slot's senders
 // before deciding (paper §1.3).
 //
-// All jammers implement sim.Jammer. Jammed(t) must be a deterministic
+// All jammers implement channel.Jammer. Jammed(t) must be a deterministic
 // function of t and the jammer's state so that the engine's accounting and
 // any reactive queries agree; random jammers therefore derive per-slot
 // decisions from a counter-based PRF rather than a sequential stream.
@@ -12,9 +12,10 @@ package jamming
 import (
 	"fmt"
 
+	"lowsensing/channel"
 	"lowsensing/internal/dist"
-	"lowsensing/internal/prng"
 	"lowsensing/internal/sim"
+	"lowsensing/prng"
 )
 
 // Random jams each slot independently with probability Rate, using a
@@ -40,7 +41,7 @@ func NewRandom(rate float64, budget int64, seed uint64) (*Random, error) {
 	return &Random{rate: rate, budget: budget, seed: prng.Mix64(seed ^ 0x6a616d72), rng: prng.NewStream(seed, 0x6a616d72)}, nil
 }
 
-// Jammed implements sim.Jammer.
+// Jammed implements channel.Jammer.
 func (r *Random) Jammed(slot int64) bool {
 	if r.budget > 0 && r.spent >= r.budget {
 		return false
@@ -53,7 +54,7 @@ func (r *Random) Jammed(slot int64) bool {
 	return jam
 }
 
-// CountRange implements sim.Jammer. The slots in [from, to) were observed
+// CountRange implements channel.Jammer. The slots in [from, to) were observed
 // by no one, so the count may be sampled from Binomial(len, rate); this is
 // distributionally exact and avoids O(range) work.
 func (r *Random) CountRange(from, to int64) int64 {
@@ -74,7 +75,7 @@ func (r *Random) CountRange(from, to int64) int64 {
 	return n
 }
 
-var _ sim.Jammer = (*Random)(nil)
+var _ channel.Jammer = (*Random)(nil)
 
 // Interval jams every slot in [From, To).
 type Interval struct {
@@ -90,10 +91,10 @@ func NewInterval(from, to int64) (*Interval, error) {
 	return &Interval{From: from, To: to}, nil
 }
 
-// Jammed implements sim.Jammer.
+// Jammed implements channel.Jammer.
 func (iv *Interval) Jammed(slot int64) bool { return slot >= iv.From && slot < iv.To }
 
-// CountRange implements sim.Jammer.
+// CountRange implements channel.Jammer.
 func (iv *Interval) CountRange(from, to int64) int64 {
 	lo, hi := max64(from, iv.From), min64(to, iv.To)
 	if hi <= lo {
@@ -102,7 +103,7 @@ func (iv *Interval) CountRange(from, to int64) int64 {
 	return hi - lo
 }
 
-var _ sim.Jammer = (*Interval)(nil)
+var _ channel.Jammer = (*Interval)(nil)
 
 // Periodic jams Burst consecutive slots at the start of every Period slots,
 // beginning at Phase. Models duty-cycled interference.
@@ -126,7 +127,7 @@ func NewPeriodic(period, burst, phase int64) (*Periodic, error) {
 	return &Periodic{Period: period, Burst: burst, Phase: phase}, nil
 }
 
-// Jammed implements sim.Jammer.
+// Jammed implements channel.Jammer.
 func (p *Periodic) Jammed(slot int64) bool {
 	s := slot - p.Phase
 	if s < 0 {
@@ -135,7 +136,7 @@ func (p *Periodic) Jammed(slot int64) bool {
 	return s%p.Period < p.Burst
 }
 
-// CountRange implements sim.Jammer.
+// CountRange implements channel.Jammer.
 func (p *Periodic) CountRange(from, to int64) int64 {
 	var n int64
 	// Count slot-by-slot per period boundary; ranges the engine skips are
@@ -159,19 +160,19 @@ func (p *Periodic) countPrefix(t int64) int64 {
 	return n + rem
 }
 
-var _ sim.Jammer = (*Periodic)(nil)
+var _ channel.Jammer = (*Periodic)(nil)
 
 // Composite jams a slot if any member jams it. CountRange upper-bounds by
 // summing members, which is exact when member intervals are disjoint (the
 // only composite the experiments use); overlapping probabilistic members
 // would double-count and are rejected at construction.
 type Composite struct {
-	members []sim.Jammer
+	members []channel.Jammer
 }
 
 // NewComposite returns the union of deterministic jammers. To keep
 // CountRange exact it only accepts Interval and Periodic members.
-func NewComposite(members ...sim.Jammer) (*Composite, error) {
+func NewComposite(members ...channel.Jammer) (*Composite, error) {
 	for i, m := range members {
 		switch m.(type) {
 		case *Interval, *Periodic:
@@ -182,7 +183,7 @@ func NewComposite(members ...sim.Jammer) (*Composite, error) {
 	return &Composite{members: members}, nil
 }
 
-// Jammed implements sim.Jammer.
+// Jammed implements channel.Jammer.
 func (c *Composite) Jammed(slot int64) bool {
 	for _, m := range c.members {
 		if m.Jammed(slot) {
@@ -192,7 +193,7 @@ func (c *Composite) Jammed(slot int64) bool {
 	return false
 }
 
-// CountRange implements sim.Jammer. Members are assumed disjoint; the
+// CountRange implements channel.Jammer. Members are assumed disjoint; the
 // experiments construct them that way.
 func (c *Composite) CountRange(from, to int64) int64 {
 	var n int64
@@ -202,7 +203,7 @@ func (c *Composite) CountRange(from, to int64) int64 {
 	return n
 }
 
-var _ sim.Jammer = (*Composite)(nil)
+var _ channel.Jammer = (*Composite)(nil)
 
 // Adaptive jams based on observed public history: it jams the current slot
 // whenever the backlog it can infer exceeds Threshold, up to Budget jams
@@ -228,7 +229,7 @@ func NewAdaptive(threshold, budget int64) (*Adaptive, error) {
 // Bind implements sim.EngineBound.
 func (a *Adaptive) Bind(e *sim.Engine) { a.eng = e }
 
-// Jammed implements sim.Jammer.
+// Jammed implements channel.Jammer.
 func (a *Adaptive) Jammed(int64) bool {
 	if a.eng == nil {
 		return false
@@ -243,11 +244,11 @@ func (a *Adaptive) Jammed(int64) bool {
 	return false
 }
 
-// CountRange implements sim.Jammer.
+// CountRange implements channel.Jammer.
 func (a *Adaptive) CountRange(int64, int64) int64 { return 0 }
 
 var (
-	_ sim.Jammer      = (*Adaptive)(nil)
+	_ channel.Jammer  = (*Adaptive)(nil)
 	_ sim.EngineBound = (*Adaptive)(nil)
 )
 
@@ -272,7 +273,7 @@ func NewReactiveTargeted(target, budget int64) (*ReactiveTargeted, error) {
 // Spent returns the number of jams used so far.
 func (r *ReactiveTargeted) Spent() int64 { return r.spent }
 
-// JammedReactive implements sim.ReactiveJammer.
+// JammedReactive implements channel.ReactiveJammer.
 func (r *ReactiveTargeted) JammedReactive(_ int64, senders []int64) bool {
 	if r.Budget > 0 && r.spent >= r.Budget {
 		return false
@@ -286,15 +287,15 @@ func (r *ReactiveTargeted) JammedReactive(_ int64, senders []int64) bool {
 	return false
 }
 
-// Jammed implements sim.Jammer (never consulted by the engine for reactive
+// Jammed implements channel.Jammer (never consulted by the engine for reactive
 // jammers on resolved slots, but required by the interface).
 func (r *ReactiveTargeted) Jammed(int64) bool { return false }
 
-// CountRange implements sim.Jammer: a reactive jammer wastes no budget on
+// CountRange implements channel.Jammer: a reactive jammer wastes no budget on
 // slots where nothing is sent.
 func (r *ReactiveTargeted) CountRange(int64, int64) int64 { return 0 }
 
-var _ sim.ReactiveJammer = (*ReactiveTargeted)(nil)
+var _ channel.ReactiveJammer = (*ReactiveTargeted)(nil)
 
 // ReactiveAll jams every slot in which anybody transmits, up to Budget
 // jams. This is the strongest send-triggered reactive strategy; with an
@@ -311,7 +312,7 @@ func NewReactiveAll(budget int64) *ReactiveAll { return &ReactiveAll{Budget: bud
 // Spent returns the number of jams used so far.
 func (r *ReactiveAll) Spent() int64 { return r.spent }
 
-// JammedReactive implements sim.ReactiveJammer.
+// JammedReactive implements channel.ReactiveJammer.
 func (r *ReactiveAll) JammedReactive(_ int64, senders []int64) bool {
 	if len(senders) == 0 {
 		return false
@@ -323,13 +324,13 @@ func (r *ReactiveAll) JammedReactive(_ int64, senders []int64) bool {
 	return true
 }
 
-// Jammed implements sim.Jammer.
+// Jammed implements channel.Jammer.
 func (r *ReactiveAll) Jammed(int64) bool { return false }
 
-// CountRange implements sim.Jammer.
+// CountRange implements channel.Jammer.
 func (r *ReactiveAll) CountRange(int64, int64) int64 { return 0 }
 
-var _ sim.ReactiveJammer = (*ReactiveAll)(nil)
+var _ channel.ReactiveJammer = (*ReactiveAll)(nil)
 
 func max64(a, b int64) int64 {
 	if a > b {

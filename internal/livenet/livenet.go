@@ -15,8 +15,8 @@ import (
 	"fmt"
 	"sync"
 
-	"lowsensing/internal/prng"
 	"lowsensing/internal/sim"
+	"lowsensing/prng"
 )
 
 // Device is the per-slot policy interface a device runs. core.Packet

@@ -6,8 +6,8 @@ import (
 
 	"lowsensing/internal/core"
 	"lowsensing/internal/jamming"
-	"lowsensing/internal/prng"
 	"lowsensing/internal/sim"
+	"lowsensing/prng"
 )
 
 func lsbDevices() DeviceFactory {

@@ -3,8 +3,8 @@ package protocols
 import (
 	"fmt"
 
-	"lowsensing/internal/prng"
-	"lowsensing/internal/sim"
+	"lowsensing/channel"
+	"lowsensing/prng"
 )
 
 // CDMode selects how a no-collision-detection channel conflates the two
@@ -29,39 +29,39 @@ const (
 // feedback (experiment E12). A station that transmitted still learns its
 // own outcome exactly (own success is always detectable).
 type noCD struct {
-	inner sim.Station
+	inner channel.Station
 	mode  CDMode
 }
 
 // NewNoCDFactory wraps a station factory in the no-collision-detection
 // channel degradation.
-func NewNoCDFactory(inner sim.StationFactory, mode CDMode) (sim.StationFactory, error) {
+func NewNoCDFactory(inner channel.StationFactory, mode CDMode) (channel.StationFactory, error) {
 	if inner == nil {
 		return nil, fmt.Errorf("protocols: NoCD requires an inner factory")
 	}
 	if mode != CDAsEmpty && mode != CDAsNoisy {
 		return nil, fmt.Errorf("protocols: unknown CD mode %d", mode)
 	}
-	return func(id int64, rng *prng.Source) sim.Station {
+	return func(id int64, rng *prng.Source) channel.Station {
 		return &noCD{inner: inner(id, rng), mode: mode}
 	}, nil
 }
 
-// ScheduleNext implements sim.Station.
+// ScheduleNext implements channel.Station.
 func (n *noCD) ScheduleNext(from int64, rng *prng.Source) (int64, bool) {
 	return n.inner.ScheduleNext(from, rng)
 }
 
-// Observe implements sim.Station, degrading the outcome before delivery.
-func (n *noCD) Observe(obs sim.Observation) {
+// Observe implements channel.Station, degrading the outcome before delivery.
+func (n *noCD) Observe(obs channel.Observation) {
 	// A sender always knows whether its own transmission succeeded; a
 	// failed send is unambiguous noise even without collision detection
 	// (the packet is still here). Only pure listens are degraded.
-	if !obs.Sent && obs.Outcome != sim.OutcomeSuccess {
+	if !obs.Sent && obs.Outcome != channel.OutcomeSuccess {
 		if n.mode == CDAsEmpty {
-			obs.Outcome = sim.OutcomeEmpty
+			obs.Outcome = channel.OutcomeEmpty
 		} else {
-			obs.Outcome = sim.OutcomeNoisy
+			obs.Outcome = channel.OutcomeNoisy
 		}
 	}
 	n.inner.Observe(obs)
@@ -69,13 +69,13 @@ func (n *noCD) Observe(obs sim.Observation) {
 
 // Window exposes the inner station's window if it has one.
 func (n *noCD) Window() float64 {
-	if w, ok := n.inner.(sim.Windowed); ok {
+	if w, ok := n.inner.(channel.Windowed); ok {
 		return w.Window()
 	}
 	return 0
 }
 
 var (
-	_ sim.Station  = (*noCD)(nil)
-	_ sim.Windowed = (*noCD)(nil)
+	_ channel.Station  = (*noCD)(nil)
+	_ channel.Windowed = (*noCD)(nil)
 )

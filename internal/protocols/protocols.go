@@ -15,7 +15,7 @@
 //     of active slots — the short-feedback-loop regime the paper escapes.
 //   - Fixed-probability sender, as an ablation control.
 //
-// All protocols implement sim.Station and are exercised by the same engine
+// All protocols implement channel.Station and are exercised by the same engine
 // and metrics as the core algorithm.
 package protocols
 
@@ -23,9 +23,9 @@ import (
 	"fmt"
 	"math"
 
+	"lowsensing/channel"
 	"lowsensing/internal/dist"
-	"lowsensing/internal/prng"
-	"lowsensing/internal/sim"
+	"lowsensing/prng"
 )
 
 // BEB is one packet running binary exponential backoff: it picks a uniform
@@ -40,14 +40,14 @@ type BEB struct {
 // NewBEBFactory returns a factory for binary exponential backoff stations
 // with the given initial window (classically 2). maxWindow caps growth
 // (<= 0 means uncapped).
-func NewBEBFactory(initialWindow, maxWindow int64) (sim.StationFactory, error) {
+func NewBEBFactory(initialWindow, maxWindow int64) (channel.StationFactory, error) {
 	if initialWindow < 1 {
 		return nil, fmt.Errorf("protocols: BEB initial window must be >= 1, got %d", initialWindow)
 	}
 	if maxWindow > 0 && maxWindow < initialWindow {
 		return nil, fmt.Errorf("protocols: BEB max window %d < initial %d", maxWindow, initialWindow)
 	}
-	return func(_ int64, _ *prng.Source) sim.Station {
+	return func(_ int64, _ *prng.Source) channel.Station {
 		return &BEB{window: initialWindow, max: maxWindow}
 	}, nil
 }
@@ -55,13 +55,13 @@ func NewBEBFactory(initialWindow, maxWindow int64) (sim.StationFactory, error) {
 // Window returns the current window (for probes).
 func (b *BEB) Window() float64 { return float64(b.window) }
 
-// ScheduleNext implements sim.Station.
+// ScheduleNext implements channel.Station.
 func (b *BEB) ScheduleNext(from int64, rng *prng.Source) (int64, bool) {
 	return from + rng.Int63n(b.window), true
 }
 
-// Observe implements sim.Station: double the window after a failed send.
-func (b *BEB) Observe(obs sim.Observation) {
+// Observe implements channel.Station: double the window after a failed send.
+func (b *BEB) Observe(obs channel.Observation) {
 	if obs.Sent && !obs.Succeeded {
 		b.window *= 2
 		if b.max > 0 && b.window > b.max {
@@ -71,8 +71,8 @@ func (b *BEB) Observe(obs sim.Observation) {
 }
 
 var (
-	_ sim.Station  = (*BEB)(nil)
-	_ sim.Windowed = (*BEB)(nil)
+	_ channel.Station  = (*BEB)(nil)
+	_ channel.Windowed = (*BEB)(nil)
 )
 
 // Poly is polynomial backoff: after the k-th collision the window is
@@ -85,14 +85,14 @@ type Poly struct {
 
 // NewPolyFactory returns a factory for polynomial backoff with window
 // w0·(k+1)^alpha after k collisions. alpha must be positive.
-func NewPolyFactory(w0 int64, alpha float64) (sim.StationFactory, error) {
+func NewPolyFactory(w0 int64, alpha float64) (channel.StationFactory, error) {
 	if w0 < 1 {
 		return nil, fmt.Errorf("protocols: Poly w0 must be >= 1, got %d", w0)
 	}
 	if !(alpha > 0) {
 		return nil, fmt.Errorf("protocols: Poly alpha must be > 0, got %v", alpha)
 	}
-	return func(_ int64, _ *prng.Source) sim.Station {
+	return func(_ int64, _ *prng.Source) channel.Station {
 		return &Poly{w0: w0, alpha: alpha}
 	}, nil
 }
@@ -102,7 +102,7 @@ func (p *Poly) Window() float64 {
 	return float64(p.w0) * math.Pow(float64(p.collisions+1), p.alpha)
 }
 
-// ScheduleNext implements sim.Station.
+// ScheduleNext implements channel.Station.
 func (p *Poly) ScheduleNext(from int64, rng *prng.Source) (int64, bool) {
 	w := int64(p.Window())
 	if w < 1 {
@@ -111,14 +111,14 @@ func (p *Poly) ScheduleNext(from int64, rng *prng.Source) (int64, bool) {
 	return from + rng.Int63n(w), true
 }
 
-// Observe implements sim.Station.
-func (p *Poly) Observe(obs sim.Observation) {
+// Observe implements channel.Station.
+func (p *Poly) Observe(obs channel.Observation) {
 	if obs.Sent && !obs.Succeeded {
 		p.collisions++
 	}
 }
 
-var _ sim.Station = (*Poly)(nil)
+var _ channel.Station = (*Poly)(nil)
 
 // Aloha is slotted ALOHA with a fixed transmission probability: each slot,
 // send with probability p. Send-only, no adaptation.
@@ -128,24 +128,24 @@ type Aloha struct {
 
 // NewAlohaFactory returns fixed-rate slotted ALOHA stations. p must be in
 // (0, 1].
-func NewAlohaFactory(p float64) (sim.StationFactory, error) {
+func NewAlohaFactory(p float64) (channel.StationFactory, error) {
 	if !(p > 0 && p <= 1) {
 		return nil, fmt.Errorf("protocols: Aloha p must be in (0,1], got %v", p)
 	}
-	return func(_ int64, _ *prng.Source) sim.Station {
+	return func(_ int64, _ *prng.Source) channel.Station {
 		return &Aloha{p: p}
 	}, nil
 }
 
-// ScheduleNext implements sim.Station.
+// ScheduleNext implements channel.Station.
 func (a *Aloha) ScheduleNext(from int64, rng *prng.Source) (int64, bool) {
 	return from + dist.Geometric(rng, a.p) - 1, true
 }
 
-// Observe implements sim.Station (fixed-rate ALOHA never adapts).
-func (a *Aloha) Observe(sim.Observation) {}
+// Observe implements channel.Station (fixed-rate ALOHA never adapts).
+func (a *Aloha) Observe(channel.Observation) {}
 
-var _ sim.Station = (*Aloha)(nil)
+var _ channel.Station = (*Aloha)(nil)
 
 // GenieAloha is slotted ALOHA where every station magically knows the exact
 // current backlog k and sends with probability 1/k in every slot. It is an
@@ -167,15 +167,15 @@ type genieState struct {
 
 // NewGenieAlohaFactory returns a factory whose stations share one backlog
 // oracle. The factory is single-run: do not reuse it across engines.
-func NewGenieAlohaFactory() sim.StationFactory {
+func NewGenieAlohaFactory() channel.StationFactory {
 	state := &genieState{}
-	return func(_ int64, _ *prng.Source) sim.Station {
+	return func(_ int64, _ *prng.Source) channel.Station {
 		state.backlog++
 		return &GenieAloha{shared: state}
 	}
 }
 
-// ScheduleNext implements sim.Station: access every slot, send with
+// ScheduleNext implements channel.Station: access every slot, send with
 // probability 1/backlog.
 func (g *GenieAloha) ScheduleNext(from int64, rng *prng.Source) (int64, bool) {
 	k := g.shared.backlog
@@ -185,14 +185,14 @@ func (g *GenieAloha) ScheduleNext(from int64, rng *prng.Source) (int64, bool) {
 	return from, rng.Bernoulli(1 / float64(k))
 }
 
-// Observe implements sim.Station: a departing station updates the oracle.
-func (g *GenieAloha) Observe(obs sim.Observation) {
+// Observe implements channel.Station: a departing station updates the oracle.
+func (g *GenieAloha) Observe(obs channel.Observation) {
 	if obs.Succeeded {
 		g.shared.backlog--
 	}
 }
 
-var _ sim.Station = (*GenieAloha)(nil)
+var _ channel.Station = (*GenieAloha)(nil)
 
 // MWU is a full-sensing multiplicative-weights protocol in the style of
 // Chang, Jin, and Pettie (SOSA 2019): it listens in every slot and updates
@@ -236,11 +236,11 @@ func (c MWUConfig) Validate() error {
 }
 
 // NewMWUFactory returns a factory for full-sensing MWU stations.
-func NewMWUFactory(cfg MWUConfig) (sim.StationFactory, error) {
+func NewMWUFactory(cfg MWUConfig) (channel.StationFactory, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return func(_ int64, _ *prng.Source) sim.Station {
+	return func(_ int64, _ *prng.Source) channel.Station {
 		return &MWU{p: cfg.PInit, pMax: cfg.PMax, step: cfg.Step}
 	}, nil
 }
@@ -248,30 +248,30 @@ func NewMWUFactory(cfg MWUConfig) (sim.StationFactory, error) {
 // Window reports 1/p so MWU can participate in window-based probes.
 func (m *MWU) Window() float64 { return 1 / m.p }
 
-// ScheduleNext implements sim.Station: MWU accesses (listens in) every
+// ScheduleNext implements channel.Station: MWU accesses (listens in) every
 // slot.
 func (m *MWU) ScheduleNext(from int64, rng *prng.Source) (int64, bool) {
 	return from, rng.Bernoulli(m.p)
 }
 
-// Observe implements sim.Station.
-func (m *MWU) Observe(obs sim.Observation) {
+// Observe implements channel.Station.
+func (m *MWU) Observe(obs channel.Observation) {
 	switch obs.Outcome {
-	case sim.OutcomeEmpty:
+	case channel.OutcomeEmpty:
 		m.p *= m.step
 		if m.p > m.pMax {
 			m.p = m.pMax
 		}
-	case sim.OutcomeNoisy:
+	case channel.OutcomeNoisy:
 		m.p /= m.step
-	case sim.OutcomeSuccess:
+	case channel.OutcomeSuccess:
 		// Unchanged.
 	}
 }
 
 var (
-	_ sim.Station  = (*MWU)(nil)
-	_ sim.Windowed = (*MWU)(nil)
+	_ channel.Station  = (*MWU)(nil)
+	_ channel.Windowed = (*MWU)(nil)
 )
 
 // Fixed sends with a constant probability p each slot and also listens with
@@ -286,19 +286,19 @@ type Fixed struct {
 // NewFixedFactory returns stations that send with probability pSend and
 // additionally listen with probability pListen (both per slot). pSend must
 // be in (0,1]; pListen in [0,1].
-func NewFixedFactory(pSend, pListen float64) (sim.StationFactory, error) {
+func NewFixedFactory(pSend, pListen float64) (channel.StationFactory, error) {
 	if !(pSend > 0 && pSend <= 1) {
 		return nil, fmt.Errorf("protocols: Fixed pSend must be in (0,1], got %v", pSend)
 	}
 	if !(pListen >= 0 && pListen <= 1) {
 		return nil, fmt.Errorf("protocols: Fixed pListen must be in [0,1], got %v", pListen)
 	}
-	return func(_ int64, _ *prng.Source) sim.Station {
+	return func(_ int64, _ *prng.Source) channel.Station {
 		return &Fixed{pSend: pSend, pListen: pListen}
 	}, nil
 }
 
-// ScheduleNext implements sim.Station. The access probability is
+// ScheduleNext implements channel.Station. The access probability is
 // pSend + pListen - pSend·pListen (send and listen decisions independent);
 // conditioned on accessing, the send flag is set with the conditional
 // probability of a send given access.
@@ -309,7 +309,7 @@ func (f *Fixed) ScheduleNext(from int64, rng *prng.Source) (int64, bool) {
 	return from + gap - 1, send
 }
 
-// Observe implements sim.Station (no adaptation).
-func (f *Fixed) Observe(sim.Observation) {}
+// Observe implements channel.Station (no adaptation).
+func (f *Fixed) Observe(channel.Observation) {}
 
-var _ sim.Station = (*Fixed)(nil)
+var _ channel.Station = (*Fixed)(nil)

@@ -4,12 +4,13 @@ import (
 	"math"
 	"testing"
 
+	"lowsensing/channel"
 	"lowsensing/internal/arrivals"
-	"lowsensing/internal/prng"
 	"lowsensing/internal/sim"
+	"lowsensing/prng"
 )
 
-func runBatch(t *testing.T, factory sim.StationFactory, n, maxSlots int64, seed uint64) sim.Result {
+func runBatch(t *testing.T, factory channel.StationFactory, n, maxSlots int64, seed uint64) sim.Result {
 	t.Helper()
 	e, err := sim.NewEngine(sim.Params{
 		Seed:          seed,
@@ -39,15 +40,15 @@ func TestBEBValidation(t *testing.T) {
 
 func TestBEBDoublesOnCollision(t *testing.T) {
 	b := &BEB{window: 2}
-	b.Observe(sim.Observation{Sent: true, Succeeded: false})
+	b.Observe(channel.Observation{Sent: true, Succeeded: false})
 	if b.window != 4 {
 		t.Fatalf("window = %d, want 4", b.window)
 	}
-	b.Observe(sim.Observation{Sent: false, Outcome: sim.OutcomeNoisy})
+	b.Observe(channel.Observation{Sent: false, Outcome: channel.OutcomeNoisy})
 	if b.window != 4 {
 		t.Fatal("window changed without own send")
 	}
-	b.Observe(sim.Observation{Sent: true, Succeeded: true})
+	b.Observe(channel.Observation{Sent: true, Succeeded: true})
 	if b.window != 4 {
 		t.Fatal("window changed on success")
 	}
@@ -56,7 +57,7 @@ func TestBEBDoublesOnCollision(t *testing.T) {
 func TestBEBRespectsCap(t *testing.T) {
 	b := &BEB{window: 8, max: 16}
 	for i := 0; i < 10; i++ {
-		b.Observe(sim.Observation{Sent: true})
+		b.Observe(channel.Observation{Sent: true})
 	}
 	if b.window != 16 {
 		t.Fatalf("window = %d, want cap 16", b.window)
@@ -122,11 +123,11 @@ func TestPolyWindowGrowth(t *testing.T) {
 	if got := p.Window(); got != 2 {
 		t.Fatalf("initial window = %v", got)
 	}
-	p.Observe(sim.Observation{Sent: true})
+	p.Observe(channel.Observation{Sent: true})
 	if got := p.Window(); got != 8 { // 2·(1+1)^2
 		t.Fatalf("window after 1 collision = %v, want 8", got)
 	}
-	p.Observe(sim.Observation{Sent: true})
+	p.Observe(channel.Observation{Sent: true})
 	if got := p.Window(); got != 18 { // 2·3^2
 		t.Fatalf("window after 2 collisions = %v, want 18", got)
 	}
@@ -183,7 +184,7 @@ func TestGenieAlohaTracksBacklog(t *testing.T) {
 	if a.shared.backlog != 2 {
 		t.Fatalf("backlog = %d", a.shared.backlog)
 	}
-	a.Observe(sim.Observation{Sent: true, Succeeded: true})
+	a.Observe(channel.Observation{Sent: true, Succeeded: true})
 	if b.shared.backlog != 1 {
 		t.Fatalf("backlog after departure = %d", b.shared.backlog)
 	}
@@ -219,19 +220,19 @@ func TestMWUConfigValidation(t *testing.T) {
 
 func TestMWUUpdates(t *testing.T) {
 	m := &MWU{p: 0.25, pMax: 0.5, step: 2}
-	m.Observe(sim.Observation{Outcome: sim.OutcomeEmpty})
+	m.Observe(channel.Observation{Outcome: channel.OutcomeEmpty})
 	if m.p != 0.5 {
 		t.Fatalf("p after empty = %v", m.p)
 	}
-	m.Observe(sim.Observation{Outcome: sim.OutcomeEmpty})
+	m.Observe(channel.Observation{Outcome: channel.OutcomeEmpty})
 	if m.p != 0.5 {
 		t.Fatalf("p exceeded cap: %v", m.p)
 	}
-	m.Observe(sim.Observation{Outcome: sim.OutcomeNoisy})
+	m.Observe(channel.Observation{Outcome: channel.OutcomeNoisy})
 	if m.p != 0.25 {
 		t.Fatalf("p after noisy = %v", m.p)
 	}
-	m.Observe(sim.Observation{Outcome: sim.OutcomeSuccess})
+	m.Observe(channel.Observation{Outcome: channel.OutcomeSuccess})
 	if m.p != 0.25 {
 		t.Fatalf("p after success = %v", m.p)
 	}

@@ -1,9 +1,9 @@
 package protocols
 
 import (
+	"lowsensing/channel"
 	"lowsensing/internal/dist"
-	"lowsensing/internal/prng"
-	"lowsensing/internal/sim"
+	"lowsensing/prng"
 )
 
 // Sawtooth implements sawtooth backoff in the style of Bender,
@@ -27,8 +27,8 @@ type Sawtooth struct {
 }
 
 // NewSawtoothFactory returns a factory for sawtooth-backoff stations.
-func NewSawtoothFactory() sim.StationFactory {
-	return func(_ int64, _ *prng.Source) sim.Station {
+func NewSawtoothFactory() channel.StationFactory {
+	return func(_ int64, _ *prng.Source) channel.Station {
 		s := &Sawtooth{}
 		s.startEpoch(1)
 		return s
@@ -65,7 +65,7 @@ func (s *Sawtooth) advance() {
 	s.remaining = s.window()
 }
 
-// ScheduleNext implements sim.Station: find the next slot this packet
+// ScheduleNext implements channel.Station: find the next slot this packet
 // sends, walking sub-phases until a geometric draw lands inside one.
 func (s *Sawtooth) ScheduleNext(from int64, rng *prng.Source) (int64, bool) {
 	offset := int64(0)
@@ -84,11 +84,11 @@ func (s *Sawtooth) ScheduleNext(from int64, rng *prng.Source) (int64, bool) {
 	}
 }
 
-// Observe implements sim.Station: sawtooth backoff is oblivious; nothing
+// Observe implements channel.Station: sawtooth backoff is oblivious; nothing
 // reacts to feedback (a successful packet simply departs).
-func (s *Sawtooth) Observe(sim.Observation) {}
+func (s *Sawtooth) Observe(channel.Observation) {}
 
 var (
-	_ sim.Station  = (*Sawtooth)(nil)
-	_ sim.Windowed = (*Sawtooth)(nil)
+	_ channel.Station  = (*Sawtooth)(nil)
+	_ channel.Windowed = (*Sawtooth)(nil)
 )

@@ -3,9 +3,9 @@ package protocols
 import (
 	"testing"
 
+	"lowsensing/channel"
 	"lowsensing/internal/core"
-	"lowsensing/internal/prng"
-	"lowsensing/internal/sim"
+	"lowsensing/prng"
 )
 
 func TestSawtoothPhaseStructure(t *testing.T) {
@@ -47,8 +47,8 @@ func TestSawtoothSchedulesForward(t *testing.T) {
 func TestSawtoothIgnoresFeedback(t *testing.T) {
 	s := NewSawtoothFactory()(0, nil).(*Sawtooth)
 	before := *s
-	s.Observe(sim.Observation{Outcome: sim.OutcomeNoisy, Sent: true})
-	s.Observe(sim.Observation{Outcome: sim.OutcomeEmpty})
+	s.Observe(channel.Observation{Outcome: channel.OutcomeNoisy, Sent: true})
+	s.Observe(channel.Observation{Outcome: channel.OutcomeEmpty})
 	if *s != before {
 		t.Fatal("oblivious protocol changed state on feedback")
 	}
@@ -86,33 +86,33 @@ func TestNoCDValidation(t *testing.T) {
 }
 
 // probeStation records the outcomes it was shown.
-type probeStation struct{ seen []sim.Outcome }
+type probeStation struct{ seen []channel.Outcome }
 
 func (p *probeStation) ScheduleNext(from int64, _ *prng.Source) (int64, bool) { return from, false }
-func (p *probeStation) Observe(o sim.Observation)                             { p.seen = append(p.seen, o.Outcome) }
+func (p *probeStation) Observe(o channel.Observation)                         { p.seen = append(p.seen, o.Outcome) }
 
 func TestNoCDDegradesOnlyListens(t *testing.T) {
 	for _, mode := range []CDMode{CDAsEmpty, CDAsNoisy} {
 		inner := &probeStation{}
-		f, err := NewNoCDFactory(func(int64, *prng.Source) sim.Station { return inner }, mode)
+		f, err := NewNoCDFactory(func(int64, *prng.Source) channel.Station { return inner }, mode)
 		if err != nil {
 			t.Fatal(err)
 		}
 		st := f(0, nil)
 
 		// Pure listens: empty and noisy both conflate to the mode's value.
-		st.Observe(sim.Observation{Outcome: sim.OutcomeEmpty})
-		st.Observe(sim.Observation{Outcome: sim.OutcomeNoisy})
+		st.Observe(channel.Observation{Outcome: channel.OutcomeEmpty})
+		st.Observe(channel.Observation{Outcome: channel.OutcomeNoisy})
 		// Foreign success passes through.
-		st.Observe(sim.Observation{Outcome: sim.OutcomeSuccess})
+		st.Observe(channel.Observation{Outcome: channel.OutcomeSuccess})
 		// Own failed send is unambiguous noise.
-		st.Observe(sim.Observation{Outcome: sim.OutcomeNoisy, Sent: true})
+		st.Observe(channel.Observation{Outcome: channel.OutcomeNoisy, Sent: true})
 
-		want := sim.OutcomeEmpty
+		want := channel.OutcomeEmpty
 		if mode == CDAsNoisy {
-			want = sim.OutcomeNoisy
+			want = channel.OutcomeNoisy
 		}
-		expect := []sim.Outcome{want, want, sim.OutcomeSuccess, sim.OutcomeNoisy}
+		expect := []channel.Outcome{want, want, channel.OutcomeSuccess, channel.OutcomeNoisy}
 		if len(inner.seen) != len(expect) {
 			t.Fatalf("mode %d: seen %v", mode, inner.seen)
 		}
@@ -130,7 +130,7 @@ func TestNoCDWindowPassthrough(t *testing.T) {
 		t.Fatal(err)
 	}
 	st := f(0, prng.New(1))
-	w, ok := st.(sim.Windowed)
+	w, ok := st.(channel.Windowed)
 	if !ok || w.Window() != core.Default().WMin {
 		t.Fatalf("window passthrough broken")
 	}

@@ -25,7 +25,7 @@ import (
 	"runtime"
 	"sync"
 
-	"lowsensing/internal/prng"
+	"lowsensing/prng"
 )
 
 // DeriveSeed deterministically derives the seed of one job from the base

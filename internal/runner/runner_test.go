@@ -8,7 +8,7 @@ import (
 	"testing"
 	"time"
 
-	"lowsensing/internal/prng"
+	"lowsensing/prng"
 )
 
 func TestDeriveSeedDistinct(t *testing.T) {

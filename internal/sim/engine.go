@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"math"
 
-	"lowsensing/internal/prng"
+	"lowsensing/prng"
 )
 
 // Params configures a simulation run. Arrivals and NewStation are required;

@@ -4,7 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
-	"lowsensing/internal/prng"
+	"lowsensing/prng"
 )
 
 // chaosStation takes random actions: random small gaps, random send

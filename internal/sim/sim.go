@@ -27,106 +27,42 @@
 package sim
 
 import (
-	"lowsensing/internal/prng"
+	"lowsensing/channel"
 	"lowsensing/internal/stats"
 )
 
-// Outcome is the ternary channel feedback for one slot.
-type Outcome uint8
-
-// The three channel outcomes of the ternary-feedback model. A jammed slot
-// is always Noisy regardless of how many packets sent.
-const (
-	// OutcomeEmpty means no packet sent and the slot was not jammed.
-	OutcomeEmpty Outcome = iota + 1
-	// OutcomeSuccess means exactly one packet sent in an unjammed slot.
-	OutcomeSuccess
-	// OutcomeNoisy means two or more packets sent, or the slot was jammed.
-	OutcomeNoisy
+// The engine-facing contracts — the protocol, arrivals, and adversary
+// interfaces together with the ternary-feedback vocabulary — are defined in
+// the public package lowsensing/channel; the aliases below keep package sim
+// source-compatible. See channel's package documentation for the slot-level
+// semantics every implementation must follow.
+type (
+	// Outcome is the ternary channel feedback for one slot.
+	Outcome = channel.Outcome
+	// Observation is what a station learns at a slot it accessed.
+	Observation = channel.Observation
+	// Station is the per-packet protocol state machine.
+	Station = channel.Station
+	// Windowed is implemented by stations exposing a backoff window.
+	Windowed = channel.Windowed
+	// StationFactory builds the Station for a newly injected packet.
+	StationFactory = channel.StationFactory
+	// ArrivalSource produces the (slot, count) arrival schedule.
+	ArrivalSource = channel.ArrivalSource
+	// Jammer decides which slots the adversary jams.
+	Jammer = channel.Jammer
+	// ReactiveJammer additionally sees the current slot's senders.
+	ReactiveJammer = channel.ReactiveJammer
+	// NoJammer is a Jammer that never jams.
+	NoJammer = channel.NoJammer
 )
 
-// String implements fmt.Stringer.
-func (o Outcome) String() string {
-	switch o {
-	case OutcomeEmpty:
-		return "empty"
-	case OutcomeSuccess:
-		return "success"
-	case OutcomeNoisy:
-		return "noisy"
-	default:
-		return "unknown"
-	}
-}
-
-// Observation is what a station learns at a slot in which it accessed the
-// channel. Sent reports whether the station itself transmitted; Succeeded
-// reports whether that transmission was the slot's unique unjammed send.
-// A station that sent and did not succeed knows the slot was Noisy without
-// listening (paper footnote 2).
-type Observation struct {
-	Slot      int64
-	Outcome   Outcome
-	Sent      bool
-	Succeeded bool
-}
-
-// Station is the per-packet protocol state machine. The engine drives it
-// with the following contract:
-//
-//  1. ScheduleNext(from, rng) returns the first slot >= from at which the
-//     station will access the channel, and whether that access includes a
-//     transmission. The station must commit to this decision: it will not
-//     be consulted again until that slot.
-//  2. At that slot the engine resolves the channel and calls Observe with
-//     the ternary feedback. If the station succeeded it is removed;
-//     otherwise ScheduleNext is called again with from = slot+1.
-//
-// Station implementations must be deterministic given the rng stream.
-type Station interface {
-	ScheduleNext(from int64, rng *prng.Source) (slot int64, send bool)
-	Observe(obs Observation)
-}
-
-// Windowed is implemented by stations that expose a backoff window, which
-// probes use to compute contention and the paper's potential function.
-type Windowed interface {
-	Window() float64
-}
-
-// StationFactory builds the Station for a newly injected packet. The id is
-// the packet's global index in arrival order (0-based); rng is the packet's
-// private deterministic stream.
-type StationFactory func(id int64, rng *prng.Source) Station
-
-// ArrivalSource produces the (slot, count) arrival schedule in nondecreasing
-// slot order. Next is called once per batch, after the previous batch has
-// been injected; adaptive sources may consult an engine View at that point.
-type ArrivalSource interface {
-	Next() (slot int64, count int64, ok bool)
-}
-
-// Jammer decides which slots the adversary jams.
-//
-// Jammed is called for slots the engine actually resolves (some station
-// accesses the channel) and must be a deterministic function of the slot
-// and the jammer's own state. CountRange accounts for jammed slots inside
-// a skipped range [from, to) that no station observed; implementations may
-// sample the count from the correct distribution rather than materialize
-// per-slot decisions, because those slots are unobservable by everyone.
-type Jammer interface {
-	Jammed(slot int64) bool
-	CountRange(from, to int64) int64
-}
-
-// ReactiveJammer is a Jammer that additionally sees, and may react to, the
-// set of packets transmitting in the current slot before the channel is
-// resolved (paper §1.3). The engine calls JammedReactive instead of Jammed
-// for resolved slots; CountRange still covers unobserved slots.
-type ReactiveJammer interface {
-	Jammer
-	JammedReactive(slot int64, senders []int64) bool
-}
+// The three channel outcomes, re-exported from package channel.
+const (
+	OutcomeEmpty   = channel.OutcomeEmpty
+	OutcomeSuccess = channel.OutcomeSuccess
+	OutcomeNoisy   = channel.OutcomeNoisy
+)
 
 // PacketStats records the lifetime and energy of one packet. ID is the
 // packet's global arrival index (0-based). Departure is -1 if the packet
@@ -273,14 +209,3 @@ func (r Result) MaxAccesses() int64 {
 	}
 	return m
 }
-
-// NoJammer is a Jammer that never jams. The zero value is ready to use.
-type NoJammer struct{}
-
-// Jammed always reports false.
-func (NoJammer) Jammed(int64) bool { return false }
-
-// CountRange always returns 0.
-func (NoJammer) CountRange(int64, int64) int64 { return 0 }
-
-var _ Jammer = NoJammer{}

@@ -3,7 +3,7 @@ package sim
 import (
 	"testing"
 
-	"lowsensing/internal/prng"
+	"lowsensing/prng"
 )
 
 // scriptStation follows a fixed script of (gap, send) pairs: at each

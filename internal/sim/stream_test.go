@@ -4,8 +4,8 @@ import (
 	"math"
 	"testing"
 
-	"lowsensing/internal/prng"
 	"lowsensing/internal/stats"
+	"lowsensing/prng"
 )
 
 // TestPacketsOptIn: default runs keep only the streaming accumulators;

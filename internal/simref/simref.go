@@ -18,8 +18,8 @@ package simref
 import (
 	"fmt"
 
-	"lowsensing/internal/prng"
 	"lowsensing/internal/sim"
+	"lowsensing/prng"
 )
 
 // Run executes the model slot by slot and returns a result identical to

@@ -6,9 +6,9 @@ import (
 	"lowsensing/internal/arrivals"
 	"lowsensing/internal/core"
 	"lowsensing/internal/jamming"
-	"lowsensing/internal/prng"
 	"lowsensing/internal/protocols"
 	"lowsensing/internal/sim"
+	"lowsensing/prng"
 )
 
 // diff runs the same Params through the event-driven engine and the naive

@@ -5,7 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
-	"lowsensing/internal/prng"
+	"lowsensing/prng"
 )
 
 func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }

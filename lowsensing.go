@@ -27,18 +27,30 @@
 // the Result both stay O(backlog) on arbitrarily long streams, with energy
 // and latency statistics kept in streaming accumulators (Result.Energy).
 // Per-packet records are opt-in via WithRetainPacketStats or WithPacketSink.
+//
+// # Extension surface
+//
+// The three engine-facing contracts — Station (the protocol), ArrivalSource
+// (the workload), and Jammer (the adversary) — are public interfaces
+// defined in lowsensing/channel, and the kind names specs resolve are an
+// open set: RegisterProtocol, RegisterArrivals, and RegisterJammer make a
+// user-defined implementation resolvable from Scenario and SweepSpec JSON,
+// sweeps, and the CLIs exactly like a built-in (the built-ins register
+// through the same path). See the package example RegisterProtocol and the
+// README's "Extending lowsensing" section.
 package lowsensing
 
 import (
 	"errors"
 
+	"lowsensing/channel"
 	"lowsensing/internal/core"
 	"lowsensing/internal/livenet"
 	"lowsensing/internal/metrics"
-	"lowsensing/internal/prng"
 	"lowsensing/internal/sim"
 	"lowsensing/internal/stats"
 	"lowsensing/internal/trace"
+	"lowsensing/prng"
 )
 
 // Config holds the LOW-SENSING BACKOFF parameters (the constant c, the
@@ -77,21 +89,44 @@ type Collector = metrics.Collector
 type Tracer = trace.Tracer
 
 // ArrivalSource produces the (slot, count) arrival schedule of a run; see
-// sim.ArrivalSource for the contract. Supply a custom one with
-// WithArrivals.
-type ArrivalSource = sim.ArrivalSource
+// channel.ArrivalSource for the contract. Supply a custom instance with
+// WithArrivals, or register a kind with RegisterArrivals to drive it from
+// specs.
+type ArrivalSource = channel.ArrivalSource
 
-// Jammer decides which slots the adversary jams; see sim.Jammer for the
-// contract. Supply a custom one with WithJammer.
-type Jammer = sim.Jammer
+// Jammer decides which slots the adversary jams; see channel.Jammer for
+// the contract. Supply a custom instance with WithJammer, or register a
+// kind with RegisterJammer to drive it from specs.
+type Jammer = channel.Jammer
 
-// Station is the per-packet protocol state machine; see sim.Station for
-// the engine contract.
-type Station = sim.Station
+// ReactiveJammer is a Jammer that also sees the current slot's senders
+// before the channel resolves (paper §1.3); see channel.ReactiveJammer.
+type ReactiveJammer = channel.ReactiveJammer
+
+// Station is the per-packet protocol state machine — the protocol
+// contract; see channel.Station for the slot-level semantics. Supply a
+// custom factory with WithStations, or register a kind with
+// RegisterProtocol to drive it from specs.
+type Station = channel.Station
 
 // StationFactory builds the Station for each newly injected packet. Supply
 // a custom one with WithStations.
-type StationFactory = sim.StationFactory
+type StationFactory = channel.StationFactory
+
+// Observation is the ternary feedback a station receives at each slot it
+// accessed; see channel.Observation.
+type Observation = channel.Observation
+
+// Outcome is the ternary channel feedback for one slot (OutcomeEmpty,
+// OutcomeSuccess, or OutcomeNoisy); see channel.Outcome.
+type Outcome = channel.Outcome
+
+// The three channel outcomes, re-exported from package channel.
+const (
+	OutcomeEmpty   = channel.OutcomeEmpty
+	OutcomeSuccess = channel.OutcomeSuccess
+	OutcomeNoisy   = channel.OutcomeNoisy
+)
 
 // DefaultConfig returns the reference algorithm parameters used throughout
 // the experiments (c = 0.5, w_min = 8, k = 3).

@@ -8,6 +8,11 @@
 // seeding and as a stateless per-slot PRF) and xoshiro256** (as the general
 // stream generator), both with published reference outputs that are locked
 // down by unit tests.
+//
+// The package is public because it is part of the extension surface: the
+// channel.Station contract hands every station a *Source, and custom
+// protocols registered through lowsensing.RegisterProtocol must draw all
+// their randomness from it to stay deterministic per seed.
 package prng
 
 import "math"

@@ -1,0 +1,81 @@
+package lowsensing_test
+
+import (
+	"reflect"
+	"testing"
+
+	"lowsensing"
+)
+
+// TestRegisteredProtocolInvariants runs every registered protocol kind —
+// built-in or third-party, whatever this test binary has registered — on a
+// small batch scenario and checks the invariants any contention-resolution
+// protocol must satisfy on this engine. Registrations whose bare
+// {"kind": ...} spec is constructible get this coverage for free, which is
+// why factories should default their parameters (see RegisterProtocol).
+//
+//   - Determinism: the same seed produces the identical Result, bit for
+//     bit, including the streaming energy accumulators.
+//   - Accounting: every arrived packet is accounted in the accumulators,
+//     and throughput (T+J)/S lies in [0, 1].
+//   - Completion: a non-truncated run delivered everything.
+func TestRegisteredProtocolInvariants(t *testing.T) {
+	const n = 48
+	// Kinds whose bare spec is intentionally not constructible, with the
+	// parameters the suite should use instead.
+	fallback := map[string]lowsensing.ProtocolSpec{
+		lowsensing.ProtocolAloha: lowsensing.Aloha(1.0 / n),
+	}
+	for _, kd := range lowsensing.ProtocolKinds() {
+		kd := kd
+		t.Run(kd.Kind, func(t *testing.T) {
+			spec := lowsensing.ProtocolSpec{Kind: kd.Kind}
+			if _, err := spec.Factory(); err != nil {
+				fb, ok := fallback[kd.Kind]
+				if !ok {
+					t.Skipf("bare spec not constructible and no fallback: %v", err)
+				}
+				spec = fb
+			}
+			sc := lowsensing.Scenario{
+				Seed:     11,
+				Arrivals: lowsensing.BatchArrivals(n),
+				Protocol: spec,
+				MaxSlots: 1 << 20,
+			}
+			r1, err := sc.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			r2, err := sc.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(r1, r2) {
+				t.Fatalf("same seed, different results:\n%+v\nvs\n%+v", r1, r2)
+			}
+
+			if r1.Arrived != n {
+				t.Fatalf("arrived %d, want %d", r1.Arrived, n)
+			}
+			if got := r1.Energy.Packets(); got != n {
+				t.Fatalf("accumulators cover %d packets, want %d", got, n)
+			}
+			if r1.Energy.Undelivered != r1.Arrived-r1.Completed {
+				t.Fatalf("undelivered accounting: %d vs %d-%d",
+					r1.Energy.Undelivered, r1.Arrived, r1.Completed)
+			}
+			if tput := r1.Throughput(); !(tput >= 0 && tput <= 1) {
+				t.Fatalf("throughput %v outside [0,1]", tput)
+			}
+			if !r1.Truncated {
+				if r1.Completed != n {
+					t.Fatalf("non-truncated run delivered %d of %d", r1.Completed, n)
+				}
+				if tput := r1.Throughput(); !(tput > 0) {
+					t.Fatalf("complete run with throughput %v", tput)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,92 @@
+package lowsensing_test
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"lowsensing"
+)
+
+// raceSeq keeps registration names unique across test reruns in one
+// process (-count=N), where a fixed name would trip the duplicate panic.
+var raceSeq atomic.Int64
+
+// TestRegistryConcurrentRegisterAndParse hammers the registries from three
+// sides at once — registrations, spec resolution (ParseScenario and
+// ParseSweepSpec), and kind listings — and is meant to run under -race
+// (CI runs the full module with -race). Registration is documented as
+// init-time, but the registries still must never corrupt under concurrent
+// use: a late RegisterProtocol racing a ParseScenario is a support
+// nightmare if it can corrupt the map instead of just being late.
+func TestRegistryConcurrentRegisterAndParse(t *testing.T) {
+	base := raceSeq.Add(1) * 1000
+	scenarioJSON := []byte(`{"arrivals": {"kind": "batch", "n": 8}, "protocol": {"kind": "beb"}}`)
+	sweepJSON := []byte(`{
+		"base": {"arrivals": {"kind": "batch", "n": 8}},
+		"axes": [{"name": "p", "variants": [{"label": "lsb"}, {"label": "beb", "patch": {"protocol": {"kind": "beb"}}}]}]
+	}`)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		i := i
+		wg.Add(4)
+		go func() {
+			defer wg.Done()
+			lowsensing.RegisterProtocol(fmt.Sprintf("race-proto-%d", base+int64(i)), "race-test protocol", noopFactory)
+		}()
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				if _, err := lowsensing.ParseScenario(scenarioJSON); err != nil {
+					t.Errorf("ParseScenario: %v", err)
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				ss, err := lowsensing.ParseSweepSpec(sweepJSON)
+				if err != nil {
+					t.Errorf("ParseSweepSpec: %v", err)
+					return
+				}
+				if _, err := ss.Sweep(); err != nil {
+					t.Errorf("Sweep: %v", err)
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				// Listings and unknown-kind enumeration walk the map while
+				// registrations mutate it.
+				lowsensing.ProtocolKinds()
+				if _, err := (lowsensing.ProtocolSpec{Kind: "definitely-unknown"}).Factory(); err == nil {
+					t.Error("unknown kind resolved")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Every racing registration landed.
+	names := kindNames(lowsensing.ProtocolKinds())
+	for i := 0; i < 8; i++ {
+		want := fmt.Sprintf("race-proto-%d", base+int64(i))
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("registration %q lost in the race", want)
+		}
+	}
+}

@@ -4,11 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
-
-	"lowsensing/internal/arrivals"
-	"lowsensing/internal/core"
-	"lowsensing/internal/jamming"
-	"lowsensing/internal/protocols"
+	"maps"
 )
 
 // Scenario is a declarative, serializable description of one simulation
@@ -37,6 +33,17 @@ type Scenario struct {
 	Jammer JammerSpec `json:"jammer,omitzero"`
 	// RetainPackets materializes Result.Packets (O(arrivals) memory).
 	RetainPackets bool `json:"retain_packets,omitempty"`
+}
+
+// clone returns a deep copy of the scenario: the Params maps of all three
+// component specs are copied, so patching or mutating the clone never
+// writes through to the original. The sweep machinery clones the base
+// before applying each grid point's patches.
+func (sc Scenario) clone() Scenario {
+	sc.Arrivals.Params = maps.Clone(sc.Arrivals.Params)
+	sc.Protocol.Params = maps.Clone(sc.Protocol.Params)
+	sc.Jammer.Params = maps.Clone(sc.Jammer.Params)
+	return sc
 }
 
 // Simulation builds a runnable Simulation from the scenario; extra options
@@ -80,7 +87,8 @@ func ParseScenario(data []byte) (Scenario, error) {
 	return sc, nil
 }
 
-// Arrival process kinds.
+// Built-in arrival process kinds. The set is open: RegisterArrivals adds
+// new kinds that resolve everywhere these do.
 const (
 	// ArrivalsBatch injects N packets at slot 0.
 	ArrivalsBatch = "batch"
@@ -91,11 +99,14 @@ const (
 	// ArrivalsQueue is the adversarial-queuing model: bursts of
 	// floor(Rate·Granularity) packets at the start of each window.
 	ArrivalsQueue = "aqt"
+	// ArrivalsFile replays a recorded slot/count trace from Path.
+	ArrivalsFile = "file"
 )
 
 // ArrivalsSpec describes a packet arrival process as data.
 type ArrivalsSpec struct {
-	// Kind is one of the Arrivals* constants.
+	// Kind is one of the Arrivals* constants or any kind added with
+	// RegisterArrivals.
 	Kind string `json:"kind"`
 	// N is the batch size (batch) or the total packet budget
 	// (bernoulli/poisson; <= 0 means unbounded — pair with MaxSlots).
@@ -107,6 +118,12 @@ type ArrivalsSpec struct {
 	Granularity int64 `json:"granularity,omitempty"`
 	// Windows is the number of AQT windows.
 	Windows int64 `json:"windows,omitempty"`
+	// Path is the trace file replayed by the file kind.
+	Path string `json:"path,omitempty"`
+	// Params carries free-form numeric parameters for registered
+	// (non-built-in) kinds, so custom arrival processes are serializable
+	// without new spec fields. Built-in kinds ignore it.
+	Params map[string]float64 `json:"params,omitempty"`
 }
 
 // BatchArrivals describes n packets injected at slot 0 — the classic batch
@@ -132,31 +149,27 @@ func QueueArrivals(S int64, lambda float64, windows int64) ArrivalsSpec {
 	return ArrivalsSpec{Kind: ArrivalsQueue, Granularity: S, Rate: lambda, Windows: windows}
 }
 
+// FileArrivals describes a replay of the recorded slot/count trace at
+// path (the format cmd/lsbsim -tracefile reads).
+func FileArrivals(path string) ArrivalsSpec { return ArrivalsSpec{Kind: ArrivalsFile, Path: path} }
+
 // Source constructs the arrival source the spec describes, seeded for one
-// run. Most callers never need it — Scenario.Run builds components
-// internally — but it lets a spec'd process feed WithArrivals or a custom
-// engine.
+// run, resolving the kind through the arrivals registry. Most callers never
+// need it — Scenario.Run builds components internally — but it lets a
+// spec'd process feed WithArrivals or a custom engine.
 func (a ArrivalsSpec) Source(seed uint64) (ArrivalSource, error) {
-	switch a.Kind {
-	case "":
+	if a.Kind == "" {
 		return nil, fmt.Errorf("lowsensing: no arrival process configured (use WithBatchArrivals or friends)")
-	case ArrivalsBatch:
-		if a.N <= 0 {
-			return nil, fmt.Errorf("lowsensing: batch size must be > 0, got %d", a.N)
-		}
-		return arrivals.NewBatch(a.N), nil
-	case ArrivalsBernoulli:
-		return arrivals.NewBernoulli(a.Rate, a.N, seed)
-	case ArrivalsPoisson:
-		return arrivals.NewPoisson(a.Rate, a.N, seed)
-	case ArrivalsQueue:
-		return arrivals.NewAQT(a.Granularity, a.Rate, a.Windows, arrivals.AQTBurst, seed)
-	default:
-		return nil, fmt.Errorf("lowsensing: unknown arrival kind %q", a.Kind)
 	}
+	factory, err := arrivalsRegistry.lookup(a.Kind)
+	if err != nil {
+		return nil, err
+	}
+	return factory(a, seed)
 }
 
-// Protocol kinds.
+// Built-in protocol kinds. The set is open: RegisterProtocol adds new
+// kinds that resolve everywhere these do.
 const (
 	// ProtocolLSB is LOW-SENSING BACKOFF (the paper's algorithm).
 	ProtocolLSB = "lsb"
@@ -179,7 +192,8 @@ const (
 // ProtocolSpec describes a contention-resolution protocol as data. The
 // zero value is LOW-SENSING BACKOFF with DefaultConfig.
 type ProtocolSpec struct {
-	// Kind is one of the Protocol* constants; "" means ProtocolLSB.
+	// Kind is one of the Protocol* constants or any kind added with
+	// RegisterProtocol; "" means ProtocolLSB.
 	Kind string `json:"kind,omitempty"`
 	// Config holds the LSB parameters; the zero value means
 	// DefaultConfig. Ignored by other kinds.
@@ -189,6 +203,10 @@ type ProtocolSpec struct {
 	// W0 and Alpha parameterize polynomial backoff (defaults 2 and 2).
 	W0    int64   `json:"w0,omitempty"`
 	Alpha float64 `json:"alpha,omitempty"`
+	// Params carries free-form numeric parameters for registered
+	// (non-built-in) kinds, so custom protocols are serializable without
+	// new spec fields. Built-in kinds ignore it.
+	Params map[string]float64 `json:"params,omitempty"`
 }
 
 // LowSensing describes LOW-SENSING BACKOFF with the given parameters. A
@@ -217,40 +235,22 @@ func Poly(w0 int64, alpha float64) ProtocolSpec {
 // GenieAloha describes the genie-aided ALOHA oracle.
 func GenieAloha() ProtocolSpec { return ProtocolSpec{Kind: ProtocolGenie} }
 
-// Factory constructs the station factory the spec describes.
+// Factory constructs the station factory the spec describes, resolving the
+// kind through the protocol registry ("" resolves as ProtocolLSB).
 func (p ProtocolSpec) Factory() (StationFactory, error) {
-	switch p.Kind {
-	case "", ProtocolLSB:
-		cfg := p.Config
-		if cfg == (Config{}) {
-			cfg = DefaultConfig()
-		}
-		return core.NewFactory(cfg)
-	case ProtocolBEB:
-		return protocols.NewBEBFactory(2, 0)
-	case ProtocolMWU:
-		return protocols.NewMWUFactory(protocols.DefaultMWUConfig())
-	case ProtocolSawtooth:
-		return protocols.NewSawtoothFactory(), nil
-	case ProtocolAloha:
-		return protocols.NewAlohaFactory(p.SendProb)
-	case ProtocolPoly:
-		w0, alpha := p.W0, p.Alpha
-		if w0 == 0 {
-			w0 = 2
-		}
-		if alpha == 0 {
-			alpha = 2
-		}
-		return protocols.NewPolyFactory(w0, alpha)
-	case ProtocolGenie:
-		return protocols.NewGenieAlohaFactory(), nil
-	default:
-		return nil, fmt.Errorf("lowsensing: unknown protocol kind %q", p.Kind)
+	kind := p.Kind
+	if kind == "" {
+		kind = ProtocolLSB
 	}
+	factory, err := protocolRegistry.lookup(kind)
+	if err != nil {
+		return nil, err
+	}
+	return factory(p)
 }
 
-// Jammer kinds.
+// Built-in jammer kinds. The set is open: RegisterJammer adds new kinds
+// that resolve everywhere these do.
 const (
 	// JammerRandom jams each slot independently with probability Rate, up
 	// to Budget jams (0 = unbounded).
@@ -265,7 +265,8 @@ const (
 // JammerSpec describes an adversary as data. The zero value means no
 // jamming.
 type JammerSpec struct {
-	// Kind is one of the Jammer* constants; "" means no jammer.
+	// Kind is one of the Jammer* constants or any kind added with
+	// RegisterJammer; "" means no jammer.
 	Kind string `json:"kind,omitempty"`
 	// Rate is the random jammer's per-slot probability.
 	Rate float64 `json:"rate,omitempty"`
@@ -277,6 +278,10 @@ type JammerSpec struct {
 	Budget int64 `json:"budget,omitempty"`
 	// Target is the reactive jammer's victim packet id.
 	Target int64 `json:"target,omitempty"`
+	// Params carries free-form numeric parameters for registered
+	// (non-built-in) kinds, so custom jammers are serializable without new
+	// spec fields. Built-in kinds ignore it.
+	Params map[string]float64 `json:"params,omitempty"`
 }
 
 // RandomJamming describes an adversary that jams each slot independently
@@ -296,19 +301,16 @@ func ReactiveJamming(target, budget int64) JammerSpec {
 	return JammerSpec{Kind: JammerReactive, Target: target, Budget: budget}
 }
 
-// Jammer constructs the jammer the spec describes, seeded for one run; a
-// nil Jammer (zero spec) means no jamming.
+// Jammer constructs the jammer the spec describes, seeded for one run,
+// resolving the kind through the jammer registry; a nil Jammer (zero spec)
+// means no jamming.
 func (j JammerSpec) Jammer(seed uint64) (Jammer, error) {
-	switch j.Kind {
-	case "":
+	if j.Kind == "" {
 		return nil, nil
-	case JammerRandom:
-		return jamming.NewRandom(j.Rate, j.Budget, seed^0x6a)
-	case JammerBurst:
-		return jamming.NewInterval(j.From, j.To)
-	case JammerReactive:
-		return jamming.NewReactiveTargeted(j.Target, j.Budget)
-	default:
-		return nil, fmt.Errorf("lowsensing: unknown jammer kind %q", j.Kind)
 	}
+	factory, err := jammerRegistry.lookup(j.Kind)
+	if err != nil {
+		return nil, err
+	}
+	return factory(j, seed)
 }

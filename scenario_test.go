@@ -3,6 +3,7 @@ package lowsensing_test
 import (
 	"encoding/json"
 	"errors"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -62,7 +63,7 @@ func TestScenarioJSONRoundTrip(t *testing.T) {
 			if err != nil {
 				t.Fatalf("round trip of %s failed: %v", data, err)
 			}
-			if back != sc {
+			if !reflect.DeepEqual(back, sc) {
 				t.Fatalf("scenario changed through JSON:\n%+v\nvs\n%+v\n(json: %s)", back, sc, data)
 			}
 			want, err := sc.Run()
@@ -101,7 +102,7 @@ func TestScenarioMatchesOptions(t *testing.T) {
 		lowsensing.WithRandomJamming(0.1, 0),
 		lowsensing.WithMaxSlots(1<<19),
 	)
-	if got := fromOpts.Scenario(); got != sc {
+	if got := fromOpts.Scenario(); !reflect.DeepEqual(got, sc) {
 		t.Fatalf("options did not reduce to the scenario:\n%+v\nvs\n%+v", got, sc)
 	}
 	a, err := sc.Run()
@@ -143,12 +144,12 @@ func TestScenarioValidate(t *testing.T) {
 	bad := []lowsensing.Scenario{
 		{},                                      // no arrivals
 		{Arrivals: lowsensing.BatchArrivals(0)}, // empty batch
-		{Arrivals: lowsensing.BernoulliArrivals(2, 10)},                                             // rate > 1
-		{Arrivals: lowsensing.ArrivalsSpec{Kind: "nope"}},                                           // unknown kind
-		{Arrivals: lowsensing.BatchArrivals(8), Protocol: lowsensing.ProtocolSpec{Kind: "nope"}},    // unknown protocol
+		{Arrivals: lowsensing.BernoulliArrivals(2, 10)},                                                                         // rate > 1
+		{Arrivals: lowsensing.ArrivalsSpec{Kind: "nope"}},                                                                       // unknown kind
+		{Arrivals: lowsensing.BatchArrivals(8), Protocol: lowsensing.ProtocolSpec{Kind: "nope"}},                                // unknown protocol
 		{Arrivals: lowsensing.BatchArrivals(8), Protocol: lowsensing.LowSensing(lowsensing.Config{C: 10, WMin: 8, LnPower: 3})}, // invalid lsb params
-		{Arrivals: lowsensing.BatchArrivals(8), Jammer: lowsensing.JammerSpec{Kind: "nope"}},        // unknown jammer
-		{Arrivals: lowsensing.BatchArrivals(8), Jammer: lowsensing.BurstJamming(5, 5)},              // empty burst
+		{Arrivals: lowsensing.BatchArrivals(8), Jammer: lowsensing.JammerSpec{Kind: "nope"}},                                    // unknown jammer
+		{Arrivals: lowsensing.BatchArrivals(8), Jammer: lowsensing.BurstJamming(5, 5)},                                          // empty burst
 	}
 	for i, sc := range bad {
 		if err := sc.Validate(); err == nil {

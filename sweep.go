@@ -183,7 +183,9 @@ func (sw *Sweep) Points() []Point {
 	}
 	pts := make([]Point, total)
 	for idx := range pts {
-		sc := sw.base
+		// Deep-copy the base so axis rewrites — in particular JSON merge
+		// patches into the specs' Params maps — stay local to this point.
+		sc := sw.base.clone()
 		labels := make([]string, len(sw.axes))
 		rem := idx
 		stride := total
@@ -376,8 +378,10 @@ func (ss SweepSpec) Sweep() (*Sweep, error) {
 			}
 			patches[vi] = v.Patch
 			if len(v.Patch) > 0 {
-				// Validate the patch shape eagerly against the base.
-				probe := ss.Base
+				// Validate the patch shape eagerly against a deep copy of
+				// the base (a shallow copy would let the probe decode write
+				// through shared Params maps into ss.Base).
+				probe := ss.Base.clone()
 				if err := strictPatch(&probe, v.Patch); err != nil {
 					return nil, fmt.Errorf("lowsensing: sweep axis %q variant %q: %w", ax.Name, labels[vi], err)
 				}
