@@ -149,10 +149,11 @@ func BenchmarkEngineBatchLSB(b *testing.B) {
 		b.Run("N="+strconv.FormatInt(n, 10), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				e, err := sim.NewEngine(sim.Params{
-					Seed:       uint64(i) + 1,
-					Arrivals:   arrivals.NewBatch(n),
-					NewStation: core.MustFactory(core.Default()),
-					MaxSlots:   1 << 26,
+					Seed:          uint64(i) + 1,
+					Arrivals:      arrivals.NewBatch(n),
+					NewStation:    core.MustFactory(core.Default()),
+					ReuseStations: true,
+					MaxSlots:      1 << 26,
 				})
 				if err != nil {
 					b.Fatal(err)
@@ -179,11 +180,12 @@ func BenchmarkEngineJammedLSB(b *testing.B) {
 			b.Fatal(err)
 		}
 		e, err := sim.NewEngine(sim.Params{
-			Seed:       uint64(i) + 1,
-			Arrivals:   arrivals.NewBatch(n),
-			NewStation: core.MustFactory(core.Default()),
-			Jammer:     jam,
-			MaxSlots:   1 << 26,
+			Seed:          uint64(i) + 1,
+			Arrivals:      arrivals.NewBatch(n),
+			NewStation:    core.MustFactory(core.Default()),
+			Jammer:        jam,
+			ReuseStations: true,
+			MaxSlots:      1 << 26,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -251,6 +253,7 @@ func BenchmarkEngineMemory(b *testing.B) {
 				Seed:          uint64(i) + 42,
 				Arrivals:      src,
 				NewStation:    core.MustFactory(core.Default()),
+				ReuseStations: true,
 				MaxSlots:      1 << 34,
 				RetainPackets: retain,
 			})

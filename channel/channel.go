@@ -91,10 +91,39 @@ type Observation struct {
 // randomness must be drawn from the rng argument (the same per-packet
 // stream is passed to every call), and no state may depend on anything but
 // prior calls. Each packet gets an independent stream, so adding a packet
-// never perturbs another packet's draws.
+// never perturbs another packet's draws. Implementations must not retain
+// the *prng.Source (or any engine-provided pointer) across calls: the
+// engine owns the stream's storage and may relocate it between calls as
+// its internal tables grow. Always draw from the argument.
 type Station interface {
 	ScheduleNext(from int64, rng *prng.Source) (slot int64, send bool)
 	Observe(obs Observation)
+}
+
+// ReusableStation is an optional extension of Station for protocols whose
+// per-packet objects can be recycled. When recycling is enabled — the
+// engine's driver opts in per run, and the public Scenario layer does so
+// exactly when the protocol comes from a registered kind — a departing
+// station implementing it stays attached to its recycled slot-table entry
+// and is Reset for the entry's next packet instead of being rebuilt
+// through the StationFactory, making the steady-state packet lifecycle
+// allocation-free. All built-in protocols implement it. A custom factory
+// instance (WithStations) is never recycled: a closure may legally hand
+// out differently-configured stations per packet id, which recycling
+// could not honor.
+//
+// Reset must leave the station in exactly the state a fresh StationFactory
+// call would produce for a packet with this id — including any draws the
+// factory would take from rng, and any side effects it would have on state
+// shared between stations — because runs with and without recycling are
+// required to be bit-identical. A registered kind whose factory cannot
+// satisfy this (its output varies per packet beyond what Reset restores)
+// must return stations that do not implement ReusableStation.
+type ReusableStation interface {
+	Station
+	// Reset returns the station to its just-constructed state for a new
+	// packet with the given id; rng is the new packet's private stream.
+	Reset(id int64, rng *prng.Source)
 }
 
 // Windowed is implemented by stations that expose a backoff window, which
@@ -106,6 +135,8 @@ type Windowed interface {
 // StationFactory builds the Station for a newly injected packet. The id is
 // the packet's global index in arrival order (0-based); rng is the packet's
 // private deterministic stream (the same one later passed to ScheduleNext).
+// Like stations, factories must not retain the rng pointer: the engine owns
+// its storage.
 type StationFactory func(id int64, rng *prng.Source) Station
 
 // ArrivalSource produces the (slot, count) arrival schedule — the arrivals

@@ -14,6 +14,7 @@
 //	experiments -parallel 1           # serial; output identical to parallel
 //	experiments -outdir results/
 //	experiments -spec sweep.json      # run a declarative sweep spec
+//	experiments -id E1 -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
@@ -25,6 +26,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -56,12 +58,45 @@ func run(args []string, out io.Writer) error {
 		parallel = fs.Int("parallel", runtime.NumCPU(), "simulations run concurrently; tables are identical for every value")
 		outdir   = fs.String("outdir", "", "directory to write per-experiment .txt/.csv (optional)")
 		specFile = fs.String("spec", "", "JSON sweep-spec file to run instead of the registry (see lowsensing.SweepSpec)")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memProf  = fs.String("memprofile", "", "write a heap profile taken at the end of the run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil // usage already printed; -h is not an error
 		}
 		return err
+	}
+
+	// Profiling wraps everything below, so any invocation — registry
+	// experiments or -spec sweeps — can be profiled; the engine hot path
+	// is exactly what these runs spend their time in.
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		// Create the file before the run so a bad path fails in
+		// milliseconds, not after a multi-minute experiment; only the
+		// heap snapshot itself is deferred to the end.
+		f, err := os.Create(*memProf)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Printf("-memprofile: %v", err)
+			}
+		}()
 	}
 
 	if *list {

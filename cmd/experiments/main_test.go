@@ -165,3 +165,41 @@ func TestKindsFlag(t *testing.T) {
 		}
 	}
 }
+
+// TestProfileFlags: -cpuprofile/-memprofile must produce non-empty pprof
+// files alongside a normal run (the profiles wrap the whole run, so any
+// invocation can be profiled).
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	var buf strings.Builder
+	if err := run([]string{
+		"-id", "E9", "-scale", "small",
+		"-cpuprofile", cpu, "-memprofile", mem,
+	}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "== E9:") {
+		t.Fatalf("profiled run produced no table:\n%s", buf.String())
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("missing profile: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+	// An unwritable profile path is a hard error before the run starts,
+	// not a silent skip (or worse, a failure discovered only after a
+	// multi-minute experiment).
+	bad := filepath.Join(dir, "no", "such", "dir", "prof.out")
+	if err := run([]string{"-id", "E9", "-scale", "small", "-cpuprofile", bad}, &buf); err == nil {
+		t.Fatal("unwritable -cpuprofile path accepted")
+	}
+	if err := run([]string{"-id", "E9", "-scale", "small", "-memprofile", bad}, &buf); err == nil {
+		t.Fatal("unwritable -memprofile path accepted")
+	}
+}

@@ -62,7 +62,10 @@ func run(args []string, out io.Writer) error {
 		Seed:       *seed,
 		Arrivals:   arrivals.NewBatch(*n),
 		NewStation: core.MustFactory(core.Default()),
-		MaxSlots:   1 << 24,
+		// Every station is an identically-configured LSB packet, so
+		// recycling is indistinguishable from reconstruction.
+		ReuseStations: true,
+		MaxSlots:      1 << 24,
 		Probe: func(e *sim.Engine, slot int64) {
 			tr.Probe(e, slot)
 			wt.Probe(e, slot)

@@ -144,8 +144,9 @@ type Packet struct {
 }
 
 var (
-	_ channel.Station  = (*Packet)(nil)
-	_ channel.Windowed = (*Packet)(nil)
+	_ channel.Station         = (*Packet)(nil)
+	_ channel.Windowed        = (*Packet)(nil)
+	_ channel.ReusableStation = (*Packet)(nil)
 )
 
 // NewPacket returns a packet in its initial state (window WMin). It returns
@@ -177,6 +178,11 @@ func MustFactory(cfg Config) channel.StationFactory {
 	}
 	return f
 }
+
+// Reset implements channel.ReusableStation: a recycled packet restarts at
+// window WMin, exactly as NewFactory constructs it (the factory draws
+// nothing from the rng, so neither does Reset).
+func (p *Packet) Reset(_ int64, _ *prng.Source) { p.w = p.cfg.WMin }
 
 // Window returns the packet's current window size.
 func (p *Packet) Window() float64 { return p.w }

@@ -34,6 +34,7 @@ import (
 // own transmission succeeded), making it oblivious in the paper's sense.
 type BEB struct {
 	window int64
+	init   int64
 	max    int64
 }
 
@@ -48,9 +49,12 @@ func NewBEBFactory(initialWindow, maxWindow int64) (channel.StationFactory, erro
 		return nil, fmt.Errorf("protocols: BEB max window %d < initial %d", maxWindow, initialWindow)
 	}
 	return func(_ int64, _ *prng.Source) channel.Station {
-		return &BEB{window: initialWindow, max: maxWindow}
+		return &BEB{window: initialWindow, init: initialWindow, max: maxWindow}
 	}, nil
 }
+
+// Reset implements channel.ReusableStation: back to the initial window.
+func (b *BEB) Reset(_ int64, _ *prng.Source) { b.window = b.init }
 
 // Window returns the current window (for probes).
 func (b *BEB) Window() float64 { return float64(b.window) }
@@ -71,8 +75,9 @@ func (b *BEB) Observe(obs channel.Observation) {
 }
 
 var (
-	_ channel.Station  = (*BEB)(nil)
-	_ channel.Windowed = (*BEB)(nil)
+	_ channel.Station         = (*BEB)(nil)
+	_ channel.Windowed        = (*BEB)(nil)
+	_ channel.ReusableStation = (*BEB)(nil)
 )
 
 // Poly is polynomial backoff: after the k-th collision the window is
@@ -97,6 +102,9 @@ func NewPolyFactory(w0 int64, alpha float64) (channel.StationFactory, error) {
 	}, nil
 }
 
+// Reset implements channel.ReusableStation: forget every collision.
+func (p *Poly) Reset(_ int64, _ *prng.Source) { p.collisions = 0 }
+
 // Window returns the current window.
 func (p *Poly) Window() float64 {
 	return float64(p.w0) * math.Pow(float64(p.collisions+1), p.alpha)
@@ -118,7 +126,10 @@ func (p *Poly) Observe(obs channel.Observation) {
 	}
 }
 
-var _ channel.Station = (*Poly)(nil)
+var (
+	_ channel.Station         = (*Poly)(nil)
+	_ channel.ReusableStation = (*Poly)(nil)
+)
 
 // Aloha is slotted ALOHA with a fixed transmission probability: each slot,
 // send with probability p. Send-only, no adaptation.
@@ -137,6 +148,9 @@ func NewAlohaFactory(p float64) (channel.StationFactory, error) {
 	}, nil
 }
 
+// Reset implements channel.ReusableStation: fixed-rate ALOHA is stateless.
+func (a *Aloha) Reset(int64, *prng.Source) {}
+
 // ScheduleNext implements channel.Station.
 func (a *Aloha) ScheduleNext(from int64, rng *prng.Source) (int64, bool) {
 	return from + dist.Geometric(rng, a.p) - 1, true
@@ -145,7 +159,10 @@ func (a *Aloha) ScheduleNext(from int64, rng *prng.Source) (int64, bool) {
 // Observe implements channel.Station (fixed-rate ALOHA never adapts).
 func (a *Aloha) Observe(channel.Observation) {}
 
-var _ channel.Station = (*Aloha)(nil)
+var (
+	_ channel.Station         = (*Aloha)(nil)
+	_ channel.ReusableStation = (*Aloha)(nil)
+)
 
 // GenieAloha is slotted ALOHA where every station magically knows the exact
 // current backlog k and sends with probability 1/k in every slot. It is an
@@ -175,6 +192,10 @@ func NewGenieAlohaFactory() channel.StationFactory {
 	}
 }
 
+// Reset implements channel.ReusableStation, mirroring the factory's only
+// side effect: a new packet joins the shared oracle's backlog count.
+func (g *GenieAloha) Reset(int64, *prng.Source) { g.shared.backlog++ }
+
 // ScheduleNext implements channel.Station: access every slot, send with
 // probability 1/backlog.
 func (g *GenieAloha) ScheduleNext(from int64, rng *prng.Source) (int64, bool) {
@@ -192,7 +213,10 @@ func (g *GenieAloha) Observe(obs channel.Observation) {
 	}
 }
 
-var _ channel.Station = (*GenieAloha)(nil)
+var (
+	_ channel.Station         = (*GenieAloha)(nil)
+	_ channel.ReusableStation = (*GenieAloha)(nil)
+)
 
 // MWU is a full-sensing multiplicative-weights protocol in the style of
 // Chang, Jin, and Pettie (SOSA 2019): it listens in every slot and updates
@@ -201,9 +225,10 @@ var _ channel.Station = (*GenieAloha)(nil)
 // feedback loop; its listening cost is one access per active slot, which is
 // exactly what LOW-SENSING BACKOFF eliminates.
 type MWU struct {
-	p    float64
-	pMax float64
-	step float64
+	p     float64
+	pInit float64
+	pMax  float64
+	step  float64
 }
 
 // MWUConfig parameterizes the MWU baseline.
@@ -241,9 +266,12 @@ func NewMWUFactory(cfg MWUConfig) (channel.StationFactory, error) {
 		return nil, err
 	}
 	return func(_ int64, _ *prng.Source) channel.Station {
-		return &MWU{p: cfg.PInit, pMax: cfg.PMax, step: cfg.Step}
+		return &MWU{p: cfg.PInit, pInit: cfg.PInit, pMax: cfg.PMax, step: cfg.Step}
 	}, nil
 }
+
+// Reset implements channel.ReusableStation: back to the initial rate.
+func (m *MWU) Reset(_ int64, _ *prng.Source) { m.p = m.pInit }
 
 // Window reports 1/p so MWU can participate in window-based probes.
 func (m *MWU) Window() float64 { return 1 / m.p }
@@ -270,8 +298,9 @@ func (m *MWU) Observe(obs channel.Observation) {
 }
 
 var (
-	_ channel.Station  = (*MWU)(nil)
-	_ channel.Windowed = (*MWU)(nil)
+	_ channel.Station         = (*MWU)(nil)
+	_ channel.Windowed        = (*MWU)(nil)
+	_ channel.ReusableStation = (*MWU)(nil)
 )
 
 // Fixed sends with a constant probability p each slot and also listens with
@@ -298,6 +327,9 @@ func NewFixedFactory(pSend, pListen float64) (channel.StationFactory, error) {
 	}, nil
 }
 
+// Reset implements channel.ReusableStation: Fixed is stateless.
+func (f *Fixed) Reset(int64, *prng.Source) {}
+
 // ScheduleNext implements channel.Station. The access probability is
 // pSend + pListen - pSend·pListen (send and listen decisions independent);
 // conditioned on accessing, the send flag is set with the conditional
@@ -312,4 +344,7 @@ func (f *Fixed) ScheduleNext(from int64, rng *prng.Source) (int64, bool) {
 // Observe implements channel.Station (no adaptation).
 func (f *Fixed) Observe(channel.Observation) {}
 
-var _ channel.Station = (*Fixed)(nil)
+var (
+	_ channel.Station         = (*Fixed)(nil)
+	_ channel.ReusableStation = (*Fixed)(nil)
+)

@@ -35,6 +35,10 @@ func NewSawtoothFactory() channel.StationFactory {
 	}
 }
 
+// Reset implements channel.ReusableStation: a recycled station restarts at
+// epoch 1, exactly as the factory constructs it.
+func (s *Sawtooth) Reset(_ int64, _ *prng.Source) { s.startEpoch(1) }
+
 // maxEpoch caps window growth at 2^40 slots. A real run resolves long
 // before reaching it; the cap only prevents int64 overflow in adversarial
 // tests that force endless rescheduling.
@@ -89,6 +93,7 @@ func (s *Sawtooth) ScheduleNext(from int64, rng *prng.Source) (int64, bool) {
 func (s *Sawtooth) Observe(channel.Observation) {}
 
 var (
-	_ channel.Station  = (*Sawtooth)(nil)
-	_ channel.Windowed = (*Sawtooth)(nil)
+	_ channel.Station         = (*Sawtooth)(nil)
+	_ channel.Windowed        = (*Sawtooth)(nil)
+	_ channel.ReusableStation = (*Sawtooth)(nil)
 )

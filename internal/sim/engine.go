@@ -32,6 +32,18 @@ type Params struct {
 	// memory. The default (false) keeps only the streaming accumulators in
 	// Result.Energy, so live engine state is O(backlog), not O(arrivals).
 	RetainPackets bool
+	// ReuseStations opts into station recycling: when a departed packet's
+	// Station implements ReusableStation, the object stays attached to its
+	// recycled slot-table entry and is Reset for the entry's next packet
+	// instead of being rebuilt through NewStation, making the steady-state
+	// lifecycle allocation-free. Leave it false (the default) when
+	// NewStation's output varies per packet id or call — e.g. a closure
+	// handing out differently-configured stations — because recycling
+	// consults the factory only for an entry's first packet. The public
+	// Scenario layer enables it exactly when the protocol comes from a
+	// registered kind, whose factories are constructed from pure spec data
+	// and produce uniformly-configured stations.
+	ReuseStations bool
 }
 
 // DefaultMaxSlots is the safety cap applied when Params.MaxSlots is zero.
@@ -53,13 +65,19 @@ type Engine struct {
 	// backlog, not the arrival count. Live entries form a doubly-linked
 	// list (liveHead/liveTail, prevLive/nextLive) in packet-id order: new
 	// ids only ever append at the tail, and removals keep order.
+	//
+	// The recycling is deep: an entry's embedded rng is reinitialized in
+	// place for its next packet, and if the departed packet's Station
+	// implements ReusableStation it stays attached to the entry (ss.reuse)
+	// and is Reset instead of reconstructed — so in steady state a packet's
+	// whole lifecycle allocates nothing.
 	stations []stationState
 	freeList []int32
 	liveHead int32
 	liveTail int32
 	nextID   int64 // packets injected so far; the next packet's id
 
-	events eventQueue
+	events timingWheel
 
 	// Streaming per-packet statistics (always on) and the opt-in
 	// per-packet record (RetainPackets).
@@ -94,9 +112,16 @@ type Engine struct {
 	ran bool
 }
 
+// stationState is one slot-table entry. The rng is embedded by value and
+// reinitialized in place per packet (prng.Source.Reinit), so the per-packet
+// stream costs no allocation; stations receive &ss.rng on every call and
+// must not retain it (the table's backing array moves as the backlog
+// grows). reuse survives recycling: it holds the entry's last Station if
+// that station can be Reset for the next packet.
 type stationState struct {
+	rng      prng.Source
 	st       Station
-	rng      *prng.Source
+	reuse    ReusableStation
 	id       int64
 	arrival  int64
 	sends    int64
@@ -159,17 +184,19 @@ func (e *Engine) Run() (Result, error) {
 	e.ran = true
 
 	for {
-		tEvent := int64(math.MaxInt64)
-		if e.events.Len() > 0 {
-			tEvent = e.events.Min().slot
-		}
+		// One scheduler peek per iteration. The pending arrival slot is
+		// also the peek's limit: it is the earliest slot the engine could
+		// still need to schedule at (an arrival before the event minimum
+		// injects accesses at its own slot), so the wheel's cursor must
+		// not advance past it while searching for the minimum.
 		tArrival := int64(math.MaxInt64)
 		if e.pendOK {
 			tArrival = e.pendSlot
 		}
-		t := tEvent
-		if tArrival < t {
-			t = tArrival
+		t := tArrival
+		tEvent, evOK := e.events.nextAtMost(tArrival)
+		if evOK {
+			t = tEvent // nextAtMost guarantees tEvent <= tArrival
 		}
 		if t == math.MaxInt64 {
 			break // no events, no arrivals: done
@@ -181,12 +208,19 @@ func (e *Engine) Run() (Result, error) {
 
 		// Inject arrivals first so a packet arriving at slot t can act in
 		// slot t, as the model allows.
+		resolve := evOK && tEvent == t
 		if e.pendOK && e.pendSlot == t {
 			e.inject(t)
+			if !resolve {
+				// Re-peek only on this path: every pre-existing event is
+				// after t, but the injection may have scheduled a first
+				// access at slot t itself.
+				_, resolve = e.events.nextAtMost(t)
+			}
 		}
 
 		// Resolve the channel only if some station accesses slot t.
-		if e.events.Len() > 0 && e.events.Min().slot == t {
+		if resolve {
 			e.resolveSlot(t)
 			if e.params.Probe != nil {
 				e.params.Probe(e, t)
@@ -198,18 +232,15 @@ func (e *Engine) Run() (Result, error) {
 }
 
 // inject creates stations for the pending arrival batch at slot t and
-// advances the arrival source.
+// advances the arrival source. The steady-state path allocates nothing:
+// the packet's slot-table entry comes off the free list, its rng stream is
+// reinitialized in place, and a recycled ReusableStation is Reset instead
+// of reconstructed.
 func (e *Engine) inject(t int64) {
 	count := e.pendCount
 	for i := int64(0); i < count; i++ {
 		id := e.nextID
 		e.nextID++
-		rng := prng.NewStream(e.params.Seed, uint64(id)+1)
-		st := e.params.NewStation(id, rng)
-		next, send := st.ScheduleNext(t, rng)
-		if next < t {
-			panic(fmt.Sprintf("sim: station %d scheduled slot %d before current slot %d", id, next, t))
-		}
 		var idx int32
 		if n := len(e.freeList); n > 0 {
 			idx = e.freeList[n-1]
@@ -218,16 +249,28 @@ func (e *Engine) inject(t int64) {
 			idx = int32(len(e.stations))
 			e.stations = append(e.stations, stationState{})
 		}
-		e.stations[idx] = stationState{
-			st:       st,
-			rng:      rng,
-			id:       id,
-			arrival:  t,
-			nextSlot: next,
-			prevLive: e.liveTail,
-			nextLive: -1,
-			willSend: send,
+		ss := &e.stations[idx]
+		ss.rng.Reinit(e.params.Seed, uint64(id)+1)
+		var st Station
+		if ss.reuse != nil {
+			st = ss.reuse
+			ss.reuse.Reset(id, &ss.rng)
+		} else {
+			st = e.params.NewStation(id, &ss.rng)
 		}
+		next, send := st.ScheduleNext(t, &ss.rng)
+		if next < t {
+			panic(fmt.Sprintf("sim: station %d scheduled slot %d before current slot %d", id, next, t))
+		}
+		ss.st = st
+		ss.id = id
+		ss.arrival = t
+		ss.sends = 0
+		ss.listens = 0
+		ss.nextSlot = next
+		ss.prevLive = e.liveTail
+		ss.nextLive = -1
+		ss.willSend = send
 		if e.liveTail >= 0 {
 			e.stations[e.liveTail].nextLive = idx
 		} else {
@@ -259,8 +302,11 @@ func (e *Engine) inject(t int64) {
 func (e *Engine) resolveSlot(t int64) {
 	e.slotStations = e.slotStations[:0]
 	e.slotSenders = e.slotSenders[:0]
-	for e.events.Len() > 0 && e.events.Min().slot == t {
-		ev := e.events.Pop()
+	for {
+		ev, ok := e.events.popAtMost(t)
+		if !ok {
+			break
+		}
 		e.slotStations = append(e.slotStations, ev.idx)
 		if e.stations[ev.idx].willSend {
 			e.slotSenders = append(e.slotSenders, ev.id)
@@ -314,7 +360,7 @@ func (e *Engine) resolveSlot(t int64) {
 			e.activeCount--
 			continue
 		}
-		next, send := ss.st.ScheduleNext(t+1, ss.rng)
+		next, send := ss.st.ScheduleNext(t+1, &ss.rng)
 		if next <= t {
 			panic(fmt.Sprintf("sim: station %d rescheduled slot %d not after %d", ss.id, next, t))
 		}
@@ -351,7 +397,15 @@ func (e *Engine) depart(idx int32, t int64) {
 	} else {
 		e.liveTail = ss.prevLive
 	}
-	*ss = stationState{} // drop the Station and rng so they can be collected
+	// Recycle the entry. With ReuseStations on, a ReusableStation stays
+	// attached so the entry's next packet can Reset it instead of
+	// allocating; anything else is dropped for collection. The embedded
+	// rng needs no clearing — it is reinitialized in place on reuse.
+	var reuse ReusableStation
+	if e.params.ReuseStations {
+		reuse, _ = ss.st.(ReusableStation)
+	}
+	*ss = stationState{reuse: reuse}
 	e.freeList = append(e.freeList, idx)
 }
 

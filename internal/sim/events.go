@@ -19,13 +19,16 @@ func eventLess(a, b event) bool {
 	return a.slot < b.slot || (a.slot == b.slot && a.id < b.id)
 }
 
-// eventQueue is a 4-ary min-heap specialized to event. Compared with the
-// previous container/heap implementation it never boxes events through
-// `any` on Push/Pop (zero allocations in steady state, the backing array
-// is reused) and the 4-ary layout halves the tree depth, trading a few
-// extra comparisons per level for far fewer cache-missing swaps — the
-// right trade for the engine's hot loop, where the queue holds one event
-// per live packet. See BenchmarkEventQueue.
+// eventQueue is a 4-ary min-heap specialized to event. It was the engine's
+// scheduler before the hierarchical timing wheel (wheel.go) and now serves
+// as the wheel's far-future overflow level — events scheduled beyond the
+// wheel's 2^24-slot horizon wait here, already in pop order, until the
+// cursor reaches their region — and as the baseline the wheel's benchmarks
+// are measured against. Compared with a container/heap implementation it
+// never boxes events through `any` on Push/Pop (zero allocations in steady
+// state, the backing array is reused) and the 4-ary layout halves the tree
+// depth, trading a few extra comparisons per level for far fewer cache-
+// missing swaps. See BenchmarkEventQueue and BenchmarkEngineHotPath.
 type eventQueue struct {
 	ev []event
 }

@@ -5,25 +5,32 @@
 //
 // The engine is event-driven. A station's action probabilities change only
 // when it accesses the channel, so the gap to its next access has a fixed
-// distribution and can be sampled up front; the engine keeps a min-heap of
-// next-access events and skips slots in which no station acts. Skipped
-// active slots still count toward the active-slot total, and jammed slots
-// inside skipped ranges are accounted through Jammer.CountRange. This makes
-// runs with large windows (the common case for LOW-SENSING BACKOFF) cost
-// O(total channel accesses), not O(total slots).
+// distribution and can be sampled up front; the engine schedules next-
+// access events on a hierarchical timing wheel (see timingWheel) and skips
+// slots in which no station acts. Skipped active slots still count toward
+// the active-slot total, and jammed slots inside skipped ranges are
+// accounted through Jammer.CountRange. This makes runs with large windows
+// (the common case for LOW-SENSING BACKOFF) cost O(total channel
+// accesses), not O(total slots) — and the wheel makes each access O(1)
+// amortized to schedule and extract, where the previous min-heap paid
+// O(log backlog).
 //
 // # Memory model
 //
 // The engine is built for streaming scale: live state is O(backlog), not
-// O(total arrivals). The event queue is an inlined 4-ary min-heap
-// specialized to the engine's event type (no boxing, no steady-state
-// allocation), departed packets' slot-table entries are recycled through a
-// free list, and per-packet statistics are folded at departure into
-// constant-memory streaming accumulators (Result.Energy: counts, exact
-// sums, and log-bucketed histograms with quantile queries). Per-packet
-// records are opt-in: set Params.RetainPackets to materialize
-// Result.Packets (O(arrivals) memory), or Params.PacketSink to stream each
-// packet's final PacketStats out of the engine without retaining anything.
+// O(total arrivals), and the steady-state packet lifecycle allocates
+// nothing. The timing wheel threads its buckets through one node array
+// indexed by slot-table entry (an inlined 4-ary min-heap remains as its
+// far-future overflow level), departed packets' slot-table entries are
+// recycled through a free list — including the entry's embedded rng,
+// reinitialized in place, and its Station object when the protocol
+// implements channel.ReusableStation — and per-packet statistics are
+// folded at departure into constant-memory streaming accumulators
+// (Result.Energy: counts, exact sums, and log-bucketed histograms with
+// quantile queries). Per-packet records are opt-in: set
+// Params.RetainPackets to materialize Result.Packets (O(arrivals) memory),
+// or Params.PacketSink to stream each packet's final PacketStats out of
+// the engine without retaining anything.
 package sim
 
 import (
@@ -43,6 +50,8 @@ type (
 	Observation = channel.Observation
 	// Station is the per-packet protocol state machine.
 	Station = channel.Station
+	// ReusableStation is a Station the engine may recycle via Reset.
+	ReusableStation = channel.ReusableStation
 	// Windowed is implemented by stations exposing a backoff window.
 	Windowed = channel.Windowed
 	// StationFactory builds the Station for a newly injected packet.

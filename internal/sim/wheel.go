@@ -1,0 +1,280 @@
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+	"slices"
+)
+
+// timingWheel is the engine's event scheduler: a hierarchical timing wheel
+// that exploits the engine's monotone time advance for O(1) amortized
+// schedule/extract, replacing the O(log n) min-heap on the hot path while
+// preserving the heap's exact (slot, id) pop order.
+//
+// # Structure
+//
+// The wheel keeps a time cursor cur — a lower bound on every pending
+// event's slot, advanced monotonically as events are located — and
+// wheelLevels levels of wheelSize buckets each, sized in powers of two:
+// level l buckets span 64^l slots, so an event lands at the lowest level
+// whose span still distinguishes it from the cursor (its slot and cur
+// first differ in that level's 6-bit digit of the slot number):
+//
+//	level 0: 64 buckets of 1 slot each — the cursor's 64-slot block
+//	level 1: 64 buckets of 64 slots   — the cursor's 4096-slot block
+//	level 2: 64 buckets of 4096 slots — the cursor's 256K-slot block
+//	level 3: 64 buckets of 256K slots — the cursor's 16M-slot block
+//
+// Events scheduled beyond the top level's horizon (slot - cur >= 2^24, the
+// far future: huge backoff windows) overflow into the existing 4-ary min-
+// heap (eventQueue), and are pulled back into the wheel when the cursor
+// reaches their 2^24-slot region. Every event therefore cascades down at
+// most wheelLevels+1 times over its life — O(1) amortized — and locating
+// the minimum is a few bitmap scans: each level keeps a 64-bit occupancy
+// word, so "first nonempty bucket" is one TrailingZeros64.
+//
+// # Memory
+//
+// Buckets are intrusive singly-linked lists threaded through one shared
+// node array indexed by the event's idx — the engine's recycled slot-table
+// index, of which each live packet owns exactly one — so scheduling moves
+// no bytes and allocates nothing: a push links a node, a cascade relinks
+// them. Total footprint is O(peak backlog) nodes plus one drain buffer
+// that grows to the largest number of same-slot accessors, mirroring the
+// engine's own per-slot scratch. Pathological fan-in (a fresh batch of
+// 100k packets all scheduling within a 16-slot window) costs exactly its
+// node count, where per-bucket slices would balloon to the sum of every
+// bucket's high-water mark.
+//
+// # Ordering
+//
+// The engine requires pops in strict (slot, id) order — identical to the
+// heap it replaces — so the goldens stay byte-identical. Level >= 1
+// buckets are unordered (cascading re-distributes them), but a level-0
+// bucket holds events of exactly one slot: popAtMost moves its list into
+// the drain buffer, sorts it by id once, and serves pops from the front,
+// folding in any same-slot events pushed mid-drain.
+//
+// # The cursor contract
+//
+// Push requires ev.slot >= cur, and at most one pending event per idx
+// (the engine's one-event-per-live-packet invariant). The engine's time
+// is monotone but its next slot is min(next event, next arrival), and an
+// arrival earlier than the event minimum may inject accesses at its own
+// (earlier) slot — so the cursor must never overshoot the next arrival
+// while peeking. nextAtMost and popAtMost therefore take an explicit
+// limit: the cursor only advances to min(event minimum, limit), and the
+// search reports "nothing at or before limit" without disturbing later
+// events. The driver passes the pending arrival slot (or MaxInt64 once
+// arrivals are exhausted) as the limit, which is exactly the smallest
+// slot the engine might still push.
+type timingWheel struct {
+	cur int64 // lower bound on every pending slot; monotone
+	n   int   // pending events, including overflow and drain remainder
+	occ [wheelLevels]uint64
+	// head holds each bucket's list head (an index into nodes); it is only
+	// meaningful where the occupancy bit is set, which is what lets the
+	// zero value work without initializing 256 heads to -1.
+	head  [wheelLevels][wheelSize]int32
+	nodes []wheelNode
+	// drain is the sorted same-slot buffer popAtMost serves from;
+	// drain[:drainPos] is consumed, the rest is pending at drainSlot.
+	drain     []event
+	drainPos  int
+	drainSlot int64
+	// over holds far-future events (slot - cur >= wheelSpan at push time),
+	// ordered by the same (slot, id) key the wheel pops in.
+	over eventQueue
+}
+
+const (
+	wheelBits   = 6
+	wheelSize   = 1 << wheelBits // buckets per level
+	wheelMask   = wheelSize - 1
+	wheelLevels = 4
+	// wheelSpan is the top level's horizon: events at slot - cur beyond it
+	// overflow to the heap.
+	wheelSpan = int64(1) << (wheelBits * wheelLevels)
+)
+
+// wheelNode is one event's residence in the wheel, indexed by the event's
+// idx. next links the bucket's list and is -1 at the tail.
+type wheelNode struct {
+	slot int64
+	id   int64
+	next int32
+}
+
+// Len returns the number of pending events.
+func (w *timingWheel) Len() int { return w.n }
+
+// Push inserts an event. ev.slot must be >= the cursor, which the engine
+// guarantees by construction: it only schedules at or after the slot it is
+// working on, and the cursor never advances past that slot.
+func (w *timingWheel) Push(ev event) {
+	if ev.slot < w.cur {
+		panic(fmt.Sprintf("sim: timingWheel.Push(slot %d) behind cursor %d", ev.slot, w.cur))
+	}
+	for int(ev.idx) >= len(w.nodes) {
+		w.nodes = append(w.nodes, wheelNode{})
+	}
+	w.place(ev)
+	w.n++
+}
+
+// place routes an event to its level and bucket relative to the current
+// cursor (or to the overflow heap). The level is where slot and cur first
+// differ: all higher 6-bit digits agree, so the bucket index — the slot's
+// own digit at that level — is unambiguous within the cursor's block.
+func (w *timingWheel) place(ev event) {
+	d := uint64(ev.slot ^ w.cur)
+	var l uint
+	switch {
+	case d < 1<<wheelBits:
+		l = 0
+	case d < 1<<(2*wheelBits):
+		l = 1
+	case d < 1<<(3*wheelBits):
+		l = 2
+	case d < 1<<(4*wheelBits):
+		l = 3
+	default:
+		w.over.Push(ev)
+		return
+	}
+	bi := (ev.slot >> (wheelBits * l)) & wheelMask
+	nd := &w.nodes[ev.idx]
+	nd.slot = ev.slot
+	nd.id = ev.id
+	if w.occ[l]&(1<<uint64(bi)) != 0 {
+		nd.next = w.head[l][bi]
+	} else {
+		nd.next = -1
+		w.occ[l] |= 1 << uint64(bi)
+	}
+	w.head[l][bi] = ev.idx
+}
+
+// locate finds the earliest pending slot if it is <= limit, advancing the
+// cursor to it (cascading higher-level buckets and due overflow events
+// down as it goes). When the earliest slot exceeds limit — or no events
+// are pending — it reports false and leaves the cursor at most at limit,
+// so the caller remains free to push anything >= its own time floor.
+func (w *timingWheel) locate(limit int64) (int64, bool) {
+	// A partially drained slot is by construction the minimum: the cursor
+	// sits on it and nothing earlier can have been pushed since.
+	if w.drainPos < len(w.drain) {
+		if w.drainSlot > limit {
+			return 0, false
+		}
+		return w.drainSlot, true
+	}
+	if w.n == 0 {
+		return 0, false
+	}
+	for {
+		// Level 0 holds exact slots within the cursor's 64-slot block, and
+		// every deeper level (and the overflow heap) holds strictly later
+		// slots, so its first occupied bucket is the global minimum.
+		if occ := w.occ[0]; occ != 0 {
+			s := w.cur&^int64(wheelMask) | int64(bits.TrailingZeros64(occ))
+			if s > limit {
+				return 0, false
+			}
+			w.cur = s
+			return s, true
+		}
+		if w.cascade(limit) {
+			continue
+		}
+		return 0, false
+	}
+}
+
+// cascade advances the cursor to the next occupied region at or before
+// limit — the first occupied bucket of the lowest nonempty level, or the
+// overflow heap's due region — and re-places its events relative to the
+// new cursor (each lands at a strictly lower level). It reports whether
+// it moved anything; false means every pending event is beyond limit.
+func (w *timingWheel) cascade(limit int64) bool {
+	for l := uint(1); l < wheelLevels; l++ {
+		occ := w.occ[l]
+		if occ == 0 {
+			continue
+		}
+		shift := wheelBits * l
+		bi := int64(bits.TrailingZeros64(occ))
+		base := w.cur>>(shift+wheelBits)<<(shift+wheelBits) | bi<<shift
+		if base > limit {
+			return false
+		}
+		w.cur = base
+		idx := w.head[l][bi]
+		w.occ[l] &^= 1 << uint64(bi)
+		for idx >= 0 {
+			nd := &w.nodes[idx]
+			next := nd.next
+			w.place(event{slot: nd.slot, id: nd.id, idx: idx})
+			idx = next
+		}
+		return true
+	}
+	// All levels empty: the minimum lives in the overflow heap. Jump the
+	// cursor to it and pull in every overflow event of its 2^24-slot
+	// region (re-placement order does not matter above level 0).
+	m := w.over.Min().slot
+	if m > limit {
+		return false
+	}
+	w.cur = m
+	for w.over.Len() > 0 && w.over.Min().slot^w.cur < wheelSpan {
+		w.place(w.over.Pop())
+	}
+	return true
+}
+
+// nextAtMost returns the earliest pending slot if it is <= limit. The
+// cursor advances to the returned slot (and never beyond limit), so after
+// a hit the caller may push at that slot or later; after a miss, at limit
+// or later.
+func (w *timingWheel) nextAtMost(limit int64) (int64, bool) {
+	return w.locate(limit)
+}
+
+// popAtMost removes and returns the earliest pending event if its slot is
+// <= limit. Successive pops yield strict (slot, id) order.
+func (w *timingWheel) popAtMost(limit int64) (event, bool) {
+	s, ok := w.locate(limit)
+	if !ok {
+		return event{}, false
+	}
+	// Fold the slot's bucket — freshly located, or same-slot events pushed
+	// since the last pop — into the drain buffer and keep it id-sorted.
+	// Each event is moved and sorted once per slot resolution, and the
+	// buffer's storage is reused run-long.
+	if bi := s & wheelMask; w.occ[0]&(1<<uint64(bi)) != 0 {
+		if w.drainPos == len(w.drain) {
+			w.drain = w.drain[:0]
+			w.drainPos = 0
+		}
+		w.drainSlot = s
+		for idx := w.head[0][bi]; idx >= 0; idx = w.nodes[idx].next {
+			w.drain = append(w.drain, event{slot: s, id: w.nodes[idx].id, idx: idx})
+		}
+		w.occ[0] &^= 1 << uint64(bi)
+		slices.SortFunc(w.drain[w.drainPos:], func(a, b event) int {
+			switch {
+			case a.id < b.id:
+				return -1
+			case a.id > b.id:
+				return 1
+			default:
+				return 0
+			}
+		})
+	}
+	ev := w.drain[w.drainPos]
+	w.drainPos++
+	w.n--
+	return ev, true
+}

@@ -1,0 +1,230 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"lowsensing/prng"
+)
+
+// wheelVsHeap drives a timingWheel and the reference 4-ary heap through an
+// identical operation sequence decoded from data, failing if their
+// observable behavior ever diverges: pop order (slots AND ids AND payload),
+// limited peeks, and sizes. The byte protocol is what the fuzzer mutates:
+//
+//	op%8 in 0..3: push — three bytes of magnitude and a shift byte build a
+//	  slot delta that crosses every wheel level boundary (including past
+//	  the 2^24 overflow horizon); two more bytes scramble the id's high
+//	  bits so same-slot events arrive in non-id order and exercise the
+//	  lazy bucket sort.
+//	op%8 in 4..5: pop — both queues pop, results must be identical.
+//	op%8 in 6..7: limited peek — nextAtMost with a limit at or past the
+//	  floor; the expected answer is computed from the heap, and a miss
+//	  advances the floor to the limit, exactly like an engine arrival
+//	  landing before the event minimum.
+//
+// The floor models engine time: pushes never go below it, pops/peeks
+// advance it. That is the wheel's documented cursor contract.
+func wheelVsHeap(t *testing.T, data []byte) {
+	t.Helper()
+	var w timingWheel
+	var h eventQueue
+	var floor, idCounter int64
+	i := 0
+	next := func() byte {
+		if i < len(data) {
+			b := data[i]
+			i++
+			return b
+		}
+		return 0
+	}
+	for i < len(data) {
+		switch op := next() % 8; {
+		case op < 4: // push
+			u := int64(next()) | int64(next())<<8 | int64(next())<<16
+			shift := uint(next()) % 8
+			delta := (u << shift) % (1 << 26)
+			// Ids must be unique for a deterministic pop order, but their
+			// order must not follow push order: scramble the high bits.
+			id := int64(next())<<40 | int64(next())<<32 | idCounter
+			idCounter++
+			ev := event{slot: floor + delta, id: id, idx: int32(idCounter)}
+			w.Push(ev)
+			h.Push(ev)
+		case op < 6: // pop
+			if h.Len() == 0 {
+				continue
+			}
+			want := h.Pop()
+			got, ok := w.popAtMost(math.MaxInt64)
+			if !ok || got != want {
+				t.Fatalf("pop: wheel (%+v, %v), heap %+v", got, ok, want)
+			}
+			floor = want.slot
+		default: // limited peek
+			limit := floor + int64(next())
+			wantS, wantOK := int64(0), false
+			if h.Len() > 0 && h.Min().slot <= limit {
+				wantS, wantOK = h.Min().slot, true
+			}
+			gotS, gotOK := w.nextAtMost(limit)
+			if gotOK != wantOK || (gotOK && gotS != wantS) {
+				t.Fatalf("nextAtMost(%d): wheel (%d, %v), heap (%d, %v)",
+					limit, gotS, gotOK, wantS, wantOK)
+			}
+			if wantOK {
+				floor = wantS
+			} else {
+				floor = limit
+			}
+		}
+		if w.Len() != h.Len() {
+			t.Fatalf("size skew: wheel %d, heap %d", w.Len(), h.Len())
+		}
+	}
+	for h.Len() > 0 {
+		want := h.Pop()
+		got, ok := w.popAtMost(math.MaxInt64)
+		if !ok || got != want {
+			t.Fatalf("drain: wheel (%+v, %v), heap %+v", got, ok, want)
+		}
+	}
+	if _, ok := w.popAtMost(math.MaxInt64); ok {
+		t.Fatal("wheel still has events after heap drained")
+	}
+}
+
+// TestWheelMatchesHeapRandom is the property test: long random operation
+// sequences (from the module's own deterministic prng) must keep the wheel
+// and the heap behaviorally identical. The delta distribution is tuned so
+// every level and the overflow heap are hit: most pushes are near-future,
+// a tail reaches past 2^24.
+func TestWheelMatchesHeapRandom(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		rng := prng.New(seed)
+		data := make([]byte, 4096)
+		for j := range data {
+			data[j] = byte(rng.Uint64())
+		}
+		wheelVsHeap(t, data)
+	}
+}
+
+// TestWheelLevelBoundaries pins the cascade logic at every level boundary:
+// events exactly at, one below, and one above each power-of-64 horizon,
+// plus overflow events, all pushed from slot 0, must pop in (slot, id)
+// order.
+func TestWheelLevelBoundaries(t *testing.T) {
+	deltas := []int64{
+		0, 1, 62, 63, 64, 65, 127, 128,
+		4095, 4096, 4097,
+		262143, 262144, 262145,
+		1<<24 - 1, 1 << 24, 1<<24 + 1, // overflow horizon
+		1 << 30, 1 << 40, // deep overflow
+	}
+	var w timingWheel
+	var h eventQueue
+	for k, d := range deltas {
+		// Two events per slot with reversed-id pushes so every bucket also
+		// checks the same-slot tie order.
+		a := event{slot: d, id: int64(2*k + 1), idx: int32(2 * k)}
+		b := event{slot: d, id: int64(2 * k), idx: int32(2*k + 1)}
+		w.Push(a)
+		h.Push(a)
+		w.Push(b)
+		h.Push(b)
+	}
+	for h.Len() > 0 {
+		want := h.Pop()
+		got, ok := w.popAtMost(math.MaxInt64)
+		if !ok || got != want {
+			t.Fatalf("pop: wheel (%+v, %v), heap %+v", got, ok, want)
+		}
+	}
+	if w.Len() != 0 {
+		t.Fatalf("wheel has %d events left", w.Len())
+	}
+}
+
+// TestWheelLimitDoesNotOvershoot is the arrival-before-event-minimum case
+// the limit parameter exists for: a miss at the limit must leave the
+// cursor at or before it, so the engine can still schedule an arriving
+// packet's first access below the previously peeked minimum.
+func TestWheelLimitDoesNotOvershoot(t *testing.T) {
+	var w timingWheel
+	w.Push(event{slot: 100000, id: 1, idx: 0})
+	if s, ok := w.nextAtMost(500); ok {
+		t.Fatalf("nextAtMost(500) = (%d, true), want miss", s)
+	}
+	// An "arrival" at slot 600 schedules below the pending minimum.
+	w.Push(event{slot: 600, id: 2, idx: 1})
+	if s, ok := w.nextAtMost(600); !ok || s != 600 {
+		t.Fatalf("nextAtMost(600) = (%d, %v), want (600, true)", s, ok)
+	}
+	ev, ok := w.popAtMost(math.MaxInt64)
+	if !ok || ev.id != 2 {
+		t.Fatalf("first pop = (%+v, %v), want id 2", ev, ok)
+	}
+	ev, ok = w.popAtMost(math.MaxInt64)
+	if !ok || ev.id != 1 {
+		t.Fatalf("second pop = (%+v, %v), want id 1", ev, ok)
+	}
+}
+
+// TestWheelPushBehindCursorPanics: the cursor contract is load-bearing
+// (level-0 buckets are exact only because pending slots never precede the
+// cursor), so a violation must fail fast, not corrupt the schedule.
+func TestWheelPushBehindCursorPanics(t *testing.T) {
+	var w timingWheel
+	w.Push(event{slot: 50, id: 1})
+	if _, ok := w.popAtMost(math.MaxInt64); !ok {
+		t.Fatal("pop failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Push behind cursor did not panic")
+		}
+	}()
+	w.Push(event{slot: 10, id: 2})
+}
+
+// FuzzWheelCascade fuzzes the wheel-vs-heap equivalence through the same
+// byte protocol as the property test. The seed corpus aims mutations at
+// the cascade logic: pushes that straddle each level boundary, the
+// overflow horizon, same-slot ties, and limited peeks that advance the
+// cursor between pushes.
+func FuzzWheelCascade(f *testing.F) {
+	// op byte, then per-op operands (see wheelVsHeap).
+	push := func(lo, mid, hi, shift, idHi1, idHi2 byte) []byte {
+		return []byte{0, lo, mid, hi, shift, idHi1, idHi2}
+	}
+	pop := []byte{4}
+	peek := func(d byte) []byte { return []byte{6, d} }
+	cat := func(chunks ...[]byte) []byte {
+		var out []byte
+		for _, c := range chunks {
+			out = append(out, c...)
+		}
+		return out
+	}
+	// Same slot, scrambled ids: the lazy bucket sort.
+	f.Add(cat(push(5, 0, 0, 0, 9, 0), push(5, 0, 0, 0, 1, 0), push(5, 0, 0, 0, 4, 0), pop, pop, pop))
+	// One event just inside each level, then drain.
+	f.Add(cat(push(63, 0, 0, 0, 0, 0), push(64, 0, 0, 0, 0, 0), push(0, 16, 0, 0, 0, 0),
+		push(0, 0, 4, 0, 0, 0), pop, pop, pop, pop))
+	// Level-2/3 boundaries via the shift operand (0xffff<<4 > 2^18).
+	f.Add(cat(push(255, 255, 0, 4, 0, 0), push(255, 255, 3, 0, 2, 0), pop, pop))
+	// Overflow horizon: 3-byte magnitude shifted past 2^24, then a
+	// near-future push, then pops that must interleave correctly.
+	f.Add(cat(push(255, 255, 255, 7, 0, 0), push(1, 0, 0, 0, 0, 0), pop, pop))
+	// Limited peeks that miss (advancing the cursor) between pushes.
+	f.Add(cat(push(0, 4, 0, 0, 0, 0), peek(20), push(30, 0, 0, 0, 0, 0), pop, pop, peek(255)))
+	// Dense same-slot ties across a cascade: a level-1 bucket whose events
+	// spread over multiple exact slots plus duplicates.
+	f.Add(cat(push(70, 0, 0, 0, 3, 0), push(70, 0, 0, 0, 1, 0), push(71, 0, 0, 0, 2, 0),
+		push(100, 0, 0, 0, 0, 0), pop, pop, pop, pop))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		wheelVsHeap(t, data)
+	})
+}

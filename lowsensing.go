@@ -109,6 +109,13 @@ type ReactiveJammer = channel.ReactiveJammer
 // RegisterProtocol to drive it from specs.
 type Station = channel.Station
 
+// ReusableStation is a Station the engine may recycle between packets via
+// Reset, making the steady-state packet lifecycle allocation-free; see
+// channel.ReusableStation for the contract (Reset must be
+// indistinguishable from fresh construction). All built-in protocols
+// implement it.
+type ReusableStation = channel.ReusableStation
+
 // StationFactory builds the Station for each newly injected packet. Supply
 // a custom one with WithStations.
 type StationFactory = channel.StationFactory
@@ -235,13 +242,20 @@ func (s *Simulation) Run() (Result, error) {
 	// keeps reporting its real error rather than ErrReused.
 	s.ran = true
 	e, err := sim.NewEngine(sim.Params{
-		Seed:          s.sc.Seed,
-		Arrivals:      src,
-		NewStation:    factory,
-		Jammer:        jammer,
-		MaxSlots:      s.sc.MaxSlots,
-		Probe:         probe,
-		PacketSink:    s.sink,
+		Seed:       s.sc.Seed,
+		Arrivals:   src,
+		NewStation: factory,
+		Jammer:     jammer,
+		MaxSlots:   s.sc.MaxSlots,
+		Probe:      probe,
+		PacketSink: s.sink,
+		// Station recycling is safe exactly when the factory came from a
+		// registered kind: kind factories are built from pure spec data,
+		// so every packet gets an identically-configured station and
+		// ReusableStation.Reset is indistinguishable from reconstruction.
+		// A custom WithStations closure may vary its output per packet id,
+		// so it keeps exact factory-per-packet semantics.
+		ReuseStations: s.customFactory == nil,
 		RetainPackets: s.sc.RetainPackets,
 	})
 	if err != nil {
@@ -363,7 +377,11 @@ func WithFullSensingMWU() Option { return WithProtocol(MWU()) }
 func WithSawtoothBackoff() Option { return WithProtocol(Sawtooth()) }
 
 // WithStations supplies a custom station factory (any sim.Station
-// implementation).
+// implementation). Custom factories keep exact factory-per-packet
+// semantics: the engine calls f for every injected packet and never
+// recycles the stations it returns (a closure may legally vary its output
+// per packet id). Protocols from registered kinds additionally get
+// station recycling; see ReusableStation.
 func WithStations(f StationFactory) Option {
 	return func(s *Simulation) {
 		s.sc.Protocol = ProtocolSpec{}

@@ -57,7 +57,18 @@ func New(seed uint64) *Source {
 // used to give each simulated station and each adversary component its own
 // stream so that adding a station never perturbs another station's draws.
 func NewStream(seed, stream uint64) *Source {
-	return New(Mix64(seed) ^ Mix64(stream*0x9e3779b97f4a7c15+0x632be59bd9b4e019))
+	var src Source
+	src.Reinit(seed, stream)
+	return &src
+}
+
+// Reinit resets the source in place to the exact state NewStream(seed,
+// stream) would construct, without allocating. It lets callers that recycle
+// per-packet state (the simulation engine's slot table) reuse one embedded
+// Source per table entry instead of allocating a fresh generator for every
+// packet, while producing bit-identical streams.
+func (s *Source) Reinit(seed, stream uint64) {
+	s.Seed(Mix64(seed) ^ Mix64(stream*0x9e3779b97f4a7c15+0x632be59bd9b4e019))
 }
 
 // Seed resets the source to the deterministic state derived from seed.

@@ -265,3 +265,38 @@ func BenchmarkFloat64(b *testing.B) {
 	}
 	_ = sink
 }
+
+// TestReinitMatchesNewStream locks the zero-allocation reseeding path to the
+// allocating constructor: a recycled Source reinitialized in place must
+// produce the bit-identical stream NewStream builds, for any (seed, stream)
+// pair and regardless of how much of a previous stream was consumed.
+func TestReinitMatchesNewStream(t *testing.T) {
+	var reused Source
+	for _, c := range []struct{ seed, stream uint64 }{
+		{0, 0}, {0, 1}, {1, 0}, {1, 1}, {42, 7}, {^uint64(0), 123456789},
+	} {
+		// Dirty the reused source with a different stream first.
+		reused.Reinit(c.seed+99, c.stream+3)
+		for i := 0; i < int(c.stream%5)+1; i++ {
+			reused.Uint64()
+		}
+		reused.Reinit(c.seed, c.stream)
+		fresh := NewStream(c.seed, c.stream)
+		for i := 0; i < 64; i++ {
+			got, want := reused.Uint64(), fresh.Uint64()
+			if got != want {
+				t.Fatalf("Reinit(%d,%d) output %d = %#x, NewStream gives %#x",
+					c.seed, c.stream, i, got, want)
+			}
+		}
+	}
+}
+
+// TestReinitDoesNotAllocate: the whole point of Reinit is recycling.
+func TestReinitDoesNotAllocate(t *testing.T) {
+	var s Source
+	allocs := testing.AllocsPerRun(100, func() { s.Reinit(1, 2) })
+	if allocs != 0 {
+		t.Fatalf("Reinit allocates %v times per call, want 0", allocs)
+	}
+}

@@ -130,6 +130,12 @@ var (
 // carries none, so that a bare {"kind": "..."} spec runs; kinds whose bare
 // spec is constructible are automatically covered by the module's
 // cross-protocol invariant tests.
+//
+// Runs whose protocol comes from a registered kind recycle station objects
+// that implement channel.ReusableStation. A kind's station factory is
+// built from pure spec data, so its stations are expected to be
+// identically configured per packet; if yours are not, have them not
+// implement ReusableStation (see its contract).
 func RegisterProtocol(kind, doc string, factory ProtocolFactory) {
 	protocolRegistry.register(kind, doc, factory, factory == nil)
 }
