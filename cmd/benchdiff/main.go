@@ -13,7 +13,10 @@
 // exit status is nonzero only when an input cannot be read or parsed
 // (i.e. something is structurally broken); performance regressions print
 // loud WARN lines but do not fail the build, because single-iteration CI
-// smoke numbers are too noisy to gate on.
+// smoke numbers are too noisy to gate on. The exception is -failon allocs,
+// which turns an allocs/op increase between properly-iterated runs into a
+// nonzero exit: allocation counts are deterministic, so that gate is not
+// noisy.
 package main
 
 import (
@@ -61,6 +64,7 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		emit    = fs.String("emit", "", "parse `go test -bench` output from stdin and write a JSON baseline to this file")
 		compare = fs.Bool("compare", false, "compare two JSON baselines: benchdiff -compare old.json new.json")
 		warnPct = fs.Float64("warn", 10, "with -compare, WARN when ns/op regresses by more than this percentage")
+		failOn  = fs.String("failon", "", "with -compare, exit nonzero on the given regression class: \"allocs\" (allocs/op increase between properly-iterated runs)")
 		note    = fs.String("note", "", "with -emit, a provenance note recorded in the baseline (machine, benchtime, commit)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -92,7 +96,10 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		if fs.NArg() != 2 {
 			return fmt.Errorf("-compare needs exactly two files: old.json new.json")
 		}
-		return Compare(fs.Arg(0), fs.Arg(1), *warnPct, out)
+		if *failOn != "" && *failOn != "allocs" {
+			return fmt.Errorf("-failon supports only \"allocs\", got %q", *failOn)
+		}
+		return Compare(fs.Arg(0), fs.Arg(1), *warnPct, *failOn == "allocs", out)
 	default:
 		return fmt.Errorf("one of -emit or -compare is required")
 	}
@@ -146,9 +153,13 @@ func Parse(r io.Reader) (File, error) {
 }
 
 // Compare loads two baselines and prints a delta table to out. Regressions
-// beyond warnPct print WARN lines; the only error conditions are unreadable
-// or unparsable inputs.
-func Compare(oldPath, newPath string, warnPct float64, out io.Writer) error {
+// beyond warnPct print WARN lines. Timing warnings never fail the build
+// (CI smoke numbers are too noisy to gate on), but with failAllocs set an
+// allocs/op increase between properly-iterated runs is an error: allocation
+// counts are deterministic, so an increase is a real regression — this is
+// how CI guards the engine's zero-allocation hot path. Other than that,
+// the only error conditions are unreadable or unparsable inputs.
+func Compare(oldPath, newPath string, warnPct float64, failAllocs bool, out io.Writer) error {
 	oldF, err := load(oldPath)
 	if err != nil {
 		return err
@@ -171,6 +182,7 @@ func Compare(oldPath, newPath string, warnPct float64, out io.Writer) error {
 	sort.Strings(names)
 
 	warned := 0
+	allocRegressions := 0
 	fmt.Fprintf(out, "%-60s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
 	for _, n := range names {
 		nb := newBy[n]
@@ -199,6 +211,7 @@ func Compare(oldPath, newPath string, warnPct float64, out io.Writer) error {
 			if nb.AllocsPerOp > ob.AllocsPerOp {
 				mark += fmt.Sprintf("  WARN: allocs/op %g -> %g", ob.AllocsPerOp, nb.AllocsPerOp)
 				warned++
+				allocRegressions++
 			}
 		}
 		fmt.Fprintf(out, "%-60s %14.1f %14.1f %+8.1f%%%s\n", n, ob.NsPerOp, nb.NsPerOp, delta, mark)
@@ -213,6 +226,9 @@ func Compare(oldPath, newPath string, warnPct float64, out io.Writer) error {
 			warned, warnPct)
 	} else {
 		fmt.Fprintln(out, "no regressions beyond the threshold")
+	}
+	if failAllocs && allocRegressions > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed allocs/op (-failon allocs)", allocRegressions)
 	}
 	return nil
 }

@@ -158,3 +158,55 @@ func TestRunErrors(t *testing.T) {
 		t.Fatal("missing files accepted")
 	}
 }
+
+// TestFailOnAllocs: -failon allocs turns a deterministic allocs/op increase
+// into a nonzero exit (the CI gate on the engine's zero-allocation hot
+// path), while leaving pure timing regressions and single-iteration smoke
+// runs non-fatal.
+func TestFailOnAllocs(t *testing.T) {
+	dir := t.TempDir()
+	oldJSON := filepath.Join(dir, "old.json")
+	var buf strings.Builder
+	if err := run([]string{"-emit", oldJSON}, strings.NewReader(sampleBench), &buf); err != nil {
+		t.Fatal(err)
+	}
+
+	allocJSON := filepath.Join(dir, "alloc.json")
+	leaky := strings.Replace(sampleBench, "0 allocs/op", "2 allocs/op", 1)
+	if err := run([]string{"-emit", allocJSON}, strings.NewReader(leaky), &buf); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	err := run([]string{"-compare", "-failon", "allocs", oldJSON, allocJSON}, strings.NewReader(""), &buf)
+	if err == nil || !strings.Contains(err.Error(), "allocs/op") {
+		t.Fatalf("allocs/op increase with -failon allocs must fail, got %v", err)
+	}
+	if !strings.Contains(buf.String(), "WARN: allocs/op 0 -> 2") {
+		t.Fatalf("delta table missing the alloc warning:\n%s", buf.String())
+	}
+
+	// A pure timing regression stays a warning even under -failon allocs.
+	slowJSON := filepath.Join(dir, "slow.json")
+	slow := strings.ReplaceAll(sampleBench, "28.72 ns/op", "99.9 ns/op")
+	if err := run([]string{"-emit", slowJSON}, strings.NewReader(slow), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-compare", "-failon", "allocs", oldJSON, slowJSON}, strings.NewReader(""), &buf); err != nil {
+		t.Fatalf("timing-only regression must not fail under -failon allocs: %v", err)
+	}
+
+	// Single-iteration runs are not comparable: no alloc gate either.
+	smokeJSON := filepath.Join(dir, "smoke.json")
+	smoke := strings.ReplaceAll(leaky, "76938135", "1")
+	if err := run([]string{"-emit", smokeJSON}, strings.NewReader(smoke), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-compare", "-failon", "allocs", oldJSON, smokeJSON}, strings.NewReader(""), &buf); err != nil {
+		t.Fatalf("single-iteration run must not trip the alloc gate: %v", err)
+	}
+
+	// Unknown -failon classes are rejected.
+	if err := run([]string{"-compare", "-failon", "ns", oldJSON, allocJSON}, strings.NewReader(""), &buf); err == nil {
+		t.Fatal("unknown -failon class accepted")
+	}
+}

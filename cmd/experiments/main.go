@@ -18,6 +18,7 @@
 package main
 
 import (
+	"bufio"
 	"errors"
 	"flag"
 	"fmt"
@@ -32,6 +33,7 @@ import (
 
 	"lowsensing"
 	"lowsensing/internal/harness"
+	"lowsensing/obs"
 )
 
 func main() {
@@ -43,9 +45,14 @@ func main() {
 }
 
 // run parses args and executes the requested experiments or sweep spec,
-// writing tables to out. Split from main so tests can drive the command
-// end to end.
+// writing tables to out and progress to os.Stderr. Split from main so
+// tests can drive the command end to end (runE also injects the progress
+// stream).
 func run(args []string, out io.Writer) error {
+	return runE(args, out, os.Stderr)
+}
+
+func runE(args []string, out, errW io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
@@ -60,6 +67,10 @@ func run(args []string, out io.Writer) error {
 		specFile = fs.String("spec", "", "JSON sweep-spec file to run instead of the registry (see lowsensing.SweepSpec)")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		memProf  = fs.String("memprofile", "", "write a heap profile taken at the end of the run to this file")
+		progress = fs.Bool("progress", false, "with -spec: stream per-job progress (wall time, events/sec, ETA) to stderr")
+		traceOut = fs.String("trace", "", "with -spec: write every job's structured trace (slot + packet events) to this NDJSON file, one labeled stream per job")
+		metrics  = fs.String("metrics", "", "with -spec: write every job's windowed time-series to this NDJSON file, one labeled stream per job")
+		window   = fs.Int64("window", 0, "metrics window size in slots (0 = 1024)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -120,7 +131,20 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("-id/-scale select registry experiments and do not apply to -spec sweeps")
 		}
 		// -seed and -reps, when given, override the spec file's values.
-		return runSpec(*specFile, *parallel, *outdir, *seed, *reps, out)
+		return runSpec(specRun{
+			path:    *specFile,
+			workers: *parallel,
+			outdir:  *outdir,
+			seed:    *seed,
+			reps:    *reps,
+			trace:   *traceOut,
+			metrics: *metrics,
+			window:  *window,
+			prog:    *progress,
+		}, out, errW)
+	}
+	if *progress || *traceOut != "" || *metrics != "" {
+		return fmt.Errorf("-progress/-trace/-metrics observe declarative sweeps; they require -spec")
 	}
 
 	rc := harness.DefaultRunConfig()
@@ -176,11 +200,26 @@ func listExperiments(out io.Writer) error {
 	return nil
 }
 
+// specRun is the bag of options shaping one -spec sweep execution.
+type specRun struct {
+	path           string
+	workers        int
+	outdir         string
+	seed           uint64
+	reps           int
+	trace, metrics string
+	window         int64
+	prog           bool
+}
+
 // runSpec executes a declarative sweep spec and renders one aggregate
 // table: a row per grid point, streamed off the worker pool in grid order.
-// Non-zero seed/reps override the spec file's values.
-func runSpec(path string, workers int, outdir string, seed uint64, reps int, out io.Writer) error {
-	data, err := os.ReadFile(path)
+// Non-zero seed/reps override the spec file's values. Observability taps
+// (trace/metrics/progress) attach per-job recorders: every job writes a
+// run-labeled stream into the shared NDJSON file, interleaved safely
+// through a synchronized writer, so one file carries the whole sweep.
+func runSpec(o specRun, out, errW io.Writer) error {
+	data, err := os.ReadFile(o.path)
 	if err != nil {
 		return err
 	}
@@ -188,17 +227,65 @@ func runSpec(path string, workers int, outdir string, seed uint64, reps int, out
 	if err != nil {
 		return err
 	}
-	if seed != 0 {
-		ss.Seed = seed
+	if o.seed != 0 {
+		ss.Seed = o.seed
 	}
-	if reps > 0 {
-		ss.Reps = reps
+	if o.reps > 0 {
+		ss.Reps = o.reps
 	}
 	sw, err := ss.Sweep()
 	if err != nil {
 		return err
 	}
-	sw.Workers(workers)
+	sw.Workers(o.workers)
+	if o.prog {
+		sw.ProgressTo(errW)
+	}
+	var finishers []func() error
+	traceW, metricsW := io.Writer(nil), io.Writer(nil)
+	openShared := func(path string) (io.Writer, error) {
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		bw := bufio.NewWriter(f)
+		finishers = append(finishers, func() error {
+			// bufio's sticky error surfaces every job's write failure here.
+			err := bw.Flush()
+			if e := f.Close(); err == nil {
+				err = e
+			}
+			return err
+		})
+		return obs.NewSyncWriter(bw), nil
+	}
+	if o.trace != "" {
+		if traceW, err = openShared(o.trace); err != nil {
+			return err
+		}
+	}
+	if o.metrics != "" {
+		if metricsW, err = openShared(o.metrics); err != nil {
+			return err
+		}
+	}
+	if traceW != nil || metricsW != nil {
+		sw.Observe(func(p lowsensing.Point, rep int) lowsensing.Recorder {
+			label := fmt.Sprintf("%s r%d", p, rep)
+			var recs []lowsensing.Recorder
+			if traceW != nil {
+				s := obs.NewNDJSON(traceW)
+				s.SetRun(label)
+				recs = append(recs, s)
+			}
+			if metricsW != nil {
+				s := obs.NewNDJSON(metricsW)
+				s.SetRun(label)
+				recs = append(recs, obs.NewWindows(o.window, s.RecordWindow))
+			}
+			return obs.Multi(recs...)
+		})
+	}
 
 	id := ss.ID
 	if id == "" {
@@ -206,13 +293,13 @@ func runSpec(path string, workers int, outdir string, seed uint64, reps int, out
 	}
 	tab := &harness.Table{
 		ID:    id,
-		Title: fmt.Sprintf("Declarative sweep from %s", filepath.Base(path)),
+		Title: fmt.Sprintf("Declarative sweep from %s", filepath.Base(o.path)),
 		Columns: []string{
 			"point", "reps", "arrived", "delivered", "tput", "meanAcc", "p99Acc", "maxAcc", "meanLat",
 		},
 	}
 	start := time.Now()
-	if err := sw.Stream(func(pr lowsensing.PointResult) error {
+	err = sw.Stream(func(pr lowsensing.PointResult) error {
 		tab.AddRow(
 			pr.Point.String(),
 			fmt.Sprintf("%d", pr.Reps),
@@ -225,14 +312,20 @@ func runSpec(path string, workers int, outdir string, seed uint64, reps int, out
 			fmt.Sprintf("%.1f", pr.Latency.Mean()),
 		)
 		return nil
-	}); err != nil {
+	})
+	for _, done := range finishers {
+		if ferr := done(); err == nil {
+			err = ferr
+		}
+	}
+	if err != nil {
 		return err
 	}
 	tab.AddNote("%d points x %d reps, aggregated with streaming stats (no per-packet retention)",
 		len(tab.Rows), sweepReps(ss))
 	fmt.Fprintln(out, tab)
 	fmt.Fprintf(out, "(%s completed in %s)\n", id, time.Since(start).Round(time.Millisecond))
-	return writeTable(outdir, id, tab)
+	return writeTable(o.outdir, id, tab)
 }
 
 func sweepReps(ss lowsensing.SweepSpec) int {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -201,5 +202,89 @@ func TestProfileFlags(t *testing.T) {
 	}
 	if err := run([]string{"-id", "E9", "-scale", "small", "-memprofile", bad}, &buf); err == nil {
 		t.Fatal("unwritable -memprofile path accepted")
+	}
+}
+
+// TestSpecObservability drives -spec with -progress/-trace/-metrics: one
+// labeled NDJSON stream per job lands in each shared file, progress lines
+// land on the injected stderr, and the rendered table is unchanged by
+// observation.
+func TestSpecObservability(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "sweep.json")
+	if err := os.WriteFile(spec, []byte(`{
+		"id": "obs",
+		"seed": 3,
+		"reps": 2,
+		"base": {"arrivals": {"kind": "batch", "n": 24}},
+		"axes": [{"name": "protocol", "variants": [
+			{"label": "lsb"},
+			{"label": "beb", "patch": {"protocol": {"kind": "beb"}}}
+		]}]
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	tracePath := filepath.Join(dir, "trace.ndjson")
+	metricsPath := filepath.Join(dir, "metrics.ndjson")
+	var out, errOut strings.Builder
+	if err := runE([]string{
+		"-spec", spec, "-parallel", "2", "-progress",
+		"-trace", tracePath, "-metrics", metricsPath, "-window", "64",
+	}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+
+	// Progress: one line per job (2 points x 2 reps), each with an ETA.
+	progLines := strings.Count(errOut.String(), "ETA")
+	if progLines != 4 {
+		t.Fatalf("want 4 progress lines, got %d:\n%s", progLines, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "[4/4]") {
+		t.Fatalf("missing final progress line:\n%s", errOut.String())
+	}
+
+	// Trace: every line is valid JSON carrying a run label; all 4 jobs and
+	// both record types appear.
+	runs := map[string]bool{}
+	types := map[string]bool{}
+	for _, path := range []string{tracePath, metricsPath} {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+			var rec struct {
+				Type string `json:"type"`
+				Run  string `json:"run"`
+			}
+			if err := json.Unmarshal([]byte(line), &rec); err != nil {
+				t.Fatalf("%s: bad NDJSON line %q: %v", path, line, err)
+			}
+			if rec.Run == "" {
+				t.Fatalf("%s: unlabeled record %q", path, line)
+			}
+			runs[rec.Run] = true
+			types[rec.Type] = true
+		}
+	}
+	if len(runs) != 4 {
+		t.Fatalf("want 4 distinct run labels across jobs, got %v", runs)
+	}
+	for _, typ := range []string{"slot", "packet", "window"} {
+		if !types[typ] {
+			t.Fatalf("record type %q missing (got %v)", typ, types)
+		}
+	}
+
+	// Observation must not perturb results: the same spec without any
+	// observability flags renders the identical table.
+	var plain strings.Builder
+	if err := run([]string{"-spec", spec, "-parallel", "1"}, &plain); err != nil {
+		t.Fatal(err)
+	}
+	tableOf := func(s string) string { return s[:strings.Index(s, "\n(")] }
+	if tableOf(plain.String()) != tableOf(out.String()) {
+		t.Fatalf("observability changed the table:\n%s\nvs\n%s", plain.String(), out.String())
 	}
 }

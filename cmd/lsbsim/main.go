@@ -20,15 +20,18 @@
 package main
 
 import (
+	"bufio"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"strings"
 
 	"lowsensing"
 	"lowsensing/internal/metrics"
+	"lowsensing/obs"
 )
 
 // errUndelivered signals the historical exit code 2: the run finished with
@@ -74,6 +77,9 @@ func run(args []string, out io.Writer) error {
 		wmin      = fs.Float64("wmin", 0, "LSB minimum window (0 = default)")
 		specFile  = fs.String("spec", "", "JSON scenario file; replaces the flag-built scenario (see lowsensing.Scenario)")
 		kinds     = fs.Bool("kinds", false, "list every registered protocol/arrival/jammer kind and exit")
+		traceOut  = fs.String("trace", "", "write the structured trace (slot + packet events) to this file as NDJSON (.csv for CSV)")
+		metrics_  = fs.String("metrics", "", "write the windowed time-series to this file as NDJSON (.csv for CSV)")
+		window    = fs.Int64("window", 0, "metrics window size in slots (0 = 1024)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -113,7 +119,40 @@ func run(args []string, out io.Writer) error {
 		protoLbl = protocolLabel(sc)
 	}
 
-	r, err := sc.Run()
+	// Observability side channels: -trace streams raw slot/packet events,
+	// -metrics streams the windowed time-series. Both attach as recorders;
+	// a run without them pays one predictable branch per slot.
+	var opts []lowsensing.Option
+	var finishers []func() error
+	if *traceOut != "" {
+		sink, done, err := openSink(*traceOut)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, lowsensing.WithRecorder(sink))
+		finishers = append(finishers, done)
+	}
+	if *metrics_ != "" {
+		sink, done, err := openSink(*metrics_)
+		if err != nil {
+			return err
+		}
+		ws := obs.NewWindows(*window, sink.RecordWindow)
+		opts = append(opts, lowsensing.WithRecorder(ws))
+		finishers = append(finishers, func() error {
+			if err := ws.Flush(); err != nil {
+				return err
+			}
+			return done()
+		})
+	}
+
+	r, err := sc.Simulation(opts...).Run()
+	for _, done := range finishers {
+		if ferr := done(); err == nil {
+			err = ferr
+		}
+	}
 	if err != nil {
 		return err
 	}
@@ -246,18 +285,61 @@ func max64(a, b int64) int64 {
 	return b
 }
 
-// specFlagConflict returns the name of the first flag other than -spec the
-// user set explicitly, or "". A spec file defines the entire scenario, so
-// combining it with the flag-built scenario would silently drop whichever
-// side lost; reject the mix instead.
+// specFlagConflict returns the name of the first scenario-shaping flag
+// other than -spec the user set explicitly, or "". A spec file defines the
+// entire scenario, so combining it with the flag-built scenario would
+// silently drop whichever side lost; reject the mix instead. Output-side
+// flags (-trace, -metrics, -window) shape no scenario data and compose
+// with -spec freely.
 func specFlagConflict(fs *flag.FlagSet) string {
 	conflict := ""
 	fs.Visit(func(f *flag.Flag) {
-		if f.Name != "spec" && conflict == "" {
+		switch f.Name {
+		case "spec", "trace", "metrics", "window":
+			return
+		}
+		if conflict == "" {
 			conflict = f.Name
 		}
 	})
 	return conflict
+}
+
+// recordSink is the slice of the obs sink surface lsbsim drives: raw
+// events, windowed series, and a flush. Both obs.NDJSON and obs.CSV
+// satisfy it.
+type recordSink interface {
+	obs.Recorder
+	RecordWindow(obs.WindowStat)
+	Flush() error
+}
+
+// openSink creates path and returns a buffered sink for it — CSV if the
+// path ends in .csv, NDJSON otherwise — plus a finisher that flushes both
+// layers and closes the file.
+func openSink(path string) (recordSink, func() error, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	bw := bufio.NewWriter(f)
+	var s recordSink
+	if strings.HasSuffix(path, ".csv") {
+		s = obs.NewCSV(bw)
+	} else {
+		s = obs.NewNDJSON(bw)
+	}
+	done := func() error {
+		err := s.Flush()
+		if e := bw.Flush(); err == nil {
+			err = e
+		}
+		if e := f.Close(); err == nil {
+			err = e
+		}
+		return err
+	}
+	return s, done, nil
 }
 
 // loadSpecFile loads and validates a declarative JSON scenario.

@@ -7,9 +7,11 @@
 //
 //	lsbtrace -n 8 -seed 3
 //	lsbtrace -n 6 -jamto 64 -table
+//	lsbtrace -n 64 -json trace.ndjson   # structured trace alongside the ASCII
 package main
 
 import (
+	"bufio"
 	"errors"
 	"flag"
 	"fmt"
@@ -22,29 +24,32 @@ import (
 	"lowsensing/internal/jamming"
 	"lowsensing/internal/sim"
 	"lowsensing/internal/trace"
+	"lowsensing/obs"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("lsbtrace: ")
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		log.Fatal(err)
 	}
 }
 
 // run parses args, executes one traced simulation, and writes the report
-// to out. Split from main so tests can drive the command end to end.
-func run(args []string, out io.Writer) error {
+// to out (warnings go to errW). Split from main so tests can drive the
+// command end to end.
+func run(args []string, out, errW io.Writer) error {
 	fs := flag.NewFlagSet("lsbtrace", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
-		n       = fs.Int64("n", 8, "number of packets (batch at slot 0)")
-		seed    = fs.Uint64("seed", 1, "random seed")
-		jamFrom = fs.Int64("jamfrom", 0, "burst jam start slot")
-		jamTo   = fs.Int64("jamto", 0, "burst jam end slot (0 = no jamming)")
-		width   = fs.Int("width", 76, "timeline width")
-		table   = fs.Bool("table", false, "print the full event table")
-		windows = fs.Bool("windows", false, "print the window-size trajectory")
+		n        = fs.Int64("n", 8, "number of packets (batch at slot 0)")
+		seed     = fs.Uint64("seed", 1, "random seed")
+		jamFrom  = fs.Int64("jamfrom", 0, "burst jam start slot")
+		jamTo    = fs.Int64("jamto", 0, "burst jam end slot (0 = no jamming)")
+		width    = fs.Int("width", 76, "timeline width")
+		table    = fs.Bool("table", false, "print the full event table")
+		windows  = fs.Bool("windows", false, "print the window-size trajectory")
+		jsonFile = fs.String("json", "", "also write the structured trace (slot + packet events) as NDJSON to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -58,6 +63,33 @@ func run(args []string, out io.Writer) error {
 
 	tr := &trace.Tracer{}
 	wt := &trace.WindowTracker{}
+	// The ASCII tracer consumes the engine's structured event stream — the
+	// same obs.SlotEvents an NDJSON sink serializes; the window tracker
+	// needs engine internals and stays on the Probe hook.
+	rec := obs.Recorder(tr)
+	var (
+		jsonSink  *obs.NDJSON
+		jsonFlush func() error
+	)
+	if *jsonFile != "" {
+		f, err := os.Create(*jsonFile)
+		if err != nil {
+			return err
+		}
+		bw := bufio.NewWriter(f)
+		jsonSink = obs.NewNDJSON(bw)
+		jsonFlush = func() error {
+			err := jsonSink.Flush()
+			if e := bw.Flush(); err == nil {
+				err = e
+			}
+			if e := f.Close(); err == nil {
+				err = e
+			}
+			return err
+		}
+		rec = obs.Multi(tr, jsonSink)
+	}
 	params := sim.Params{
 		Seed:       *seed,
 		Arrivals:   arrivals.NewBatch(*n),
@@ -66,10 +98,8 @@ func run(args []string, out io.Writer) error {
 		// recycling is indistinguishable from reconstruction.
 		ReuseStations: true,
 		MaxSlots:      1 << 24,
-		Probe: func(e *sim.Engine, slot int64) {
-			tr.Probe(e, slot)
-			wt.Probe(e, slot)
-		},
+		Recorder:      rec,
+		Probe:         wt.Probe,
 	}
 	if *jamTo > *jamFrom {
 		iv, err := jamming.NewInterval(*jamFrom, *jamTo)
@@ -102,5 +132,19 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintln(out)
 		fmt.Fprint(out, tr.Table())
 	}
+	warnIfDropped(errW, tr.Dropped())
+	if jsonFlush != nil {
+		if err := jsonFlush(); err != nil {
+			return fmt.Errorf("writing %s: %w", *jsonFile, err)
+		}
+	}
 	return nil
+}
+
+// warnIfDropped reports tracer drops on the warning stream: a truncated
+// timeline silently missing its tail is worse than a noisy one.
+func warnIfDropped(errW io.Writer, dropped int64) {
+	if dropped > 0 {
+		fmt.Fprintf(errW, "lsbtrace: warning: %d events dropped after the tracer's %d-event limit; the timeline is truncated\n", dropped, trace.DefaultLimit)
+	}
 }

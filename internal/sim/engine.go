@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"lowsensing/obs"
 	"lowsensing/prng"
 )
 
@@ -21,6 +22,14 @@ type Params struct {
 	// engine and the slot number. Probes may inspect the engine through
 	// its read accessors but must not mutate it.
 	Probe func(e *Engine, slot int64)
+	// Recorder, if non-nil, receives the run's structured event stream: an
+	// obs.SlotEvent after every resolved slot (before Probe) and an
+	// obs.PacketEvent for every packet — delivered packets at departure in
+	// departure order, undelivered packets at the end of the run in arrival
+	// order with Departure = -1. The packet events of packets departing at
+	// slot t precede t's slot event. A nil Recorder costs one predictable
+	// branch per slot and keeps the hot path allocation-free.
+	Recorder obs.Recorder
 	// PacketSink, if non-nil, receives every packet's final PacketStats:
 	// delivered packets as they depart (in departure order), undelivered
 	// packets (Departure = -1) at the end of the run in arrival order. The
@@ -109,6 +118,10 @@ type Engine struct {
 	lastAccessors int
 	lastJammed    bool
 
+	// Self-metrics; wheel-level counters live in events and are folded in
+	// by result().
+	stats EngineStats
+
 	ran bool
 }
 
@@ -119,17 +132,18 @@ type Engine struct {
 // grows). reuse survives recycling: it holds the entry's last Station if
 // that station can be Reset for the next packet.
 type stationState struct {
-	rng      prng.Source
-	st       Station
-	reuse    ReusableStation
-	id       int64
-	arrival  int64
-	sends    int64
-	listens  int64
-	nextSlot int64
-	prevLive int32
-	nextLive int32
-	willSend bool
+	rng       prng.Source
+	st        Station
+	reuse     ReusableStation
+	id        int64
+	arrival   int64
+	sends     int64
+	listens   int64
+	nextSlot  int64
+	firstSend int64 // slot of the packet's first transmission; -1 if none yet
+	prevLive  int32
+	nextLive  int32
+	willSend  bool
 }
 
 // NewEngine validates params and builds an engine. It returns an error if
@@ -222,6 +236,9 @@ func (e *Engine) Run() (Result, error) {
 		// Resolve the channel only if some station accesses slot t.
 		if resolve {
 			e.resolveSlot(t)
+			if e.params.Recorder != nil {
+				e.params.Recorder.RecordSlot(e.LastSlotEvent())
+			}
 			if e.params.Probe != nil {
 				e.params.Probe(e, t)
 			}
@@ -245,6 +262,7 @@ func (e *Engine) inject(t int64) {
 		if n := len(e.freeList); n > 0 {
 			idx = e.freeList[n-1]
 			e.freeList = e.freeList[:n-1]
+			e.stats.EntriesRecycled++
 		} else {
 			idx = int32(len(e.stations))
 			e.stations = append(e.stations, stationState{})
@@ -255,8 +273,10 @@ func (e *Engine) inject(t int64) {
 		if ss.reuse != nil {
 			st = ss.reuse
 			ss.reuse.Reset(id, &ss.rng)
+			e.stats.StationsReused++
 		} else {
 			st = e.params.NewStation(id, &ss.rng)
+			e.stats.StationsBuilt++
 		}
 		next, send := st.ScheduleNext(t, &ss.rng)
 		if next < t {
@@ -268,6 +288,7 @@ func (e *Engine) inject(t int64) {
 		ss.sends = 0
 		ss.listens = 0
 		ss.nextSlot = next
+		ss.firstSend = -1
 		ss.prevLive = e.liveTail
 		ss.nextLive = -1
 		ss.willSend = send
@@ -287,6 +308,9 @@ func (e *Engine) inject(t int64) {
 			e.jamCursor = t
 		}
 		e.activeCount++
+		if e.activeCount > e.stats.PeakBacklog {
+			e.stats.PeakBacklog = e.activeCount
+		}
 	}
 	// Advance to the next batch. The source may consult an engine View at
 	// this point (adaptive arrivals); history reflects slots < t.
@@ -300,6 +324,7 @@ func (e *Engine) inject(t int64) {
 // resolveSlot pops every station accessing slot t, resolves the channel,
 // delivers observations, and reschedules survivors.
 func (e *Engine) resolveSlot(t int64) {
+	e.stats.SlotsResolved++
 	e.slotStations = e.slotStations[:0]
 	e.slotSenders = e.slotSenders[:0]
 	for {
@@ -349,6 +374,9 @@ func (e *Engine) resolveSlot(t int64) {
 		sent := ss.willSend
 		succeeded := sent && outcome == OutcomeSuccess
 		if sent {
+			if ss.sends == 0 {
+				ss.firstSend = t
+			}
 			ss.sends++
 		} else {
 			ss.listens++
@@ -386,7 +414,7 @@ func (e *Engine) depart(idx int32, t int64) {
 		Departure: t,
 		Sends:     ss.sends,
 		Listens:   ss.listens,
-	})
+	}, ss.firstSend)
 	if ss.prevLive >= 0 {
 		e.stations[ss.prevLive].nextLive = ss.nextLive
 	} else {
@@ -410,14 +438,26 @@ func (e *Engine) depart(idx int32, t int64) {
 }
 
 // finishPacket routes one packet's final statistics to the accumulators,
-// the retained record, and the sink.
-func (e *Engine) finishPacket(p PacketStats) {
+// the retained record, the sink, and the recorder. firstSend is carried
+// alongside PacketStats (not inside it) so the differential reference
+// engine's bit-exact PacketStats comparison is untouched.
+func (e *Engine) finishPacket(p PacketStats, firstSend int64) {
 	e.energy.AddPacket(p)
 	if e.params.RetainPackets {
 		e.retained[p.ID] = p
 	}
 	if e.params.PacketSink != nil {
 		e.params.PacketSink(p)
+	}
+	if e.params.Recorder != nil {
+		e.params.Recorder.RecordPacket(obs.PacketEvent{
+			ID:        p.ID,
+			Arrival:   p.Arrival,
+			FirstSend: firstSend,
+			Departure: p.Departure,
+			Sends:     p.Sends,
+			Listens:   p.Listens,
+		})
 	}
 }
 
@@ -448,13 +488,14 @@ func (e *Engine) result() Result {
 			Departure: -1,
 			Sends:     ss.sends,
 			Listens:   ss.listens,
-		})
+		}, ss.firstSend)
 		idx = next
 	}
 	r.Energy = e.energy
 	if e.params.RetainPackets {
 		r.Packets = e.retained
 	}
+	r.EngineStats = e.Stats()
 	return r
 }
 
@@ -509,6 +550,33 @@ func (e *Engine) LastAccessors() int { return e.lastAccessors }
 
 // LastJammed reports whether the most recently resolved slot was jammed.
 func (e *Engine) LastJammed() bool { return e.lastJammed }
+
+// LastSlotEvent returns the most recently resolved slot as a structured
+// obs.SlotEvent — the same view a Params.Recorder receives. Only
+// meaningful inside a Probe callback (or after at least one resolved
+// slot).
+func (e *Engine) LastSlotEvent() obs.SlotEvent {
+	return obs.SlotEvent{
+		Slot:      e.curSlot,
+		Outcome:   e.lastOutcome,
+		Jammed:    e.lastJammed,
+		Senders:   e.lastSenders,
+		Accessors: e.lastAccessors,
+		Backlog:   e.activeCount,
+	}
+}
+
+// Stats returns a snapshot of the engine's self-metrics so far. The
+// wheel-level counters are folded in at snapshot time; Result.EngineStats
+// is the end-of-run snapshot.
+func (e *Engine) Stats() EngineStats {
+	s := e.stats
+	s.EventsScheduled = e.events.pushes
+	s.WheelCascades = e.events.cascades
+	s.HeapOverflows = e.events.overflows
+	s.PeakSlotTable = int64(len(e.stations))
+	return s
+}
 
 // VisitActiveWindows calls fn with the window of every active station that
 // exposes one, in arrival order. It is intended for probes computing

@@ -140,6 +140,47 @@ func (e *EnergyStats) Merge(o *EnergyStats) {
 // Packets returns the number of packets accounted so far.
 func (e *EnergyStats) Packets() int64 { return e.Accesses.Count }
 
+// EngineStats is the engine's self-metrics: cheap always-on counters
+// (plain increments on paths that already branch) that make the engine's
+// own mechanics — scheduler behavior, allocation discipline, memory
+// high-water marks — observable without a profiler. They describe how the
+// engine ran, not what the protocol did; two engines producing identical
+// Results can differ here (and a perf regression shows up here first).
+type EngineStats struct {
+	// SlotsResolved counts slots the engine actually resolved — slots with
+	// at least one channel access. The gap to LastSlot is the work the
+	// event-driven design skipped.
+	SlotsResolved int64
+	// EventsScheduled counts next-access events pushed onto the timing
+	// wheel; it equals total channel accesses plus one first-access event
+	// per packet.
+	EventsScheduled int64
+	// WheelCascades counts cursor advances that relocated a higher-level
+	// bucket (or pulled in a due overflow region). Each event cascades O(1)
+	// amortized times; a blow-up here means pathological scheduling.
+	WheelCascades int64
+	// HeapOverflows counts events scheduled past the wheel's 2^24-slot
+	// horizon into the far-future 4-ary min-heap — huge backoff windows.
+	HeapOverflows int64
+	// StationsBuilt counts Station constructions through Params.NewStation;
+	// StationsReused counts packets served by Reset-ing a recycled
+	// ReusableStation instead (Params.ReuseStations). In an allocation-free
+	// steady state StationsBuilt stays at the peak backlog while
+	// StationsReused grows with arrivals.
+	StationsBuilt  int64
+	StationsReused int64
+	// EntriesRecycled counts slot-table entries taken from the free list
+	// rather than appended — free-list reuse hits.
+	EntriesRecycled int64
+	// PeakBacklog is the largest number of packets simultaneously in the
+	// system.
+	PeakBacklog int64
+	// PeakSlotTable is the slot table's high-water entry count — the
+	// engine's live-state footprint, which tracks peak backlog rather than
+	// total arrivals.
+	PeakSlotTable int64
+}
+
 // Result summarizes a finished run.
 type Result struct {
 	// Arrived is the number of packets injected (N_t).
@@ -166,6 +207,10 @@ type Result struct {
 	// memory); use Params.PacketSink to observe per-packet data on long
 	// streams without retention.
 	Packets []PacketStats
+	// EngineStats holds the engine's self-metrics, always populated by the
+	// engine. It describes engine mechanics, not protocol behavior, and is
+	// deliberately excluded from differential-reference comparison.
+	EngineStats EngineStats
 }
 
 // Throughput returns the paper's overall throughput (T+J)/S for the run,

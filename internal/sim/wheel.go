@@ -85,6 +85,13 @@ type timingWheel struct {
 	// over holds far-future events (slot - cur >= wheelSpan at push time),
 	// ordered by the same (slot, id) key the wheel pops in.
 	over eventQueue
+
+	// Self-metrics (surfaced through EngineStats): lifetime pushes, cursor
+	// cascades (level relocations and overflow pull-ins), and pushes that
+	// overflowed past the wheel horizon into the far-future heap.
+	pushes    int64
+	cascades  int64
+	overflows int64
 }
 
 const (
@@ -120,6 +127,7 @@ func (w *timingWheel) Push(ev event) {
 	}
 	w.place(ev)
 	w.n++
+	w.pushes++
 }
 
 // place routes an event to its level and bucket relative to the current
@@ -139,6 +147,7 @@ func (w *timingWheel) place(ev event) {
 	case d < 1<<(4*wheelBits):
 		l = 3
 	default:
+		w.overflows++
 		w.over.Push(ev)
 		return
 	}
@@ -208,6 +217,7 @@ func (w *timingWheel) cascade(limit int64) bool {
 		if base > limit {
 			return false
 		}
+		w.cascades++
 		w.cur = base
 		idx := w.head[l][bi]
 		w.occ[l] &^= 1 << uint64(bi)
@@ -226,6 +236,7 @@ func (w *timingWheel) cascade(limit int64) bool {
 	if m > limit {
 		return false
 	}
+	w.cascades++
 	w.cur = m
 	for w.over.Len() > 0 && w.over.Min().slot^w.cur < wheelSpan {
 		w.place(w.over.Pop())

@@ -8,21 +8,20 @@ import (
 	"strings"
 
 	"lowsensing/internal/sim"
+	"lowsensing/obs"
 )
 
-// Event is one resolved slot.
-type Event struct {
-	Slot      int64
-	Outcome   sim.Outcome
-	Jammed    bool
-	Senders   int
-	Accessors int
-	Backlog   int64
-}
+// Event is one resolved slot — an alias of the observability layer's
+// slot-event type, so the ASCII tracer and the structured obs recorders
+// share a single representation that cannot drift. The timeline glyph
+// classification ('!', 'S', 'x', '.') lives on obs.SlotEvent.Glyph.
+type Event = obs.SlotEvent
 
-// Tracer records resolved slots via its Probe method. Limit bounds memory
-// (0 means DefaultLimit); once full, further events are dropped and the
-// Dropped counter grows.
+// Tracer records resolved slots. Limit bounds memory (0 means
+// DefaultLimit); once full, further events are dropped and the Dropped
+// counter grows. It implements obs.Recorder — attach it with
+// lowsensing.WithTracer or sim.Params.Recorder — and its Probe method
+// keeps the legacy sim.Params.Probe hookup working.
 type Tracer struct {
 	Limit   int
 	events  []Event
@@ -32,8 +31,8 @@ type Tracer struct {
 // DefaultLimit is the event cap applied when Tracer.Limit is zero.
 const DefaultLimit = 1 << 20
 
-// Probe implements the sim.Params.Probe signature.
-func (tr *Tracer) Probe(e *sim.Engine, slot int64) {
+// RecordSlot implements obs.Recorder.
+func (tr *Tracer) RecordSlot(ev Event) {
 	limit := tr.Limit
 	if limit <= 0 {
 		limit = DefaultLimit
@@ -42,14 +41,17 @@ func (tr *Tracer) Probe(e *sim.Engine, slot int64) {
 		tr.dropped++
 		return
 	}
-	tr.events = append(tr.events, Event{
-		Slot:      slot,
-		Outcome:   e.LastOutcome(),
-		Jammed:    e.LastJammed(),
-		Senders:   e.LastSenders(),
-		Accessors: e.LastAccessors(),
-		Backlog:   e.Backlog(),
-	})
+	tr.events = append(tr.events, ev)
+}
+
+// RecordPacket implements obs.Recorder; the ASCII timeline renders slots
+// only, so packet events are ignored.
+func (tr *Tracer) RecordPacket(obs.PacketEvent) {}
+
+// Probe implements the sim.Params.Probe signature; it records the same
+// event RecordSlot would receive from sim.Params.Recorder.
+func (tr *Tracer) Probe(e *sim.Engine, slot int64) {
+	tr.RecordSlot(e.LastSlotEvent())
 }
 
 // Events returns the recorded events in slot order.
@@ -57,21 +59,6 @@ func (tr *Tracer) Events() []Event { return tr.events }
 
 // Dropped returns how many events were discarded after the limit was hit.
 func (tr *Tracer) Dropped() int64 { return tr.dropped }
-
-// Glyph returns the single-character timeline symbol for an event:
-// '!' jammed, 'S' success, 'x' collision, '.' heard-empty.
-func (ev Event) Glyph() byte {
-	switch {
-	case ev.Jammed:
-		return '!'
-	case ev.Outcome == sim.OutcomeSuccess:
-		return 'S'
-	case ev.Outcome == sim.OutcomeNoisy:
-		return 'x'
-	default:
-		return '.'
-	}
-}
 
 // Timeline renders the recorded events as a compact ASCII strip. Runs of
 // slots with no channel access are rendered as "(+n)". Width limits the

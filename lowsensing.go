@@ -50,6 +50,7 @@ import (
 	"lowsensing/internal/sim"
 	"lowsensing/internal/stats"
 	"lowsensing/internal/trace"
+	"lowsensing/obs"
 	"lowsensing/prng"
 )
 
@@ -87,6 +88,24 @@ type Collector = metrics.Collector
 
 // Tracer records per-slot channel events; attach one with WithTracer.
 type Tracer = trace.Tracer
+
+// Recorder consumes a run's structured event stream (slot and packet
+// events); attach one with WithRecorder. The lowsensing/obs package
+// provides composable implementations: fan-out, sampling, ring buffers,
+// windowed time-series, and NDJSON/CSV sinks.
+type Recorder = obs.Recorder
+
+// SlotEvent is the structured record of one resolved slot a Recorder
+// receives; see obs.SlotEvent.
+type SlotEvent = obs.SlotEvent
+
+// PacketEvent is the structured record of one packet's closed lifecycle a
+// Recorder receives; see obs.PacketEvent.
+type PacketEvent = obs.PacketEvent
+
+// EngineStats is the engine's self-metrics block, always populated in
+// Result.EngineStats; see sim.EngineStats for the field meanings.
+type EngineStats = sim.EngineStats
 
 // ArrivalSource produces the (slot, count) arrival schedule of a run; see
 // channel.ArrivalSource for the contract. Supply a custom instance with
@@ -165,6 +184,7 @@ type Simulation struct {
 	customFactory  StationFactory
 	customJammer   Jammer
 	probes         []func(*sim.Engine, int64)
+	recorders      []Recorder
 	sink           func(PacketStats)
 	ran            bool
 }
@@ -248,6 +268,7 @@ func (s *Simulation) Run() (Result, error) {
 		Jammer:     jammer,
 		MaxSlots:   s.sc.MaxSlots,
 		Probe:      probe,
+		Recorder:   obs.Multi(s.recorders...),
 		PacketSink: s.sink,
 		// Station recycling is safe exactly when the factory came from a
 		// registered kind: kind factories are built from pure spec data,
@@ -432,9 +453,22 @@ func WithCollector(c *Collector) Option {
 	return func(s *Simulation) { s.probes = append(s.probes, c.Probe) }
 }
 
-// WithTracer attaches a per-slot event tracer.
-func WithTracer(tr *Tracer) Option {
-	return func(s *Simulation) { s.probes = append(s.probes, tr.Probe) }
+// WithTracer attaches a per-slot event tracer. A Tracer is a Recorder, so
+// this is shorthand for WithRecorder(tr).
+func WithTracer(tr *Tracer) Option { return WithRecorder(tr) }
+
+// WithRecorder attaches a structured event recorder: it receives a
+// SlotEvent after every resolved slot and a PacketEvent for every packet
+// (delivered packets at departure, survivors at the end of the run with
+// Departure = -1). Multiple recorders compose; see lowsensing/obs for
+// sinks, sampling decorators, and windowed time-series. Runs without a
+// recorder pay one predictable branch per slot.
+func WithRecorder(r Recorder) Option {
+	return func(s *Simulation) {
+		if r != nil {
+			s.recorders = append(s.recorders, r)
+		}
+	}
 }
 
 // WithProbe attaches a raw engine probe, called after every resolved slot.

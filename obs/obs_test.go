@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"errors"
+	"testing"
+
+	"lowsensing/channel"
+)
+
+// capture is a minimal recorder that remembers every event it sees.
+type capture struct {
+	slots   []SlotEvent
+	packets []PacketEvent
+	flushed int
+	flushE  error
+}
+
+func (c *capture) RecordSlot(ev SlotEvent)    { c.slots = append(c.slots, ev) }
+func (c *capture) RecordPacket(p PacketEvent) { c.packets = append(c.packets, p) }
+func (c *capture) Flush() error               { c.flushed++; return c.flushE }
+
+func slot(n int64) SlotEvent { return SlotEvent{Slot: n, Outcome: channel.OutcomeSuccess, Senders: 1} }
+
+func TestGlyph(t *testing.T) {
+	cases := []struct {
+		ev   SlotEvent
+		want byte
+	}{
+		{SlotEvent{Jammed: true, Outcome: channel.OutcomeSuccess}, '!'},
+		{SlotEvent{Outcome: channel.OutcomeSuccess}, 'S'},
+		{SlotEvent{Outcome: channel.OutcomeNoisy}, 'x'},
+		{SlotEvent{Outcome: channel.OutcomeEmpty}, '.'},
+	}
+	for _, c := range cases {
+		if got := c.ev.Glyph(); got != c.want {
+			t.Errorf("Glyph(%+v) = %q, want %q", c.ev, got, c.want)
+		}
+	}
+}
+
+func TestPacketEventDerived(t *testing.T) {
+	p := PacketEvent{ID: 1, Arrival: 10, FirstSend: 12, Departure: 30, Sends: 3, Listens: 5}
+	if p.Accesses() != 8 {
+		t.Errorf("Accesses = %d, want 8", p.Accesses())
+	}
+	if !p.Delivered() || p.Latency() != 20 {
+		t.Errorf("Delivered/Latency = %v/%d, want true/20", p.Delivered(), p.Latency())
+	}
+	lost := PacketEvent{Arrival: 10, Departure: -1}
+	if lost.Delivered() || lost.Latency() != -1 {
+		t.Errorf("undelivered: Delivered/Latency = %v/%d, want false/-1", lost.Delivered(), lost.Latency())
+	}
+}
+
+func TestMultiCollapse(t *testing.T) {
+	if Multi() != nil || Multi(nil, nil) != nil {
+		t.Error("Multi of no effective recorders should be nil")
+	}
+	c := &capture{}
+	if Multi(nil, c, nil) != Recorder(c) {
+		t.Error("Multi of one effective recorder should be that recorder")
+	}
+}
+
+func TestMultiFanOutAndFlush(t *testing.T) {
+	a, b := &capture{}, &capture{flushE: errors.New("b failed")}
+	m := Multi(a, nil, b)
+	m.RecordSlot(slot(5))
+	m.RecordPacket(PacketEvent{ID: 7})
+	if len(a.slots) != 1 || len(b.slots) != 1 || len(a.packets) != 1 || len(b.packets) != 1 {
+		t.Fatalf("fan-out incomplete: a=%d/%d b=%d/%d",
+			len(a.slots), len(a.packets), len(b.slots), len(b.packets))
+	}
+	// Flush reaches every constituent even when one errors, and the first
+	// error comes back.
+	if err := Flush(m); err == nil || err.Error() != "b failed" {
+		t.Fatalf("Flush error = %v, want b's error", err)
+	}
+	if a.flushed != 1 || b.flushed != 1 {
+		t.Fatalf("flush counts a=%d b=%d, want 1/1", a.flushed, b.flushed)
+	}
+	if err := Flush(nil); err != nil {
+		t.Fatalf("Flush(nil) = %v", err)
+	}
+}
+
+func TestEveryN(t *testing.T) {
+	c := &capture{}
+	r := EveryN(c, 3)
+	for i := int64(0); i < 10; i++ {
+		r.RecordSlot(slot(i))
+	}
+	r.RecordPacket(PacketEvent{ID: 1})
+	if len(c.slots) != 4 { // seen 0, 3, 6, 9
+		t.Fatalf("got %d slot events, want 4", len(c.slots))
+	}
+	for i, want := range []int64{0, 3, 6, 9} {
+		if c.slots[i].Slot != want {
+			t.Errorf("slots[%d].Slot = %d, want %d", i, c.slots[i].Slot, want)
+		}
+	}
+	if len(c.packets) != 1 {
+		t.Fatalf("packet events must pass through unthinned, got %d", len(c.packets))
+	}
+	if EveryN(c, 1) != Recorder(c) || EveryN(c, 0) != Recorder(c) {
+		t.Error("n <= 1 must return the recorder unchanged")
+	}
+	if EveryN(nil, 5) != nil {
+		t.Error("EveryN(nil, n) must stay nil")
+	}
+}
+
+func TestSlotRange(t *testing.T) {
+	c := &capture{}
+	r := SlotRange(c, 10, 20)
+	for _, s := range []int64{5, 10, 15, 19, 20, 25} {
+		r.RecordSlot(slot(s))
+	}
+	if len(c.slots) != 3 {
+		t.Fatalf("got %d slot events, want 3 (10, 15, 19)", len(c.slots))
+	}
+	// Packet filtering is by lifetime intersection with [from, to).
+	cases := []struct {
+		p    PacketEvent
+		want bool
+	}{
+		{PacketEvent{ID: 1, Arrival: 0, Departure: 5}, false},   // ended before
+		{PacketEvent{ID: 2, Arrival: 0, Departure: 10}, true},   // departs at from
+		{PacketEvent{ID: 3, Arrival: 12, Departure: 14}, true},  // inside
+		{PacketEvent{ID: 4, Arrival: 19, Departure: 40}, true},  // spans to
+		{PacketEvent{ID: 5, Arrival: 20, Departure: 40}, false}, // starts at to
+		{PacketEvent{ID: 6, Arrival: 0, Departure: -1}, true},   // never departed
+		{PacketEvent{ID: 7, Arrival: 30, Departure: -1}, false},
+	}
+	for _, tc := range cases {
+		before := len(c.packets)
+		r.RecordPacket(tc.p)
+		if got := len(c.packets) > before; got != tc.want {
+			t.Errorf("packet %d (arr %d dep %d): recorded=%v, want %v",
+				tc.p.ID, tc.p.Arrival, tc.p.Departure, got, tc.want)
+		}
+	}
+	if SlotRange(nil, 0, 10) != nil {
+		t.Error("SlotRange(nil, ...) must stay nil")
+	}
+}
+
+func TestRing(t *testing.T) {
+	r := NewRing(3)
+	for i := int64(0); i < 5; i++ {
+		r.RecordSlot(slot(i))
+	}
+	r.RecordPacket(PacketEvent{ID: 100})
+	got := r.Slots()
+	if len(got) != 3 || got[0].Slot != 2 || got[1].Slot != 3 || got[2].Slot != 4 {
+		t.Fatalf("Slots() = %+v, want slots 2,3,4 oldest-first", got)
+	}
+	if r.DroppedSlots() != 2 || r.DroppedPackets() != 0 || r.Dropped() != 2 {
+		t.Fatalf("dropped slot/pkt/total = %d/%d/%d, want 2/0/2",
+			r.DroppedSlots(), r.DroppedPackets(), r.Dropped())
+	}
+	pk := r.Packets()
+	if len(pk) != 1 || pk[0].ID != 100 {
+		t.Fatalf("Packets() = %+v, want the single recorded packet", pk)
+	}
+	// Each kind has its own buffer: overflow one without the other.
+	for i := int64(0); i < 4; i++ {
+		r.RecordPacket(PacketEvent{ID: i})
+	}
+	if r.DroppedPackets() != 2 {
+		t.Fatalf("DroppedPackets = %d, want 2", r.DroppedPackets())
+	}
+	if pk := r.Packets(); len(pk) != 3 || pk[0].ID != 1 || pk[2].ID != 3 {
+		t.Fatalf("Packets() after wrap = %+v, want IDs 1,2,3", pk)
+	}
+	if small := NewRing(0); small == nil || small.cap != 1 {
+		t.Error("NewRing(<1) must clamp capacity to 1")
+	}
+}

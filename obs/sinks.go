@@ -1,0 +1,318 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// The three record types the sinks serialize. NDJSON tags each line with a
+// "type" field; a CSV file is locked to whichever type it sees first.
+const (
+	recordSlot   = "slot"
+	recordPacket = "packet"
+	recordWindow = "window"
+)
+
+// slotRecord / packetRecord / windowRecord are the wire schemas. Field
+// order here is the NDJSON key order and the CSV column order.
+type slotRecord struct {
+	Type      string `json:"type"`
+	Run       string `json:"run,omitempty"`
+	Slot      int64  `json:"slot"`
+	Outcome   string `json:"outcome"`
+	Jammed    bool   `json:"jammed"`
+	Senders   int    `json:"senders"`
+	Accessors int    `json:"accessors"`
+	Backlog   int64  `json:"backlog"`
+}
+
+type packetRecord struct {
+	Type      string `json:"type"`
+	Run       string `json:"run,omitempty"`
+	ID        int64  `json:"id"`
+	Arrival   int64  `json:"arrival"`
+	FirstSend int64  `json:"first_send"`
+	Departure int64  `json:"departure"`
+	Sends     int64  `json:"sends"`
+	Listens   int64  `json:"listens"`
+}
+
+type windowRecord struct {
+	Type         string  `json:"type"`
+	Run          string  `json:"run,omitempty"`
+	Index        int64   `json:"index"`
+	Start        int64   `json:"start"`
+	End          int64   `json:"end"`
+	Resolved     int64   `json:"resolved"`
+	Successes    int64   `json:"successes"`
+	Collisions   int64   `json:"collisions"`
+	Empties      int64   `json:"empties"`
+	Jammed       int64   `json:"jammed"`
+	Departures   int64   `json:"departures"`
+	Backlog      int64   `json:"backlog"`
+	MaxBacklog   int64   `json:"max_backlog"`
+	Throughput   float64 `json:"throughput"`
+	JamRate      float64 `json:"jam_rate"`
+	MeanAccesses float64 `json:"mean_accesses"`
+	P99Accesses  float64 `json:"p99_accesses"`
+	MeanLatency  float64 `json:"mean_latency"`
+}
+
+func windowToRecord(w WindowStat, run string) windowRecord {
+	return windowRecord{
+		Type:         recordWindow,
+		Run:          run,
+		Index:        w.Index,
+		Start:        w.Start,
+		End:          w.End,
+		Resolved:     w.Resolved,
+		Successes:    w.Successes,
+		Collisions:   w.Collisions,
+		Empties:      w.Empties,
+		Jammed:       w.Jammed,
+		Departures:   w.Departures,
+		Backlog:      w.Backlog,
+		MaxBacklog:   w.MaxBacklog,
+		Throughput:   w.Throughput(),
+		JamRate:      w.JamRate(),
+		MeanAccesses: w.Accesses.Mean(),
+		P99Accesses:  w.Accesses.Quantile(0.99),
+		MeanLatency:  w.Latency.Mean(),
+	}
+}
+
+// NDJSON serializes events as newline-delimited JSON, one self-describing
+// object per line ("type": "slot" | "packet" | "window"). Each event is
+// written to the underlying writer in a single Write call, so sinks from
+// concurrent runs may share one writer wrapped in NewSyncWriter and lines
+// never interleave. Errors are sticky: the first write error is retained
+// (subsequent events are dropped) and reported by Err and Flush.
+//
+// NDJSON itself does no buffering; hand it a *bufio.Writer (and flush
+// that) when writing to a file, or a NewSyncWriter-wrapped writer when
+// sharing across goroutines.
+type NDJSON struct {
+	w     io.Writer
+	run   string
+	err   error
+	lines int64
+}
+
+// NewNDJSON returns an NDJSON sink writing to w.
+func NewNDJSON(w io.Writer) *NDJSON { return &NDJSON{w: w} }
+
+// SetRun labels every subsequent line with a "run" field — used by sweeps
+// to multiplex many jobs into one stream. An empty label omits the field.
+func (s *NDJSON) SetRun(run string) { s.run = run }
+
+func (s *NDJSON) writeLine(v any) {
+	if s.err != nil {
+		return
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		s.err = err
+		return
+	}
+	b = append(b, '\n')
+	if _, err := s.w.Write(b); err != nil {
+		s.err = err
+		return
+	}
+	s.lines++
+}
+
+// RecordSlot implements Recorder.
+func (s *NDJSON) RecordSlot(ev SlotEvent) {
+	s.writeLine(slotRecord{
+		Type:      recordSlot,
+		Run:       s.run,
+		Slot:      ev.Slot,
+		Outcome:   ev.Outcome.String(),
+		Jammed:    ev.Jammed,
+		Senders:   ev.Senders,
+		Accessors: ev.Accessors,
+		Backlog:   ev.Backlog,
+	})
+}
+
+// RecordPacket implements Recorder.
+func (s *NDJSON) RecordPacket(p PacketEvent) {
+	s.writeLine(packetRecord{
+		Type:      recordPacket,
+		Run:       s.run,
+		ID:        p.ID,
+		Arrival:   p.Arrival,
+		FirstSend: p.FirstSend,
+		Departure: p.Departure,
+		Sends:     p.Sends,
+		Listens:   p.Listens,
+	})
+}
+
+// RecordWindow serializes one window of a time-series; pass it as the emit
+// callback of NewWindows.
+func (s *NDJSON) RecordWindow(w WindowStat) { s.writeLine(windowToRecord(w, s.run)) }
+
+// Lines returns the number of lines successfully written.
+func (s *NDJSON) Lines() int64 { return s.lines }
+
+// Err returns the sticky error, if any.
+func (s *NDJSON) Err() error { return s.err }
+
+// Flush implements Flusher; NDJSON holds no buffer, so this only reports
+// the sticky error.
+func (s *NDJSON) Flush() error { return s.err }
+
+// CSV serializes events of a single record type as comma-separated values
+// with a header row. The sink locks onto the type of the first record it
+// sees; a record of another type is a sticky error (CSV has one schema
+// per file — use separate sinks, or NDJSON, for mixed streams). If a run
+// label is set before the first record, a leading "run" column is added.
+// Like NDJSON, each row is one Write call and errors are sticky.
+type CSV struct {
+	w    io.Writer
+	run  string
+	kind string
+	err  error
+	rows int64
+	buf  []byte
+}
+
+// NewCSV returns a CSV sink writing to w.
+func NewCSV(w io.Writer) *CSV { return &CSV{w: w} }
+
+// SetRun labels every row with a leading "run" column. It must be called
+// before the first record; afterwards it is a sticky error.
+func (s *CSV) SetRun(run string) {
+	if s.kind != "" {
+		s.err = fmt.Errorf("obs: CSV.SetRun after first record")
+		return
+	}
+	s.run = run
+}
+
+var csvHeaders = map[string]string{
+	recordSlot:   "slot,outcome,jammed,senders,accessors,backlog",
+	recordPacket: "id,arrival,first_send,departure,sends,listens",
+	recordWindow: "index,start,end,resolved,successes,collisions,empties,jammed,departures,backlog,max_backlog,throughput,jam_rate,mean_accesses,p99_accesses,mean_latency",
+}
+
+// bind locks the sink to one record type, writing the header row, and
+// reports whether the caller may proceed.
+func (s *CSV) bind(kind string) bool {
+	if s.err != nil {
+		return false
+	}
+	if s.kind == "" {
+		header := csvHeaders[kind]
+		if s.run != "" {
+			header = "run," + header
+		}
+		if _, err := io.WriteString(s.w, header+"\n"); err != nil {
+			s.err = err
+			return false
+		}
+		s.kind = kind
+		return true
+	}
+	if s.kind != kind {
+		s.err = fmt.Errorf("obs: CSV sink bound to %q records, got %q", s.kind, kind)
+		return false
+	}
+	return true
+}
+
+func (s *CSV) row(fields ...any) {
+	b := s.buf[:0]
+	if s.run != "" {
+		b = append(b, s.run...)
+		b = append(b, ',')
+	}
+	for i, f := range fields {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		switch v := f.(type) {
+		case int64:
+			b = strconv.AppendInt(b, v, 10)
+		case int:
+			b = strconv.AppendInt(b, int64(v), 10)
+		case bool:
+			b = strconv.AppendBool(b, v)
+		case float64:
+			b = strconv.AppendFloat(b, v, 'g', -1, 64)
+		case string:
+			b = append(b, v...)
+		default:
+			b = append(b, fmt.Sprint(v)...)
+		}
+	}
+	b = append(b, '\n')
+	s.buf = b
+	if _, err := s.w.Write(b); err != nil {
+		s.err = err
+		return
+	}
+	s.rows++
+}
+
+// RecordSlot implements Recorder.
+func (s *CSV) RecordSlot(ev SlotEvent) {
+	if !s.bind(recordSlot) {
+		return
+	}
+	s.row(ev.Slot, ev.Outcome.String(), ev.Jammed, ev.Senders, ev.Accessors, ev.Backlog)
+}
+
+// RecordPacket implements Recorder.
+func (s *CSV) RecordPacket(p PacketEvent) {
+	if !s.bind(recordPacket) {
+		return
+	}
+	s.row(p.ID, p.Arrival, p.FirstSend, p.Departure, p.Sends, p.Listens)
+}
+
+// RecordWindow serializes one window of a time-series; pass it as the emit
+// callback of NewWindows.
+func (s *CSV) RecordWindow(w WindowStat) {
+	if !s.bind(recordWindow) {
+		return
+	}
+	r := windowToRecord(w, "")
+	s.row(r.Index, r.Start, r.End, r.Resolved, r.Successes, r.Collisions, r.Empties,
+		r.Jammed, r.Departures, r.Backlog, r.MaxBacklog, r.Throughput, r.JamRate,
+		r.MeanAccesses, r.P99Accesses, r.MeanLatency)
+}
+
+// Rows returns the number of data rows successfully written.
+func (s *CSV) Rows() int64 { return s.rows }
+
+// Err returns the sticky error, if any.
+func (s *CSV) Err() error { return s.err }
+
+// Flush implements Flusher; CSV holds no buffer, so this only reports the
+// sticky error.
+func (s *CSV) Flush() error { return s.err }
+
+// syncWriter serializes Write calls with a mutex.
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewSyncWriter wraps w so that concurrent Write calls are serialized.
+// Because the sinks emit each record in a single Write, sinks in
+// concurrent sweep jobs can share one NewSyncWriter-wrapped file and
+// produce a valid interleaved stream (label each sink with SetRun to tell
+// the jobs apart).
+func NewSyncWriter(w io.Writer) io.Writer { return &syncWriter{w: w} }
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}

@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"lowsensing/channel"
+)
+
+func TestNDJSONRecords(t *testing.T) {
+	var b strings.Builder
+	s := NewNDJSON(&b)
+	s.RecordSlot(SlotEvent{Slot: 3, Outcome: channel.OutcomeNoisy, Jammed: true, Senders: 2, Accessors: 4, Backlog: 9})
+	s.RecordPacket(PacketEvent{ID: 1, Arrival: 0, FirstSend: 2, Departure: 8, Sends: 3, Listens: 4})
+	ws := NewWindows(4, s.RecordWindow)
+	ws.RecordSlot(SlotEvent{Slot: 0, Outcome: channel.OutcomeSuccess})
+	if err := ws.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Lines() != 3 || s.Err() != nil || s.Flush() != nil {
+		t.Fatalf("Lines/Err/Flush = %d/%v/%v", s.Lines(), s.Err(), s.Flush())
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3:\n%s", len(lines), b.String())
+	}
+	var sr map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr["type"] != "slot" || sr["outcome"] != "noisy" || sr["jammed"] != true || sr["backlog"] != float64(9) {
+		t.Fatalf("slot record = %v", sr)
+	}
+	if _, hasRun := sr["run"]; hasRun {
+		t.Fatal("run field present without SetRun")
+	}
+	var pr map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr["type"] != "packet" || pr["first_send"] != float64(2) || pr["departure"] != float64(8) {
+		t.Fatalf("packet record = %v", pr)
+	}
+	var wr map[string]any
+	if err := json.Unmarshal([]byte(lines[2]), &wr); err != nil {
+		t.Fatal(err)
+	}
+	if wr["type"] != "window" || wr["throughput"] != float64(1) {
+		t.Fatalf("window record = %v", wr)
+	}
+}
+
+func TestNDJSONRunLabel(t *testing.T) {
+	var b strings.Builder
+	s := NewNDJSON(&b)
+	s.SetRun("n=8 r0")
+	s.RecordSlot(SlotEvent{Slot: 0, Outcome: channel.OutcomeSuccess})
+	var rec struct {
+		Run string `json:"run"`
+	}
+	if err := json.Unmarshal([]byte(strings.TrimSpace(b.String())), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Run != "n=8 r0" {
+		t.Fatalf("run label = %q", rec.Run)
+	}
+}
+
+// failAfter fails every Write after the first n.
+type failAfter struct {
+	n      int
+	writes int
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	f.writes++
+	if f.writes > f.n {
+		return 0, errors.New("disk full")
+	}
+	return len(p), nil
+}
+
+func TestNDJSONStickyError(t *testing.T) {
+	s := NewNDJSON(&failAfter{n: 1})
+	s.RecordSlot(SlotEvent{Slot: 0, Outcome: channel.OutcomeSuccess})
+	s.RecordSlot(SlotEvent{Slot: 1, Outcome: channel.OutcomeSuccess})
+	s.RecordSlot(SlotEvent{Slot: 2, Outcome: channel.OutcomeSuccess})
+	if s.Lines() != 1 {
+		t.Fatalf("Lines = %d, want 1 (events after the error are dropped)", s.Lines())
+	}
+	if s.Err() == nil || s.Flush() == nil {
+		t.Fatal("sticky error not reported")
+	}
+}
+
+func TestCSVHeaderAndRows(t *testing.T) {
+	var b strings.Builder
+	s := NewCSV(&b)
+	s.RecordSlot(SlotEvent{Slot: 3, Outcome: channel.OutcomeSuccess, Senders: 1, Accessors: 2, Backlog: 5})
+	s.RecordSlot(SlotEvent{Slot: 4, Outcome: channel.OutcomeNoisy, Jammed: true, Senders: 2, Accessors: 2, Backlog: 5})
+	if s.Rows() != 2 || s.Err() != nil {
+		t.Fatalf("Rows/Err = %d/%v", s.Rows(), s.Err())
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if lines[0] != "slot,outcome,jammed,senders,accessors,backlog" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "3,success,false,1,2,5" || lines[2] != "4,noisy,true,2,2,5" {
+		t.Fatalf("rows = %q, %q", lines[1], lines[2])
+	}
+}
+
+func TestCSVTypeLock(t *testing.T) {
+	var b strings.Builder
+	s := NewCSV(&b)
+	s.RecordSlot(SlotEvent{Slot: 0, Outcome: channel.OutcomeSuccess})
+	s.RecordPacket(PacketEvent{ID: 1}) // wrong type: sticky error
+	if s.Err() == nil || !strings.Contains(s.Err().Error(), "bound to") {
+		t.Fatalf("type mismatch not caught: %v", s.Err())
+	}
+	if s.Rows() != 1 {
+		t.Fatalf("Rows = %d, want 1", s.Rows())
+	}
+	// The error is sticky: even the bound type is now refused.
+	s.RecordSlot(SlotEvent{Slot: 1, Outcome: channel.OutcomeSuccess})
+	if s.Rows() != 1 {
+		t.Fatal("rows written after sticky error")
+	}
+}
+
+func TestCSVRunColumn(t *testing.T) {
+	var b strings.Builder
+	s := NewCSV(&b)
+	s.SetRun("job7")
+	s.RecordPacket(PacketEvent{ID: 2, Arrival: 1, FirstSend: 3, Departure: 9, Sends: 4, Listens: 2})
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if lines[0] != "run,id,arrival,first_send,departure,sends,listens" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "job7,2,1,3,9,4,2" {
+		t.Fatalf("row = %q", lines[1])
+	}
+	// SetRun after the first record is a sticky error.
+	s.SetRun("job8")
+	if s.Err() == nil {
+		t.Fatal("SetRun after first record must be an error")
+	}
+}
+
+func TestCSVWindowRecord(t *testing.T) {
+	var b strings.Builder
+	s := NewCSV(&b)
+	ws := NewWindows(8, s.RecordWindow)
+	ws.RecordSlot(SlotEvent{Slot: 0, Outcome: channel.OutcomeSuccess, Backlog: 2})
+	ws.RecordSlot(SlotEvent{Slot: 1, Outcome: channel.OutcomeEmpty, Backlog: 1})
+	ws.RecordPacket(PacketEvent{ID: 1, Arrival: 0, Departure: 1, Sends: 1, Listens: 1})
+	if err := ws.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want header + 1 row:\n%s", len(lines), b.String())
+	}
+	if !strings.HasPrefix(lines[0], "index,start,end,") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "0,0,8,2,1,") {
+		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+func TestSyncWriterSerializes(t *testing.T) {
+	var b strings.Builder
+	w := NewSyncWriter(&b)
+	done := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			s := NewNDJSON(w)
+			for j := int64(0); j < 50; j++ {
+				s.RecordSlot(SlotEvent{Slot: j, Outcome: channel.OutcomeSuccess})
+			}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		<-done
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 200 {
+		t.Fatalf("got %d lines, want 200", len(lines))
+	}
+	for _, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("interleaved/corrupt line %q: %v", line, err)
+		}
+	}
+}

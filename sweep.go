@@ -4,10 +4,13 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"strconv"
 	"strings"
+	"time"
 
 	"lowsensing/internal/runner"
+	"lowsensing/obs"
 )
 
 // Sweep is a declarative multi-run experiment: a base Scenario, one or more
@@ -31,13 +34,15 @@ import (
 //	    Reps(5).
 //	    Run()
 type Sweep struct {
-	err     error
-	base    Scenario
-	id      string
-	seed    uint64
-	reps    int
-	workers int
-	axes    []sweepAxis
+	err      error
+	base     Scenario
+	id       string
+	seed     uint64
+	reps     int
+	workers  int
+	axes     []sweepAxis
+	progress func(SweepProgress)
+	observe  func(Point, int) Recorder
 }
 
 type sweepAxis struct {
@@ -89,6 +94,74 @@ func (sw *Sweep) Workers(n int) *Sweep {
 		return sw.fail(fmt.Errorf("lowsensing: sweep workers must be >= 0, got %d", n))
 	}
 	sw.workers = n
+	return sw
+}
+
+// SweepProgress is one progress report of a running sweep, delivered once
+// per finished job (point × replication), in grid order.
+type SweepProgress struct {
+	// Done counts finished jobs; Total is the sweep's job count.
+	Done, Total int
+	// Point and Rep identify the finished job.
+	Point Point
+	Rep   int
+	// Wall is the job's own wall-clock run time; Elapsed is the wall time
+	// since the sweep started.
+	Wall, Elapsed time.Duration
+	// Events is the number of scheduler events the job's engine processed
+	// (EngineStats.EventsScheduled) — the engine's unit of work.
+	Events int64
+	// ETA estimates the remaining wall time from the mean job rate so far.
+	ETA time.Duration
+}
+
+// EventsPerSec returns the job's engine events per second of its own wall
+// time (0 for an instantaneous job).
+func (p SweepProgress) EventsPerSec() float64 {
+	if p.Wall <= 0 {
+		return 0
+	}
+	return float64(p.Events) / p.Wall.Seconds()
+}
+
+// Progress attaches a callback receiving one SweepProgress per finished
+// job, in grid order, from the (single-threaded) aggregation goroutine —
+// the callback needs no locking. It does not affect results.
+func (sw *Sweep) Progress(fn func(SweepProgress)) *Sweep {
+	sw.progress = fn
+	return sw
+}
+
+// ProgressTo streams one human-readable progress line per finished job to
+// w (conventionally os.Stderr, keeping stdout clean for results):
+//
+//	[3/12] rate=0.1 protocol=lsb rep 1: 12ms, 2.1e+06 events/sec, ETA 110ms
+func (sw *Sweep) ProgressTo(w io.Writer) *Sweep {
+	return sw.Progress(func(p SweepProgress) {
+		fmt.Fprintf(w, "[%d/%d] %s rep %d: %s, %.3g events/sec, ETA %s\n",
+			p.Done, p.Total, p.Point, p.Rep,
+			p.Wall.Round(time.Millisecond), p.EventsPerSec(), p.ETA.Round(time.Millisecond))
+	})
+}
+
+// Observe attaches a per-job recorder factory: mk is called once per
+// (point, replication) job with the job's Point and replication index, and
+// the recorder it returns (nil to skip the job) receives that run's event
+// stream. The factory is called from worker goroutines and must be safe
+// for concurrent use; the recorders it returns are each driven by a single
+// engine. Recorders implementing obs.Flusher are flushed when their job's
+// run completes, and a flush error fails the sweep. To multiplex jobs into
+// one file, give each job's sink a distinguishing label over a shared
+// NewSyncWriter-wrapped writer:
+//
+//	shared := obs.NewSyncWriter(f)
+//	sw.Observe(func(p lowsensing.Point, rep int) lowsensing.Recorder {
+//	    sink := obs.NewNDJSON(shared)
+//	    sink.SetRun(fmt.Sprintf("%s/%d", p, rep))
+//	    return sink
+//	})
+func (sw *Sweep) Observe(mk func(p Point, rep int) Recorder) *Sweep {
+	sw.observe = mk
 	return sw
 }
 
@@ -278,35 +351,76 @@ func (sw *Sweep) Stream(emit func(PointResult) error) error {
 		return sw.err
 	}
 	points := sw.Points()
-	jobs := make([]runner.Job[Result], 0, len(points)*sw.reps)
+	jobs := make([]runner.Job[timedResult], 0, len(points)*sw.reps)
 	for pi := range points {
 		// Replications must never retain per-packet tables: the aggregate
 		// is streaming by construction.
 		sc := points[pi].Scenario
 		sc.RetainPackets = false
+		point := points[pi]
 		for rep := 0; rep < sw.reps; rep++ {
 			sc := sc
-			jobs = append(jobs, runner.Job[Result]{
+			rep := rep
+			jobs = append(jobs, runner.Job[timedResult]{
 				Seed: runner.DeriveSeed(sw.seed, sw.id, pi, rep),
-				Run: func(seed uint64) (Result, error) {
+				Run: func(seed uint64) (timedResult, error) {
+					start := time.Now()
 					sc.Seed = seed
-					return sc.Run()
+					var rec Recorder
+					if sw.observe != nil {
+						rec = sw.observe(point, rep)
+					}
+					r, err := sc.Simulation(WithRecorder(rec)).Run()
+					if err == nil {
+						// A recorder holding buffered or partial state (a
+						// sink, a windowed accumulator) is flushed as part
+						// of the job, on the worker.
+						err = obs.Flush(rec)
+					}
+					return timedResult{r: r, wall: time.Since(start)}, err
 				},
 			})
 		}
 	}
+	startAll := time.Now()
 	var acc PointResult
-	return runner.Stream(runner.New(sw.workers), jobs, func(i int, r Result) error {
+	return runner.Stream(runner.New(sw.workers), jobs, func(i int, tr timedResult) error {
 		pi := i / sw.reps
 		if i%sw.reps == 0 {
 			acc = PointResult{Point: points[pi]}
 		}
-		acc.fold(r)
+		acc.fold(tr.r)
+		if sw.progress != nil {
+			// Delivery is in grid order, so job i is the (i+1)-th done; the
+			// ETA extrapolates the mean completed-job rate over the jobs
+			// still owed. Both are exact under any Workers setting because
+			// this fold is the single point every result passes through.
+			done := i + 1
+			elapsed := time.Since(startAll)
+			eta := time.Duration(float64(elapsed) / float64(done) * float64(len(jobs)-done))
+			sw.progress(SweepProgress{
+				Done:    done,
+				Total:   len(jobs),
+				Point:   points[pi],
+				Rep:     i % sw.reps,
+				Wall:    tr.wall,
+				Elapsed: elapsed,
+				Events:  tr.r.EngineStats.EventsScheduled,
+				ETA:     eta,
+			})
+		}
 		if i%sw.reps == sw.reps-1 {
 			return emit(acc)
 		}
 		return nil
 	})
+}
+
+// timedResult pairs a job's Result with its wall-clock run time, measured
+// on the worker, so progress reports cost nothing when unused.
+type timedResult struct {
+	r    Result
+	wall time.Duration
 }
 
 // SweepSpec is the serializable form of a Sweep, so whole experiments —
