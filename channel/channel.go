@@ -179,6 +179,28 @@ type ReactiveJammer interface {
 	JammedReactive(slot int64, senders []int64) bool
 }
 
+// RangeJammer is an optional extension of Jammer for pure jammers — those
+// whose Jammed and CountRange are functions of their arguments alone, with
+// no internal state advanced by being queried (fixed intervals, periodic
+// bursts, unions of those; not budgeted-random or adaptive jammers, whose
+// answers depend on the query history).
+//
+// NextJammedInRange returns the first jammed slot in [from, to) and whether
+// one exists. It must agree exactly with Jammed — the returned slot is
+// min{s in [from, to) : Jammed(s)} — and, being pure, may be called (or
+// skipped) freely without perturbing the jammer.
+//
+// The engine uses it to resolve provably uncontended runs of slots in bulk:
+// one NextJammedInRange call bounds a whole stretch of accesses, replacing
+// a Jammed/CountRange interface call per access. Third-party jammers that
+// do not implement it keep working — the engine falls back to the exact
+// per-slot call sequence — so implement it only when the purity contract
+// genuinely holds.
+type RangeJammer interface {
+	Jammer
+	NextJammedInRange(from, to int64) (slot int64, ok bool)
+}
+
 // NoJammer is a Jammer that never jams. The zero value is ready to use.
 type NoJammer struct{}
 
@@ -188,4 +210,7 @@ func (NoJammer) Jammed(int64) bool { return false }
 // CountRange always returns 0.
 func (NoJammer) CountRange(int64, int64) int64 { return 0 }
 
-var _ Jammer = NoJammer{}
+// NextJammedInRange implements RangeJammer: there is never a jammed slot.
+func (NoJammer) NextJammedInRange(int64, int64) (int64, bool) { return 0, false }
+
+var _ RangeJammer = NoJammer{}

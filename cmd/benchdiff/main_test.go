@@ -210,3 +210,97 @@ func TestFailOnAllocs(t *testing.T) {
 		t.Fatal("unknown -failon class accepted")
 	}
 }
+
+// TestParseFailOn pins down the -failon spec grammar: classes are
+// comma-separable, time= requires a positive numeric threshold, and
+// anything else is rejected.
+func TestParseFailOn(t *testing.T) {
+	cases := []struct {
+		spec    string
+		allocs  bool
+		timePct float64
+		ok      bool
+	}{
+		{"", false, -1, true},
+		{"allocs", true, -1, true},
+		{"time=5", false, 5, true},
+		{"time=2.5", false, 2.5, true},
+		{"allocs,time=10", true, 10, true},
+		{"time=10,allocs", true, 10, true},
+		{"time=", false, 0, false},
+		{"time=abc", false, 0, false},
+		{"time=0", false, 0, false},
+		{"time=-3", false, 0, false},
+		{"ns", false, 0, false},
+		{"allocs,ns", false, 0, false},
+	}
+	for _, c := range cases {
+		allocs, timePct, err := parseFailOn(c.spec)
+		if c.ok != (err == nil) {
+			t.Errorf("parseFailOn(%q) error = %v, want ok=%v", c.spec, err, c.ok)
+			continue
+		}
+		if !c.ok {
+			continue
+		}
+		if allocs != c.allocs || timePct != c.timePct {
+			t.Errorf("parseFailOn(%q) = (%v, %v), want (%v, %v)",
+				c.spec, allocs, timePct, c.allocs, c.timePct)
+		}
+	}
+}
+
+// TestFailOnTime: -failon time=<pct> turns an ns/op regression beyond the
+// threshold between properly-iterated runs into a nonzero exit, leaves
+// smaller drifts as warnings at most, and exempts single-iteration rows
+// (cold, un-amortized CI smoke timings).
+func TestFailOnTime(t *testing.T) {
+	dir := t.TempDir()
+	oldJSON := filepath.Join(dir, "old.json")
+	var buf strings.Builder
+	if err := run([]string{"-emit", oldJSON}, strings.NewReader(sampleBench), &buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// 28.72 -> 99.9 ns/op is a ~248% regression: beyond a 20% gate.
+	slowJSON := filepath.Join(dir, "slow.json")
+	slow := strings.ReplaceAll(sampleBench, "28.72 ns/op", "99.9 ns/op")
+	if err := run([]string{"-emit", slowJSON}, strings.NewReader(slow), &buf); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	err := run([]string{"-compare", "-failon", "time=20", oldJSON, slowJSON}, strings.NewReader(""), &buf)
+	if err == nil || !strings.Contains(err.Error(), "ns/op") {
+		t.Fatalf("ns/op regression with -failon time=20 must fail, got %v", err)
+	}
+	if !strings.Contains(buf.String(), "FAIL: ns/op") {
+		t.Fatalf("delta table missing the time-gate FAIL mark:\n%s", buf.String())
+	}
+
+	// The same regression passes a gate it does not exceed.
+	if err := run([]string{"-compare", "-failon", "time=300", oldJSON, slowJSON}, strings.NewReader(""), &buf); err != nil {
+		t.Fatalf("regression below the time threshold must not fail: %v", err)
+	}
+
+	// Identical baselines pass any gate.
+	if err := run([]string{"-compare", "-failon", "time=20", oldJSON, oldJSON}, strings.NewReader(""), &buf); err != nil {
+		t.Fatalf("identical baselines must pass -failon time: %v", err)
+	}
+
+	// Single-iteration rows are exempt: the same slow numbers with a
+	// one-iteration count must not trip the gate.
+	smokeJSON := filepath.Join(dir, "smoke.json")
+	smoke := strings.ReplaceAll(slow, "76938135", "1")
+	if err := run([]string{"-emit", smokeJSON}, strings.NewReader(smoke), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-compare", "-failon", "time=20", oldJSON, smokeJSON}, strings.NewReader(""), &buf); err != nil {
+		t.Fatalf("single-iteration run must not trip the time gate: %v", err)
+	}
+
+	// Both gates compose: the slow run trips time but not allocs.
+	err = run([]string{"-compare", "-failon", "allocs,time=20", oldJSON, slowJSON}, strings.NewReader(""), &buf)
+	if err == nil || !strings.Contains(err.Error(), "ns/op") {
+		t.Fatalf("combined -failon must still gate on time, got %v", err)
+	}
+}

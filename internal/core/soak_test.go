@@ -1,6 +1,8 @@
-package core
+package core_test
 
 import (
+	. "lowsensing/internal/core"
+
 	"testing"
 
 	"lowsensing/internal/arrivals"

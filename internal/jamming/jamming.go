@@ -103,7 +103,17 @@ func (iv *Interval) CountRange(from, to int64) int64 {
 	return hi - lo
 }
 
-var _ channel.Jammer = (*Interval)(nil)
+// NextJammedInRange implements channel.RangeJammer: the first slot of
+// [from, to) that falls inside [From, To).
+func (iv *Interval) NextJammedInRange(from, to int64) (int64, bool) {
+	s := max64(from, iv.From)
+	if s < min64(to, iv.To) {
+		return s, true
+	}
+	return 0, false
+}
+
+var _ channel.RangeJammer = (*Interval)(nil)
 
 // Periodic jams Burst consecutive slots at the start of every Period slots,
 // beginning at Phase. Models duty-cycled interference.
@@ -160,7 +170,21 @@ func (p *Periodic) countPrefix(t int64) int64 {
 	return n + rem
 }
 
-var _ channel.Jammer = (*Periodic)(nil)
+// NextJammedInRange implements channel.RangeJammer: the first slot >= from
+// inside a burst — from itself if it lands mid-burst, otherwise the next
+// period boundary.
+func (p *Periodic) NextJammedInRange(from, to int64) (int64, bool) {
+	s := max64(from, p.Phase)
+	if r := (s - p.Phase) % p.Period; r >= p.Burst {
+		s += p.Period - r
+	}
+	if s >= to {
+		return 0, false
+	}
+	return s, true
+}
+
+var _ channel.RangeJammer = (*Periodic)(nil)
 
 // Composite jams a slot if any member jams it. CountRange upper-bounds by
 // summing members, which is exact when member intervals are disjoint (the
@@ -203,7 +227,20 @@ func (c *Composite) CountRange(from, to int64) int64 {
 	return n
 }
 
-var _ channel.Jammer = (*Composite)(nil)
+// NextJammedInRange implements channel.RangeJammer: the earliest member
+// answer. The constructor admits only Interval and Periodic members, so
+// every member is itself a RangeJammer and the union stays pure.
+func (c *Composite) NextJammedInRange(from, to int64) (int64, bool) {
+	best, found := int64(0), false
+	for _, m := range c.members {
+		if s, ok := m.(channel.RangeJammer).NextJammedInRange(from, to); ok && (!found || s < best) {
+			best, found = s, true
+		}
+	}
+	return best, found
+}
+
+var _ channel.RangeJammer = (*Composite)(nil)
 
 // Adaptive jams based on observed public history: it jams the current slot
 // whenever the backlog it can infer exceeds Threshold, up to Budget jams

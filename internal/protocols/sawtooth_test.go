@@ -1,31 +1,14 @@
-package protocols
+package protocols_test
 
 import (
+	. "lowsensing/internal/protocols"
+
 	"testing"
 
 	"lowsensing/channel"
 	"lowsensing/internal/core"
 	"lowsensing/prng"
 )
-
-func TestSawtoothPhaseStructure(t *testing.T) {
-	s := &Sawtooth{}
-	s.startEpoch(1)
-	if s.window() != 2 || s.remaining != 2 {
-		t.Fatalf("epoch 1 start: w=%d rem=%d", s.window(), s.remaining)
-	}
-	s.advance()
-	if s.window() != 1 {
-		t.Fatalf("after advance: w=%d", s.window())
-	}
-	s.advance() // past sub-phase epoch -> epoch 2
-	if s.epoch != 2 || s.window() != 4 || s.remaining != 4 {
-		t.Fatalf("epoch 2 start: epoch=%d w=%d rem=%d", s.epoch, s.window(), s.remaining)
-	}
-	if s.Window() != 4 {
-		t.Fatalf("Window() = %v", s.Window())
-	}
-}
 
 func TestSawtoothSchedulesForward(t *testing.T) {
 	f := NewSawtoothFactory()

@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"lowsensing/internal/core"
+	"lowsensing/internal/protocols"
+	"lowsensing/prng"
+)
+
+// Devirtualized station dispatch.
+//
+// Station is an interface, and the two calls the engine makes per channel
+// access — Observe and ScheduleNext — sat behind itab indirection on the
+// hottest edge of the profile: an indirect call the branch predictor must
+// re-learn per protocol mix, and a hard inlining barrier. The engine now
+// tags every slot-table entry with the concrete protocol kind at packet
+// injection (a one-time type switch) and dispatches through that tag: each
+// arm is a checked assertion to the concrete type followed by a direct —
+// and inlinable — method call. Third-party stations registered from outside
+// the module take kindGeneric and run the interface path unchanged, so the
+// devirtualization is invisible to the extension surface.
+//
+// The tag, not a per-call type switch, is what makes this pay: the kind is
+// loaded from the entry the engine is already touching, the switch compiles
+// to a jump table, and the assertion inside each arm is a single pointer
+// compare the branch predictor resolves perfectly (the tag proves it).
+
+// stationKind identifies a built-in concrete Station implementation, or
+// kindGeneric for anything else (third-party registrations, wrappers like
+// the no-collision-detection adapter, test doubles).
+type stationKind uint8
+
+const (
+	kindGeneric stationKind = iota
+	kindLSB
+	kindBEB
+	kindPoly
+	kindAloha
+	kindGenieAloha
+	kindMWU
+	kindSawtooth
+	kindFixed
+)
+
+// classifyStation maps a station to its dispatch kind. Called once per
+// injected packet (and the result survives recycling with the reused
+// station object), so its cost is off the per-access path.
+func classifyStation(st Station) stationKind {
+	switch st.(type) {
+	case *core.Packet:
+		return kindLSB
+	case *protocols.BEB:
+		return kindBEB
+	case *protocols.Poly:
+		return kindPoly
+	case *protocols.Aloha:
+		return kindAloha
+	case *protocols.GenieAloha:
+		return kindGenieAloha
+	case *protocols.MWU:
+		return kindMWU
+	case *protocols.Sawtooth:
+		return kindSawtooth
+	case *protocols.Fixed:
+		return kindFixed
+	default:
+		return kindGeneric
+	}
+}
+
+// observeStation delivers one slot observation through the devirtualized
+// path: a direct call to the tagged concrete type, or the interface call
+// for kindGeneric.
+func observeStation(ss *stationState, o Observation) {
+	switch ss.kind {
+	case kindLSB:
+		ss.st.(*core.Packet).Observe(o)
+	case kindBEB:
+		ss.st.(*protocols.BEB).Observe(o)
+	case kindPoly:
+		ss.st.(*protocols.Poly).Observe(o)
+	case kindAloha:
+		ss.st.(*protocols.Aloha).Observe(o)
+	case kindGenieAloha:
+		ss.st.(*protocols.GenieAloha).Observe(o)
+	case kindMWU:
+		ss.st.(*protocols.MWU).Observe(o)
+	case kindSawtooth:
+		ss.st.(*protocols.Sawtooth).Observe(o)
+	case kindFixed:
+		ss.st.(*protocols.Fixed).Observe(o)
+	default:
+		ss.st.Observe(o)
+	}
+}
+
+// scheduleStation asks the station for its next access through the
+// devirtualized path. rng is passed explicitly rather than read from ss so
+// the call sites keep the exact &ss.rng argument the contract requires.
+func scheduleStation(ss *stationState, from int64, rng *prng.Source) (int64, bool) {
+	switch ss.kind {
+	case kindLSB:
+		return ss.st.(*core.Packet).ScheduleNext(from, rng)
+	case kindBEB:
+		return ss.st.(*protocols.BEB).ScheduleNext(from, rng)
+	case kindPoly:
+		return ss.st.(*protocols.Poly).ScheduleNext(from, rng)
+	case kindAloha:
+		return ss.st.(*protocols.Aloha).ScheduleNext(from, rng)
+	case kindGenieAloha:
+		return ss.st.(*protocols.GenieAloha).ScheduleNext(from, rng)
+	case kindMWU:
+		return ss.st.(*protocols.MWU).ScheduleNext(from, rng)
+	case kindSawtooth:
+		return ss.st.(*protocols.Sawtooth).ScheduleNext(from, rng)
+	case kindFixed:
+		return ss.st.(*protocols.Fixed).ScheduleNext(from, rng)
+	default:
+		return ss.st.ScheduleNext(from, rng)
+	}
+}

@@ -41,6 +41,11 @@ type Params struct {
 	// memory. The default (false) keeps only the streaming accumulators in
 	// Result.Energy, so live engine state is O(backlog), not O(arrivals).
 	RetainPackets bool
+	// DisableBatching turns off the batch resolution fast path (batch.go)
+	// and forces every slot through the general resolver. Results are
+	// bit-identical either way (the equivalence the property tests pin
+	// down); the switch exists as an escape hatch and for those tests.
+	DisableBatching bool
 	// ReuseStations opts into station recycling: when a departed packet's
 	// Station implements ReusableStation, the object stays attached to its
 	// recycled slot-table entry and is Reset for the entry's next packet
@@ -65,9 +70,11 @@ const DefaultMaxSlots = int64(1) << 40
 // recycled through a free list, their statistics folded into streaming
 // accumulators (and handed to Params.PacketSink, if set) at departure.
 type Engine struct {
-	params Params
-	jammer Jammer
-	react  ReactiveJammer // non-nil if jammer is reactive
+	params   Params
+	jammer   Jammer
+	react    ReactiveJammer // non-nil if jammer is reactive
+	rangeJam RangeJammer    // non-nil if jammer answers pure bulk queries
+	batchOK  bool           // batch fast path permitted for this run
 
 	// stations is the slot table of live packets. Entries of departed
 	// packets are recycled via freeList, so len(stations) tracks the peak
@@ -144,6 +151,9 @@ type stationState struct {
 	prevLive  int32
 	nextLive  int32
 	willSend  bool
+	// kind tags st's concrete type for devirtualized dispatch (see
+	// dispatch.go); it survives recycling together with the reused station.
+	kind stationKind
 }
 
 // NewEngine validates params and builds an engine. It returns an error if
@@ -168,6 +178,7 @@ func NewEngine(p Params) (*Engine, error) {
 	if rj, ok := e.jammer.(ReactiveJammer); ok {
 		e.react = rj
 	}
+	e.rangeJam, _ = e.jammer.(RangeJammer)
 	// Adaptive adversary components receive a handle to the engine so they
 	// can observe public history (backlog, counts) when making decisions.
 	if b, ok := e.jammer.(EngineBound); ok {
@@ -196,6 +207,15 @@ func (e *Engine) Run() (Result, error) {
 		return Result{}, fmt.Errorf("sim: Engine.Run called twice")
 	}
 	e.ran = true
+	// The batch fast path synthesizes no per-slot event stream, so any
+	// per-slot observer (recorder, probe) forces the general resolver; a
+	// reactive jammer must see every slot's sender set for the same reason.
+	// Decided here, not at construction, so the flag reflects the params the
+	// run actually starts with. See batch.go for the per-run-of-slots
+	// conditions.
+	p := &e.params
+	e.batchOK = !p.DisableBatching && p.Recorder == nil && p.Probe == nil &&
+		!p.RetainPackets && e.react == nil
 
 	for {
 		// One scheduler peek per iteration. The pending arrival slot is
@@ -233,8 +253,14 @@ func (e *Engine) Run() (Result, error) {
 			}
 		}
 
-		// Resolve the channel only if some station accesses slot t.
+		// Resolve the channel only if some station accesses slot t. The
+		// batch fast path (batch.go) takes over whole uncontended runs of
+		// slots when permitted; it implies Recorder and Probe are nil.
 		if resolve {
+			if e.batchOK {
+				e.resolveRun(t)
+				continue
+			}
 			e.resolveSlot(t)
 			if e.params.Recorder != nil {
 				e.params.Recorder.RecordSlot(e.LastSlotEvent())
@@ -274,15 +300,17 @@ func (e *Engine) inject(t int64) {
 			st = ss.reuse
 			ss.reuse.Reset(id, &ss.rng)
 			e.stats.StationsReused++
+			// ss.kind still tags the recycled station.
 		} else {
 			st = e.params.NewStation(id, &ss.rng)
 			e.stats.StationsBuilt++
+			ss.kind = classifyStation(st)
 		}
-		next, send := st.ScheduleNext(t, &ss.rng)
+		ss.st = st
+		next, send := scheduleStation(ss, t, &ss.rng)
 		if next < t {
 			panic(fmt.Sprintf("sim: station %d scheduled slot %d before current slot %d", id, next, t))
 		}
-		ss.st = st
 		ss.id = id
 		ss.arrival = t
 		ss.sends = 0
@@ -381,14 +409,14 @@ func (e *Engine) resolveSlot(t int64) {
 		} else {
 			ss.listens++
 		}
-		ss.st.Observe(Observation{Slot: t, Outcome: outcome, Sent: sent, Succeeded: succeeded})
+		observeStation(ss, Observation{Slot: t, Outcome: outcome, Sent: sent, Succeeded: succeeded})
 		if succeeded {
 			e.depart(idx, t)
 			e.completed++
 			e.activeCount--
 			continue
 		}
-		next, send := ss.st.ScheduleNext(t+1, &ss.rng)
+		next, send := scheduleStation(ss, t+1, &ss.rng)
 		if next <= t {
 			panic(fmt.Sprintf("sim: station %d rescheduled slot %d not after %d", ss.id, next, t))
 		}
@@ -430,10 +458,13 @@ func (e *Engine) depart(idx int32, t int64) {
 	// allocating; anything else is dropped for collection. The embedded
 	// rng needs no clearing — it is reinitialized in place on reuse.
 	var reuse ReusableStation
+	var kind stationKind
 	if e.params.ReuseStations {
-		reuse, _ = ss.st.(ReusableStation)
+		if reuse, _ = ss.st.(ReusableStation); reuse != nil {
+			kind = ss.kind
+		}
 	}
-	*ss = stationState{reuse: reuse}
+	*ss = stationState{reuse: reuse, kind: kind}
 	e.freeList = append(e.freeList, idx)
 }
 
@@ -470,11 +501,16 @@ func (e *Engine) result() Result {
 		LastSlot:    e.curSlot,
 	}
 	if e.busy {
-		// Truncated: count the open busy period and its unobserved jams.
+		// Truncated: count the open busy period and its unobserved jams. The
+		// period extends through MaxSlots — every slot in it had live packets
+		// even though the last access (curSlot) may be well before the cap —
+		// so the tail (curSlot, MaxSlots] is active and its jams were
+		// observed by no one, exactly like any other skipped range.
 		r.Truncated = true
-		r.ActiveSlots += e.curSlot - e.busyStart + 1
-		if e.curSlot+1 > e.jamCursor {
-			r.JammedSlots += e.jammer.CountRange(e.jamCursor, e.curSlot+1)
+		end := e.params.MaxSlots
+		r.ActiveSlots += end - e.busyStart + 1
+		if end+1 > e.jamCursor {
+			r.JammedSlots += e.jammer.CountRange(e.jamCursor, end+1)
 		}
 	}
 	// Flush packets still in the system (arrival order via the live list):

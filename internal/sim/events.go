@@ -22,7 +22,7 @@ func eventLess(a, b event) bool {
 // eventQueue is a 4-ary min-heap specialized to event. It was the engine's
 // scheduler before the hierarchical timing wheel (wheel.go) and now serves
 // as the wheel's far-future overflow level — events scheduled beyond the
-// wheel's 2^24-slot horizon wait here, already in pop order, until the
+// wheel's 2^28-slot horizon wait here, already in pop order, until the
 // cursor reaches their region — and as the baseline the wheel's benchmarks
 // are measured against. Compared with a container/heap implementation it
 // never boxes events through `any` on Push/Pop (zero allocations in steady

@@ -62,6 +62,8 @@ type (
 	Jammer = channel.Jammer
 	// ReactiveJammer additionally sees the current slot's senders.
 	ReactiveJammer = channel.ReactiveJammer
+	// RangeJammer is a pure Jammer answering bulk next-jammed queries.
+	RangeJammer = channel.RangeJammer
 	// NoJammer is a Jammer that never jams.
 	NoJammer = channel.NoJammer
 )
@@ -159,9 +161,15 @@ type EngineStats struct {
 	// bucket (or pulled in a due overflow region). Each event cascades O(1)
 	// amortized times; a blow-up here means pathological scheduling.
 	WheelCascades int64
-	// HeapOverflows counts events scheduled past the wheel's 2^24-slot
+	// HeapOverflows counts events scheduled past the wheel's 2^28-slot
 	// horizon into the far-future 4-ary min-heap — huge backoff windows.
 	HeapOverflows int64
+	// BatchedSlots counts resolved slots handled by the batch fast path —
+	// provably uncontended runs resolved without the event queue (see
+	// batch.go). Always a subset of SlotsResolved; zero when batching is
+	// disabled or never engaged. The resolved outcomes are bit-identical
+	// either way — this counter is the only observable difference.
+	BatchedSlots int64
 	// StationsBuilt counts Station constructions through Params.NewStation;
 	// StationsReused counts packets served by Reset-ing a recycled
 	// ReusableStation instead (Params.ReuseStations). In an allocation-free

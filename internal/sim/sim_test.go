@@ -338,7 +338,13 @@ func TestJammedSendDoesNotSucceed(t *testing.T) {
 
 func TestSkippedRangeJamAccounting(t *testing.T) {
 	// Packet arrives at 0 and acts only at slot 9 under full jamming, then
-	// succeeds... it cannot succeed under alwaysJam; use MaxSlots to stop.
+	// schedules slot 90 — past MaxSlots, so the run truncates mid-busy with
+	// the last access well before the cap. The open busy period extends
+	// through MaxSlots: slots 10..50 had a live packet even though nothing
+	// accessed the channel there, so they are active, and their jams are
+	// unobserved-range jams exactly like any other skipped stretch. (A
+	// regression test: the tail (last access, MaxSlots] used to be dropped
+	// from both totals.)
 	e, err := NewEngine(Params{
 		Arrivals:      &batchSource{count: 1},
 		NewStation:    scriptedFactory(map[int64][]scriptStep{0: {{9, true}, {90, true}}}, nil),
@@ -359,9 +365,13 @@ func TestSkippedRangeJamAccounting(t *testing.T) {
 	if r.Completed != 0 {
 		t.Fatalf("completed = %d", r.Completed)
 	}
-	// Active and jammed slots both cover 0..9 (last resolved slot).
-	if r.ActiveSlots != 10 || r.JammedSlots != 10 {
-		t.Fatalf("active/jammed = %d/%d, want 10/10", r.ActiveSlots, r.JammedSlots)
+	// Active and jammed slots both cover 0..50 (busy start through the
+	// MaxSlots cap), not just 0..9 (the last resolved slot).
+	if r.ActiveSlots != 51 || r.JammedSlots != 51 {
+		t.Fatalf("active/jammed = %d/%d, want 51/51", r.ActiveSlots, r.JammedSlots)
+	}
+	if r.LastSlot != 9 {
+		t.Fatalf("LastSlot = %d, want 9 (the last slot the engine worked)", r.LastSlot)
 	}
 	if r.Packets[0].Departure != -1 || r.Packets[0].Latency() != -1 {
 		t.Fatalf("stuck packet stats = %+v", r.Packets[0])

@@ -1,0 +1,115 @@
+package sim
+
+// Branchless sorting networks for the timing wheel's small same-slot
+// buckets. The drain's packed keys are uint64s, so each compare-exchange
+// compiles to a compare plus two conditional moves — no data-dependent
+// branches, which is the whole point: bucket ids are effectively random,
+// and a comparison sort pays a ~20-cycle mispredict per element where the
+// network pays ~2 cycles per compare-exchange. Shorter inputs are padded
+// with MaxUint64, which sorts past every valid key (valid packed keys
+// have bit 63 clear).
+//
+// Both networks are Batcher merge-exchange networks (Knuth 5.2.2M),
+// size-optimal for 8 (19 CEs) and the standard 63-CE construction for 16.
+
+// sortNet8 sorts up to 8 keys ascending.
+func sortNet8(a []uint64) {
+	var s [8]uint64
+	n := copy(s[:], a)
+	for i := n; i < 8; i++ {
+		s[i] = ^uint64(0)
+	}
+	s[0], s[4] = min(s[0], s[4]), max(s[0], s[4])
+	s[1], s[5] = min(s[1], s[5]), max(s[1], s[5])
+	s[2], s[6] = min(s[2], s[6]), max(s[2], s[6])
+	s[3], s[7] = min(s[3], s[7]), max(s[3], s[7])
+	s[0], s[2] = min(s[0], s[2]), max(s[0], s[2])
+	s[1], s[3] = min(s[1], s[3]), max(s[1], s[3])
+	s[4], s[6] = min(s[4], s[6]), max(s[4], s[6])
+	s[5], s[7] = min(s[5], s[7]), max(s[5], s[7])
+	s[2], s[4] = min(s[2], s[4]), max(s[2], s[4])
+	s[3], s[5] = min(s[3], s[5]), max(s[3], s[5])
+	s[0], s[1] = min(s[0], s[1]), max(s[0], s[1])
+	s[2], s[3] = min(s[2], s[3]), max(s[2], s[3])
+	s[4], s[5] = min(s[4], s[5]), max(s[4], s[5])
+	s[6], s[7] = min(s[6], s[7]), max(s[6], s[7])
+	s[1], s[4] = min(s[1], s[4]), max(s[1], s[4])
+	s[3], s[6] = min(s[3], s[6]), max(s[3], s[6])
+	s[1], s[2] = min(s[1], s[2]), max(s[1], s[2])
+	s[3], s[4] = min(s[3], s[4]), max(s[3], s[4])
+	s[5], s[6] = min(s[5], s[6]), max(s[5], s[6])
+	copy(a, s[:n])
+}
+
+// sortNet16 sorts up to 16 keys ascending.
+func sortNet16(a []uint64) {
+	var s [16]uint64
+	n := copy(s[:], a)
+	for i := n; i < 16; i++ {
+		s[i] = ^uint64(0)
+	}
+	s[0], s[8] = min(s[0], s[8]), max(s[0], s[8])
+	s[1], s[9] = min(s[1], s[9]), max(s[1], s[9])
+	s[2], s[10] = min(s[2], s[10]), max(s[2], s[10])
+	s[3], s[11] = min(s[3], s[11]), max(s[3], s[11])
+	s[4], s[12] = min(s[4], s[12]), max(s[4], s[12])
+	s[5], s[13] = min(s[5], s[13]), max(s[5], s[13])
+	s[6], s[14] = min(s[6], s[14]), max(s[6], s[14])
+	s[7], s[15] = min(s[7], s[15]), max(s[7], s[15])
+	s[0], s[4] = min(s[0], s[4]), max(s[0], s[4])
+	s[1], s[5] = min(s[1], s[5]), max(s[1], s[5])
+	s[2], s[6] = min(s[2], s[6]), max(s[2], s[6])
+	s[3], s[7] = min(s[3], s[7]), max(s[3], s[7])
+	s[8], s[12] = min(s[8], s[12]), max(s[8], s[12])
+	s[9], s[13] = min(s[9], s[13]), max(s[9], s[13])
+	s[10], s[14] = min(s[10], s[14]), max(s[10], s[14])
+	s[11], s[15] = min(s[11], s[15]), max(s[11], s[15])
+	s[4], s[8] = min(s[4], s[8]), max(s[4], s[8])
+	s[5], s[9] = min(s[5], s[9]), max(s[5], s[9])
+	s[6], s[10] = min(s[6], s[10]), max(s[6], s[10])
+	s[7], s[11] = min(s[7], s[11]), max(s[7], s[11])
+	s[0], s[2] = min(s[0], s[2]), max(s[0], s[2])
+	s[1], s[3] = min(s[1], s[3]), max(s[1], s[3])
+	s[4], s[6] = min(s[4], s[6]), max(s[4], s[6])
+	s[5], s[7] = min(s[5], s[7]), max(s[5], s[7])
+	s[8], s[10] = min(s[8], s[10]), max(s[8], s[10])
+	s[9], s[11] = min(s[9], s[11]), max(s[9], s[11])
+	s[12], s[14] = min(s[12], s[14]), max(s[12], s[14])
+	s[13], s[15] = min(s[13], s[15]), max(s[13], s[15])
+	s[2], s[8] = min(s[2], s[8]), max(s[2], s[8])
+	s[3], s[9] = min(s[3], s[9]), max(s[3], s[9])
+	s[6], s[12] = min(s[6], s[12]), max(s[6], s[12])
+	s[7], s[13] = min(s[7], s[13]), max(s[7], s[13])
+	s[2], s[4] = min(s[2], s[4]), max(s[2], s[4])
+	s[3], s[5] = min(s[3], s[5]), max(s[3], s[5])
+	s[6], s[8] = min(s[6], s[8]), max(s[6], s[8])
+	s[7], s[9] = min(s[7], s[9]), max(s[7], s[9])
+	s[10], s[12] = min(s[10], s[12]), max(s[10], s[12])
+	s[11], s[13] = min(s[11], s[13]), max(s[11], s[13])
+	s[0], s[1] = min(s[0], s[1]), max(s[0], s[1])
+	s[2], s[3] = min(s[2], s[3]), max(s[2], s[3])
+	s[4], s[5] = min(s[4], s[5]), max(s[4], s[5])
+	s[6], s[7] = min(s[6], s[7]), max(s[6], s[7])
+	s[8], s[9] = min(s[8], s[9]), max(s[8], s[9])
+	s[10], s[11] = min(s[10], s[11]), max(s[10], s[11])
+	s[12], s[13] = min(s[12], s[13]), max(s[12], s[13])
+	s[14], s[15] = min(s[14], s[15]), max(s[14], s[15])
+	s[1], s[8] = min(s[1], s[8]), max(s[1], s[8])
+	s[3], s[10] = min(s[3], s[10]), max(s[3], s[10])
+	s[5], s[12] = min(s[5], s[12]), max(s[5], s[12])
+	s[7], s[14] = min(s[7], s[14]), max(s[7], s[14])
+	s[1], s[4] = min(s[1], s[4]), max(s[1], s[4])
+	s[3], s[6] = min(s[3], s[6]), max(s[3], s[6])
+	s[5], s[8] = min(s[5], s[8]), max(s[5], s[8])
+	s[7], s[10] = min(s[7], s[10]), max(s[7], s[10])
+	s[9], s[12] = min(s[9], s[12]), max(s[9], s[12])
+	s[11], s[14] = min(s[11], s[14]), max(s[11], s[14])
+	s[1], s[2] = min(s[1], s[2]), max(s[1], s[2])
+	s[3], s[4] = min(s[3], s[4]), max(s[3], s[4])
+	s[5], s[6] = min(s[5], s[6]), max(s[5], s[6])
+	s[7], s[8] = min(s[7], s[8]), max(s[7], s[8])
+	s[9], s[10] = min(s[9], s[10]), max(s[9], s[10])
+	s[11], s[12] = min(s[11], s[12]), max(s[11], s[12])
+	s[13], s[14] = min(s[13], s[14]), max(s[13], s[14])
+	copy(a, s[:n])
+}

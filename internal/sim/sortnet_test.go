@@ -1,0 +1,52 @@
+package sim
+
+import (
+	"math/rand/v2"
+	"slices"
+	"testing"
+)
+
+// The 0-1 principle: a comparison network sorts every input iff it sorts
+// every 0/1 input. Exhausting all 2^n boolean vectors proves each network
+// correct, and padded shorter lengths are checked with random keys.
+func TestSortNetZeroOne(t *testing.T) {
+	for _, n := range []int{8, 16} {
+		for bitsv := 0; bitsv < 1<<n; bitsv++ {
+			a := make([]uint64, n)
+			for i := range a {
+				a[i] = uint64(bitsv >> i & 1)
+			}
+			switch n {
+			case 8:
+				sortNet8(a)
+			case 16:
+				sortNet16(a)
+			}
+			if !slices.IsSorted(a) {
+				t.Fatalf("net%d failed on %0*b: %v", n, n, bitsv, a)
+			}
+		}
+	}
+}
+
+func TestSortNetPadded(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 9))
+	for n := 1; n <= 16; n++ {
+		for trial := 0; trial < 200; trial++ {
+			a := make([]uint64, n)
+			for i := range a {
+				a[i] = rng.Uint64() >> 1 // valid keys have bit 63 clear
+			}
+			want := slices.Clone(a)
+			slices.Sort(want)
+			if n <= 8 {
+				sortNet8(a)
+			} else {
+				sortNet16(a)
+			}
+			if !slices.Equal(a, want) {
+				t.Fatalf("n=%d: got %v want %v", n, a, want)
+			}
+		}
+	}
+}

@@ -14,7 +14,7 @@ import (
 //
 //	op%8 in 0..3: push — three bytes of magnitude and a shift byte build a
 //	  slot delta that crosses every wheel level boundary (including past
-//	  the 2^24 overflow horizon); two more bytes scramble the id's high
+//	  the 2^28 overflow horizon); two more bytes scramble the id's high
 //	  bits so same-slot events arrive in non-id order and exercise the
 //	  lazy bucket sort.
 //	op%8 in 4..5: pop — both queues pop, results must be identical.
@@ -44,7 +44,7 @@ func wheelVsHeap(t *testing.T, data []byte) {
 		case op < 4: // push
 			u := int64(next()) | int64(next())<<8 | int64(next())<<16
 			shift := uint(next()) % 8
-			delta := (u << shift) % (1 << 26)
+			delta := (u << shift) % (1 << 30)
 			// Ids must be unique for a deterministic pop order, but their
 			// order must not follow push order: scramble the high bits.
 			id := int64(next())<<40 | int64(next())<<32 | idCounter
@@ -99,7 +99,7 @@ func wheelVsHeap(t *testing.T, data []byte) {
 // sequences (from the module's own deterministic prng) must keep the wheel
 // and the heap behaviorally identical. The delta distribution is tuned so
 // every level and the overflow heap are hit: most pushes are near-future,
-// a tail reaches past 2^24.
+// a tail reaches past 2^28.
 func TestWheelMatchesHeapRandom(t *testing.T) {
 	for seed := uint64(1); seed <= 20; seed++ {
 		rng := prng.New(seed)
@@ -112,15 +112,16 @@ func TestWheelMatchesHeapRandom(t *testing.T) {
 }
 
 // TestWheelLevelBoundaries pins the cascade logic at every level boundary:
-// events exactly at, one below, and one above each power-of-64 horizon,
-// plus overflow events, all pushed from slot 0, must pop in (slot, id)
-// order.
+// events exactly at, one below, and one above each level's horizon (the
+// 1024-slot exact level, then each 64-wide upper level), plus overflow
+// events, all pushed from slot 0, must pop in (slot, id) order.
 func TestWheelLevelBoundaries(t *testing.T) {
 	deltas := []int64{
 		0, 1, 62, 63, 64, 65, 127, 128,
-		4095, 4096, 4097,
-		262143, 262144, 262145,
-		1<<24 - 1, 1 << 24, 1<<24 + 1, // overflow horizon
+		1023, 1024, 1025, // level 0 / level 1
+		1<<16 - 1, 1 << 16, 1<<16 + 1, // level 1 / level 2
+		1<<22 - 1, 1 << 22, 1<<22 + 1, // level 2 / level 3
+		1<<28 - 1, 1 << 28, 1<<28 + 1, // overflow horizon
 		1 << 30, 1 << 40, // deep overflow
 	}
 	var w timingWheel
@@ -215,7 +216,7 @@ func FuzzWheelCascade(f *testing.F) {
 		push(0, 0, 4, 0, 0, 0), pop, pop, pop, pop))
 	// Level-2/3 boundaries via the shift operand (0xffff<<4 > 2^18).
 	f.Add(cat(push(255, 255, 0, 4, 0, 0), push(255, 255, 3, 0, 2, 0), pop, pop))
-	// Overflow horizon: 3-byte magnitude shifted past 2^24, then a
+	// Overflow horizon: 3-byte magnitude shifted past 2^28, then a
 	// near-future push, then pops that must interleave correctly.
 	f.Add(cat(push(255, 255, 255, 7, 0, 0), push(1, 0, 0, 0, 0, 0), pop, pop))
 	// Limited peeks that miss (advancing the cursor) between pushes.

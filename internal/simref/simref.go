@@ -200,10 +200,13 @@ func Run(p sim.Params) (sim.Result, error) {
 	}
 
 	if busy {
+		// The open busy period extends through MaxSlots (packets were live in
+		// every slot of the tail, even past the last access), matching the
+		// engine's truncation accounting call for call.
 		res.Truncated = true
-		res.ActiveSlots += lastWorked - busyStart + 1
-		if lastWorked+1 > jamCursor {
-			res.JammedSlots += jammer.CountRange(jamCursor, lastWorked+1)
+		res.ActiveSlots += p.MaxSlots - busyStart + 1
+		if p.MaxSlots+1 > jamCursor {
+			res.JammedSlots += jammer.CountRange(jamCursor, p.MaxSlots+1)
 		}
 	}
 	res.Arrived = int64(len(stations))

@@ -276,8 +276,9 @@ func (s *Simulation) Run() (Result, error) {
 		// ReusableStation.Reset is indistinguishable from reconstruction.
 		// A custom WithStations closure may vary its output per packet id,
 		// so it keeps exact factory-per-packet semantics.
-		ReuseStations: s.customFactory == nil,
-		RetainPackets: s.sc.RetainPackets,
+		ReuseStations:   s.customFactory == nil,
+		RetainPackets:   s.sc.RetainPackets,
+		DisableBatching: s.sc.DisableBatching,
 	})
 	if err != nil {
 		return Result{}, err
@@ -491,6 +492,15 @@ func WithPacketSink(sink func(PacketStats)) Option {
 // per-packet table (use WithPacketSink otherwise).
 func WithRetainPacketStats() Option {
 	return func(s *Simulation) { s.sc.RetainPackets = true }
+}
+
+// WithoutBatching forces the engine's general per-slot resolver, bypassing
+// the batch fast path for provably uncontended runs of slots. Results are
+// bit-identical with or without batching — this is an escape hatch for
+// debugging and for the differential tests that prove that equivalence, not
+// a semantic knob.
+func WithoutBatching() Option {
+	return func(s *Simulation) { s.sc.DisableBatching = true }
 }
 
 // LiveResult is the outcome of a concurrent (goroutine-per-device) run.

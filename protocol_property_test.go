@@ -19,6 +19,124 @@ import (
 //   - Accounting: every arrived packet is accounted in the accumulators,
 //     and throughput (T+J)/S lies in [0, 1].
 //   - Completion: a non-truncated run delivered everything.
+//
+// TestBatchingEquivalence pins down the batch fast path's core promise: for
+// every registered protocol kind × jammer kind (including none) × arrival
+// kind, running with batching enabled and with Scenario.DisableBatching set
+// produces bit-identical Results. Only the engine-mechanics counters that
+// describe *how* slots were resolved — WheelCascades, HeapOverflows, and
+// BatchedSlots itself — are allowed to differ, and those are normalized to
+// zero on both sides before the comparison; everything else, including
+// SlotsResolved, EventsScheduled, and the full streaming energy
+// accumulators, must agree exactly.
+func TestBatchingEquivalence(t *testing.T) {
+	const n = 48
+	protoFallback := map[string]lowsensing.ProtocolSpec{
+		lowsensing.ProtocolAloha: lowsensing.Aloha(1.0 / n),
+	}
+	jammers := []struct {
+		name string
+		spec lowsensing.JammerSpec
+	}{
+		{"none", lowsensing.JammerSpec{}},
+	}
+	jamFallback := map[string]lowsensing.JammerSpec{
+		lowsensing.JammerRandom:   lowsensing.RandomJamming(0.1, 0),
+		lowsensing.JammerBurst:    lowsensing.BurstJamming(4, 200),
+		lowsensing.JammerReactive: lowsensing.ReactiveJamming(0, 16),
+	}
+	for _, kd := range lowsensing.JammerKinds() {
+		spec := lowsensing.JammerSpec{Kind: kd.Kind}
+		if _, err := spec.Jammer(1); err != nil {
+			fb, ok := jamFallback[kd.Kind]
+			if !ok {
+				continue // bare spec not constructible and no fallback
+			}
+			spec = fb
+		}
+		jammers = append(jammers, struct {
+			name string
+			spec lowsensing.JammerSpec
+		}{kd.Kind, spec})
+	}
+	arrivals := []struct {
+		name string
+		spec lowsensing.ArrivalsSpec
+	}{}
+	arrFallback := map[string]lowsensing.ArrivalsSpec{
+		lowsensing.ArrivalsBatch:     lowsensing.BatchArrivals(n),
+		lowsensing.ArrivalsBernoulli: lowsensing.BernoulliArrivals(0.02, n),
+		lowsensing.ArrivalsPoisson:   lowsensing.PoissonArrivals(0.02, n),
+		lowsensing.ArrivalsQueue:     lowsensing.QueueArrivals(64, 0.5, 8),
+	}
+	for _, kd := range lowsensing.ArrivalKinds() {
+		spec := lowsensing.ArrivalsSpec{Kind: kd.Kind}
+		if _, err := spec.Source(1); err != nil {
+			fb, ok := arrFallback[kd.Kind]
+			if !ok {
+				continue // e.g. file arrivals: needs a trace path
+			}
+			spec = fb
+		}
+		arrivals = append(arrivals, struct {
+			name string
+			spec lowsensing.ArrivalsSpec
+		}{kd.Kind, spec})
+	}
+
+	var batchedAnywhere int64
+	for _, kd := range lowsensing.ProtocolKinds() {
+		proto := lowsensing.ProtocolSpec{Kind: kd.Kind}
+		if _, err := proto.Factory(); err != nil {
+			fb, ok := protoFallback[kd.Kind]
+			if !ok {
+				continue
+			}
+			proto = fb
+		}
+		for _, jam := range jammers {
+			for _, arr := range arrivals {
+				t.Run(kd.Kind+"/"+jam.name+"/"+arr.name, func(t *testing.T) {
+					sc := lowsensing.Scenario{
+						Seed:     11,
+						Arrivals: arr.spec,
+						Protocol: proto,
+						Jammer:   jam.spec,
+						MaxSlots: 1 << 18,
+					}
+					on, err := sc.Run()
+					if err != nil {
+						t.Fatal(err)
+					}
+					sc.DisableBatching = true
+					off, err := sc.Run()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if off.EngineStats.BatchedSlots != 0 {
+						t.Fatalf("DisableBatching run batched %d slots",
+							off.EngineStats.BatchedSlots)
+					}
+					batchedAnywhere += on.EngineStats.BatchedSlots
+					normalize := func(r *lowsensing.Result) {
+						r.EngineStats.WheelCascades = 0
+						r.EngineStats.HeapOverflows = 0
+						r.EngineStats.BatchedSlots = 0
+					}
+					normalize(&on)
+					normalize(&off)
+					if !reflect.DeepEqual(on, off) {
+						t.Fatalf("batching changed the result:\nbatched:  %+v\ngeneral:  %+v", on, off)
+					}
+				})
+			}
+		}
+	}
+	if batchedAnywhere == 0 {
+		t.Fatal("batch fast path never engaged across the whole matrix; the equivalence test is vacuous")
+	}
+}
+
 func TestRegisteredProtocolInvariants(t *testing.T) {
 	const n = 48
 	// Kinds whose bare spec is intentionally not constructible, with the

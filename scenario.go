@@ -33,6 +33,11 @@ type Scenario struct {
 	Jammer JammerSpec `json:"jammer,omitzero"`
 	// RetainPackets materializes Result.Packets (O(arrivals) memory).
 	RetainPackets bool `json:"retain_packets,omitempty"`
+	// DisableBatching forces the engine's general per-slot resolver,
+	// bypassing the batch fast path for uncontended runs. Results are
+	// bit-identical either way; this is an escape hatch for debugging and
+	// for the differential tests that prove that equivalence.
+	DisableBatching bool `json:"disable_batching,omitempty"`
 }
 
 // clone returns a deep copy of the scenario: the Params maps of all three
