@@ -94,7 +94,10 @@ type Observation struct {
 // never perturbs another packet's draws. Implementations must not retain
 // the *prng.Source (or any engine-provided pointer) across calls: the
 // engine owns the stream's storage and may relocate it between calls as
-// its internal tables grow. Always draw from the argument.
+// its internal tables grow. Always draw from the argument. This rule is
+// machine-enforced: the rngretain analyzer (go run ./cmd/lsbvet ./...)
+// flags any function that stores a per-call *prng.Source parameter into a
+// field, global, or closure, returns it, or takes its address.
 type Station interface {
 	ScheduleNext(from int64, rng *prng.Source) (slot int64, send bool)
 	Observe(obs Observation)
@@ -136,7 +139,9 @@ type Windowed interface {
 // the packet's global index in arrival order (0-based); rng is the packet's
 // private deterministic stream (the same one later passed to ScheduleNext).
 // Like stations, factories must not retain the rng pointer: the engine owns
-// its storage.
+// its storage. The rngretain analyzer enforces this for factories exactly
+// as it does for Station methods — the pointer may be drawn from and
+// passed onward, never kept.
 type StationFactory func(id int64, rng *prng.Source) Station
 
 // ArrivalSource produces the (slot, count) arrival schedule — the arrivals

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const fixtureRoot = "../../internal/analysis/testdata/src/"
+
+// Every fixture package must fail the suite: exit 1 with diagnostics on
+// stdout. This is the same invariant CI relies on in reverse — the module
+// exits 0, the fixtures exit 1 — so a driver that silently stops finding
+// anything cannot pass.
+func TestRunFixturesExitOne(t *testing.T) {
+	for _, dir := range []string{"determinism", "hotpath", "registry", "rngretain", "suppress"} {
+		var stdout, stderr bytes.Buffer
+		code := run([]string{fixtureRoot + dir}, &stdout, &stderr)
+		if code != 1 {
+			t.Errorf("%s: exit %d, want 1\nstdout: %s\nstderr: %s", dir, code, stdout.String(), stderr.String())
+		}
+		if stdout.Len() == 0 {
+			t.Errorf("%s: exit 1 with no diagnostics printed", dir)
+		}
+	}
+}
+
+// Restricting the run to one analyzer must drop the other analyzers'
+// diagnostics: the hotpath fixture is clean under determinism alone.
+func TestRunAnalyzerSelection(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-analyzers", "determinism", fixtureRoot + "hotpath"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+}
+
+func TestRunCleanPackage(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, want 0\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	out := stdout.String()
+	for _, name := range []string{"determinism", "hotpath", "registry", "rngretain"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing %q:\n%s", name, out)
+		}
+	}
+}
+
+func TestRunUnknownAnalyzer(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-analyzers", "nosuch"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown analyzer") {
+		t.Errorf("stderr missing explanation: %s", stderr.String())
+	}
+}
+
+func TestRunMissingDir(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./no/such/dir"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d, want 2\nstderr: %s", code, stderr.String())
+	}
+}

@@ -1,0 +1,294 @@
+// Package analysis implements lsbvet, the module's project-invariant
+// static-analysis suite. Four analyzers enforce, at the AST/type level,
+// invariants that previously lived only in documentation and after-the-fact
+// tests:
+//
+//   - determinism: engine and library code must be a pure function of its
+//     seed — no wall clocks, no global math/rand, no process environment,
+//     no iteration over maps whose order can reach output.
+//   - rngretain: per-call *prng.Source parameters must not outlive the
+//     call (the engine relocates its slot-table storage).
+//   - hotpath: functions annotated //lsbvet:hotpath must stay free of the
+//     constructs that allocate or defeat inlining.
+//   - registry: kind registration happens at init time with compile-time
+//     lowercase kind strings.
+//
+// The suite is stdlib-only — packages are loaded with go/parser and
+// type-checked with go/types via importer.ForCompiler(fset, "source", ...)
+// — because the module declares zero dependencies and the analyzers are
+// part of it.
+//
+// # Annotation vocabulary
+//
+//	//lsbvet:hotpath
+//	    In a function's doc comment: the hotpath analyzer checks this
+//	    function's body.
+//	//lsbvet:wallclock <note>
+//	    On a line (or the line above it): exempts wall-clock reads
+//	    (time.Now, time.Since) at that line from the determinism
+//	    analyzer. Only the wall-clock rule is exempted.
+//	//lsbvet:ignore <analyzer> <reason>
+//	    On a line (or the line above it): suppresses diagnostics of
+//	    exactly the named analyzer at that line. The reason is required;
+//	    an unknown analyzer name is itself a diagnostic and the directive
+//	    suppresses nothing.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Analyzer names. DriverName labels the driver's own diagnostics about
+// malformed directives; it is not a selectable analyzer.
+const (
+	NameDeterminism = "determinism"
+	NameHotPath     = "hotpath"
+	NameRegistry    = "registry"
+	NameRngRetain   = "rngretain"
+	DriverName      = "lsbvet"
+)
+
+// Project-specific package paths the analyzers are anchored to.
+const (
+	rootPkgPath = "lowsensing"
+	prngPkgPath = "lowsensing/prng"
+)
+
+// Diagnostic is one finding, positioned at a concrete file:line:col.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String formats the diagnostic as "file:line:col: analyzer: message".
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named check run over a loaded package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Analyzers returns the full suite in name order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		{
+			Name: NameDeterminism,
+			Doc:  "forbid wall clocks, global math/rand, the process environment, and unordered map iteration in deterministic code",
+			Run:  runDeterminism,
+		},
+		{
+			Name: NameHotPath,
+			Doc:  "forbid allocating or deoptimizing constructs in functions annotated //lsbvet:hotpath",
+			Run:  runHotPath,
+		},
+		{
+			Name: NameRegistry,
+			Doc:  "kind registration only from init or package-level var initializers, with constant lowercase kind strings",
+			Run:  runRegistry,
+		},
+		{
+			Name: NameRngRetain,
+			Doc:  "per-call *prng.Source parameters must not be stored in fields, globals, or closures",
+			Run:  runRngRetain,
+		},
+	}
+}
+
+// ByName resolves a comma-separated analyzer selection against the suite.
+func ByName(names string) ([]*Analyzer, error) {
+	all := Analyzers()
+	if names == "" {
+		return all, nil
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		found := false
+		for _, a := range all {
+			if a.Name == name {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown analyzer %q (have %s)", name, strings.Join(analyzerNames(), ", "))
+		}
+	}
+	return out, nil
+}
+
+func analyzerNames() []string {
+	var names []string
+	for _, a := range Analyzers() {
+		names = append(names, a.Name)
+	}
+	return names
+}
+
+// Pass carries one analyzer's run over one package.
+type Pass struct {
+	Pkg      *Package
+	analyzer string
+	diags    *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.analyzer,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Check runs the given analyzers over pkg, applies //lsbvet:ignore
+// suppressions, folds in the driver's directive diagnostics, and returns
+// everything sorted by position.
+func Check(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		a.Run(&Pass{Pkg: pkg, analyzer: a.Name, diags: &raw})
+	}
+	out := append([]Diagnostic(nil), pkg.directiveDiags...)
+	for _, d := range raw {
+		if !pkg.suppressed(d) {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return out
+}
+
+// collectDirectives scans every file's comments for //lsbvet: directives,
+// filling pkg.ignores, pkg.wallclock, and pkg.directiveDiags. Called once
+// at load time so suppression state exists before any analyzer runs.
+func (pkg *Package) collectDirectives() {
+	pkg.ignores = make(map[string]map[int][]string)
+	pkg.wallclock = make(map[string]map[int]bool)
+	known := make(map[string]bool)
+	for _, name := range analyzerNames() {
+		known[name] = true
+	}
+	for _, f := range pkg.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				rest, ok := strings.CutPrefix(c.Text, "//lsbvet:")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				verb := ""
+				if len(fields) > 0 {
+					verb = fields[0]
+				}
+				switch verb {
+				case "hotpath":
+					// Consumed by the hotpath analyzer straight from the
+					// function doc comment it annotates.
+				case "wallclock":
+					m := pkg.wallclock[pos.Filename]
+					if m == nil {
+						m = make(map[int]bool)
+						pkg.wallclock[pos.Filename] = m
+					}
+					m[pos.Line] = true
+				case "ignore":
+					switch {
+					case len(fields) < 2:
+						pkg.directiveDiag(pos, "//lsbvet:ignore needs an analyzer name and a reason")
+					case !known[fields[1]]:
+						pkg.directiveDiag(pos, "unknown analyzer %q in //lsbvet:ignore (have %s)",
+							fields[1], strings.Join(analyzerNames(), ", "))
+					case len(fields) < 3:
+						pkg.directiveDiag(pos, "//lsbvet:ignore %s is missing its reason", fields[1])
+					default:
+						m := pkg.ignores[pos.Filename]
+						if m == nil {
+							m = make(map[int][]string)
+							pkg.ignores[pos.Filename] = m
+						}
+						m[pos.Line] = append(m[pos.Line], fields[1])
+					}
+				default:
+					pkg.directiveDiag(pos, "unknown lsbvet directive %q (have hotpath, ignore, wallclock)", verb)
+				}
+			}
+		}
+	}
+}
+
+func (pkg *Package) directiveDiag(pos token.Position, format string, args ...any) {
+	pkg.directiveDiags = append(pkg.directiveDiags, Diagnostic{
+		Pos:      pos,
+		Analyzer: DriverName,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// suppressed reports whether a well-formed //lsbvet:ignore naming d's
+// analyzer sits on d's line or the line above it.
+func (pkg *Package) suppressed(d Diagnostic) bool {
+	m := pkg.ignores[d.Pos.Filename]
+	if m == nil {
+		return false
+	}
+	for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, name := range m[line] {
+			if name == d.Analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// wallclockAt reports whether a //lsbvet:wallclock annotation covers the
+// given position (same line or the line above).
+func (pkg *Package) wallclockAt(pos token.Position) bool {
+	m := pkg.wallclock[pos.Filename]
+	return m != nil && (m[pos.Line] || m[pos.Line-1])
+}
+
+// walkStack traverses root in source order, calling fn with each node and
+// its ancestor stack (outermost first, not including n). Returning false
+// skips n's children.
+func walkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		descend := fn(n, stack)
+		if descend {
+			stack = append(stack, n)
+		}
+		return descend
+	})
+}

@@ -1,0 +1,218 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The determinism analyzer enforces that a run is a pure function of its
+// seed: experiment tables are locked to byte-identical goldens and sweeps
+// must be order-independent, so library code must not read wall clocks
+// (time.Now, time.Since — annotate genuine progress-timing sites with
+// //lsbvet:wallclock), global math/rand state, or the process environment,
+// and must not let a map's iteration order reach any output.
+//
+// A range over a map is accepted when it provably cannot leak iteration
+// order:
+//
+//   - the enclosing function calls a sort.* or slices.Sort* function after
+//     the loop (the collect-keys-then-sort idiom), or
+//   - every statement in the loop body is order-insensitive: writes to map
+//     elements, delete calls, and commutative integer accumulation (n++,
+//     n += v, and friends — integer only: floating-point accumulation is
+//     not associative, so its bits depend on iteration order).
+//
+// Anything else needs restructuring or an explicit
+// //lsbvet:ignore determinism <reason>.
+
+// randAllowed lists math/rand and math/rand/v2 package-level functions
+// that do not touch the global generator. Everything else package-level
+// (Intn, Shuffle, Seed, ...) draws from or mutates shared process-global
+// state and is forbidden; methods on a locally seeded *rand.Rand are fine
+// and never flagged.
+var randAllowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func runDeterminism(p *Pass) {
+	info := p.Pkg.TypesInfo
+	for _, f := range p.Pkg.Files {
+		walkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				p.checkForbiddenUse(n)
+			case *ast.RangeStmt:
+				t := info.TypeOf(n.X)
+				if t == nil {
+					break
+				}
+				if _, ok := t.Underlying().(*types.Map); !ok {
+					break
+				}
+				if orderInsensitiveBody(info, n.Body) || sortsAfter(info, stack, n) {
+					break
+				}
+				p.Reportf(n.Pos(), "iteration over map %s has nondeterministic order; sort the keys before producing output (or //lsbvet:ignore determinism <reason> if order provably cannot reach output)", types.TypeString(t, types.RelativeTo(p.Pkg.Types)))
+			}
+			return true
+		})
+	}
+}
+
+// checkForbiddenUse flags references to the forbidden wall-clock, global
+// math/rand, and environment functions.
+func (p *Pass) checkForbiddenUse(id *ast.Ident) {
+	fn, ok := p.Pkg.TypesInfo.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Signature().Recv() != nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if id.Name == "Now" || id.Name == "Since" {
+			if p.Pkg.wallclockAt(p.Pkg.Fset.Position(id.Pos())) {
+				return
+			}
+			p.Reportf(id.Pos(), "wall-clock time.%s in deterministic code; runs must be a pure function of the seed (annotate //lsbvet:wallclock if this is genuine progress timing)", id.Name)
+		}
+	case "os":
+		if id.Name == "Getenv" || id.Name == "LookupEnv" || id.Name == "Environ" {
+			p.Reportf(id.Pos(), "os.%s reads the process environment; deterministic code must take configuration explicitly", id.Name)
+		}
+	case "math/rand", "math/rand/v2":
+		if !randAllowed[id.Name] {
+			p.Reportf(id.Pos(), "global math/rand %s; draw all randomness from a *prng.Source so runs are deterministic per seed", id.Name)
+		}
+	}
+}
+
+// orderInsensitiveBody reports whether every statement in a range body is
+// commutative with respect to iteration order.
+func orderInsensitiveBody(info *types.Info, body *ast.BlockStmt) bool {
+	for _, stmt := range body.List {
+		switch s := stmt.(type) {
+		case *ast.AssignStmt:
+			if !orderInsensitiveAssign(info, s) {
+				return false
+			}
+		case *ast.IncDecStmt:
+			if !isIntegerExpr(info, s.X) {
+				return false
+			}
+		case *ast.ExprStmt:
+			call, ok := s.X.(*ast.CallExpr)
+			if !ok || !isBuiltinCall(info, call, "delete") {
+				return false
+			}
+		case *ast.EmptyStmt:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// orderInsensitiveAssign accepts plain assignments whose every target is a
+// map element (or blank) — a map-to-map transfer keyed by the ranged keys —
+// and commutative integer op-assignments (+=, -=, |=, &=, ^=).
+func orderInsensitiveAssign(info *types.Info, s *ast.AssignStmt) bool {
+	switch s.Tok {
+	case token.ASSIGN:
+		for _, lhs := range s.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+				continue
+			}
+			ix, ok := lhs.(*ast.IndexExpr)
+			if !ok {
+				return false
+			}
+			t := info.TypeOf(ix.X)
+			if t == nil {
+				return false
+			}
+			if _, ok := t.Underlying().(*types.Map); !ok {
+				return false
+			}
+		}
+		return true
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		return len(s.Lhs) == 1 && isIntegerExpr(info, s.Lhs[0])
+	}
+	return false
+}
+
+func isIntegerExpr(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func isBuiltinCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// sortsAfter reports whether the function enclosing rs calls a sorting
+// function after the loop ends — the collect-then-sort idiom that makes
+// map iteration order unobservable.
+func sortsAfter(info *types.Info, stack []ast.Node, rs *ast.RangeStmt) bool {
+	var body *ast.BlockStmt
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			body = fn.Body
+		case *ast.FuncLit:
+			body = fn.Body
+		}
+		if body != nil {
+			break
+		}
+	}
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		var id *ast.Ident
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			id = fun
+		case *ast.SelectorExpr:
+			id = fun.Sel
+		default:
+			return true
+		}
+		fn, ok := info.Uses[id].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		switch fn.Pkg().Path() {
+		case "sort":
+			found = true
+		case "slices":
+			if len(id.Name) >= 4 && id.Name[:4] == "Sort" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

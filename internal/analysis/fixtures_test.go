@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// Fixture packages under testdata/src declare their expected diagnostics
+// inline with want comments:
+//
+//	start := time.Now() // want `determinism: wall-clock time\.Now`
+//
+// Each backtick-delimited regexp must match exactly one diagnostic on the
+// comment's line (against "analyzer: message"), and every diagnostic must
+// be claimed by a want — so the fixtures pin both the positives and, by
+// omission, every suppression and exemption.
+
+var (
+	wantComment = regexp.MustCompile("want ((?:`[^`]*`\\s*)+)")
+	wantArg     = regexp.MustCompile("`[^`]*`")
+)
+
+type wantEntry struct {
+	file string
+	line int
+	raw  string
+	re   *regexp.Regexp
+}
+
+func collectWants(t *testing.T, pkg *Package) []wantEntry {
+	t.Helper()
+	var wants []wantEntry
+	for _, f := range pkg.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				m := wantComment.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, arg := range wantArg.FindAllString(m[1], -1) {
+					raw := arg[1 : len(arg)-1]
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, raw, err)
+					}
+					wants = append(wants, wantEntry{file: pos.Filename, line: pos.Line, raw: raw, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func TestFixtures(t *testing.T) {
+	dirs, err := filepath.Glob(filepath.Join("testdata", "src", "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) == 0 {
+		t.Fatal("no fixture packages under testdata/src")
+	}
+	loader := NewLoader()
+	for _, dir := range dirs {
+		t.Run(filepath.Base(dir), func(t *testing.T) {
+			pkg, err := loader.Load(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diags := Check(pkg, Analyzers())
+			wants := collectWants(t, pkg)
+			if len(wants) == 0 {
+				t.Fatal("fixture declares no want comments")
+			}
+			claimed := make([]bool, len(diags))
+		wants:
+			for _, w := range wants {
+				for i, d := range diags {
+					if claimed[i] || d.Pos.Filename != w.file || d.Pos.Line != w.line {
+						continue
+					}
+					if w.re.MatchString(d.Analyzer + ": " + d.Message) {
+						claimed[i] = true
+						continue wants
+					}
+				}
+				t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+			}
+			for i, d := range diags {
+				if !claimed[i] {
+					t.Errorf("unexpected diagnostic: %s", d)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,236 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The hotpath analyzer checks functions annotated //lsbvet:hotpath (in the
+// function's doc comment) for constructs that allocate or defeat the
+// optimizations the engine's zero-allocation benchmarks depend on:
+//
+//   - function literals (closure environments allocate, and the indirect
+//     call blocks inlining);
+//   - calls into fmt or strconv (formatting machinery — move it behind a
+//     cold //go:noinline helper, as the engine's panic paths do);
+//   - map literals;
+//   - composite literals whose address is taken (&T{...} is a heap
+//     allocation candidate);
+//   - string concatenation (non-constant + on strings allocates);
+//   - conversions of concrete values to interface types (boxing), in
+//     assignments, call arguments, returns, and explicit conversions.
+//     Constant operands are exempt — the compiler materializes those
+//     statically — as are values that are already interfaces (interface
+//     method calls on stored interfaces are the engine's bread and
+//     butter and convert nothing).
+//
+// The check is per annotated function and does not follow calls: a callee
+// on the hot path wants its own annotation. It is a reviewable lint, not
+// an escape analysis — the allocation gate benchmarks in CI remain the
+// ground truth — but it turns the common regressions into compile-time
+// diagnostics with file:line positions.
+
+func runHotPath(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !hasHotPathDirective(fn) {
+				continue
+			}
+			p.checkHotFunc(fn)
+		}
+	}
+}
+
+// hasHotPathDirective reports whether fn's doc comment carries
+// //lsbvet:hotpath.
+func hasHotPathDirective(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.HasPrefix(c.Text, "//lsbvet:hotpath") {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Pass) checkHotFunc(fn *ast.FuncDecl) {
+	info := p.Pkg.TypesInfo
+	sig, _ := info.TypeOf(fn.Name).(*types.Signature)
+	walkStack(fn.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			p.Reportf(n.Pos(), "function literal in hot path; closures allocate and block inlining")
+			return false // its body is the closure's problem, not this function's
+		case *ast.CompositeLit:
+			t := info.TypeOf(n)
+			if t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					p.Reportf(n.Pos(), "map literal allocates in hot path")
+					break
+				}
+			}
+			if len(stack) > 0 {
+				if u, ok := stack[len(stack)-1].(*ast.UnaryExpr); ok && u.Op == token.AND && u.X == ast.Expr(n) {
+					p.Reportf(n.Pos(), "escaping composite literal &%s{...} allocates in hot path", typeLabel(info, n))
+				}
+			}
+		case *ast.CallExpr:
+			p.checkHotCall(n)
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringExpr(info, n.Lhs[0]) {
+				p.Reportf(n.Pos(), "string concatenation allocates in hot path")
+				break
+			}
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, rhs := range n.Rhs {
+					p.checkIfaceConv(info.TypeOf(n.Lhs[i]), rhs, "assignment")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringExpr(info, n) && !isConstExpr(info, n) {
+				p.Reportf(n.Pos(), "string concatenation allocates in hot path")
+			}
+		case *ast.ValueSpec:
+			if n.Type != nil {
+				t := info.TypeOf(n.Type)
+				for _, v := range n.Values {
+					p.checkIfaceConv(t, v, "assignment")
+				}
+			}
+		case *ast.ReturnStmt:
+			if sig == nil || sig.Results().Len() != len(n.Results) {
+				break
+			}
+			for i, res := range n.Results {
+				p.checkIfaceConv(sig.Results().At(i).Type(), res, "return")
+			}
+		}
+		return true
+	})
+}
+
+// checkHotCall flags fmt/strconv calls, explicit conversions to interface
+// types, and implicit boxing of concrete arguments into interface
+// parameters.
+func (p *Pass) checkHotCall(call *ast.CallExpr) {
+	info := p.Pkg.TypesInfo
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.IsBuiltin() {
+		return
+	}
+	if tv.IsType() {
+		// Explicit conversion T(x).
+		if len(call.Args) == 1 {
+			p.checkIfaceConv(tv.Type, call.Args[0], "conversion")
+		}
+		return
+	}
+	if fn := calleeFunc(info, call); fn != nil && fn.Pkg() != nil && fn.Signature().Recv() == nil {
+		switch path := fn.Pkg().Path(); path {
+		case "fmt", "strconv":
+			p.Reportf(call.Pos(), "call to %s.%s in hot path; move formatting to a cold helper (the engine's panic paths use //go:noinline helpers for this)", path, fn.Name())
+			return
+		}
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // arg is already the []T
+			}
+			pt = sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice).Elem()
+		case i < sig.Params().Len():
+			pt = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		p.checkIfaceConv(pt, arg, "call argument")
+	}
+}
+
+// checkIfaceConv reports a boxing conversion when a concrete, non-constant
+// value meets an interface-typed destination.
+func (p *Pass) checkIfaceConv(dst types.Type, src ast.Expr, context string) {
+	info := p.Pkg.TypesInfo
+	if dst == nil || !isIfaceType(dst) {
+		return
+	}
+	tv, ok := info.Types[src]
+	if !ok || tv.Value != nil || tv.IsNil() || tv.Type == nil {
+		return
+	}
+	if isIfaceType(tv.Type) || isTypeParam(tv.Type) {
+		return
+	}
+	p.Reportf(src.Pos(), "interface conversion in hot path: %s boxes %s into %s",
+		context,
+		types.TypeString(tv.Type, types.RelativeTo(p.Pkg.Types)),
+		types.TypeString(dst, types.RelativeTo(p.Pkg.Types)))
+}
+
+// isIfaceType reports whether t is an interface type (type parameters do
+// not count: instantiation decides, and the engine's generic helpers take
+// concrete types).
+func isIfaceType(t types.Type) bool {
+	if isTypeParam(t) {
+		return false
+	}
+	return types.IsInterface(t)
+}
+
+func isTypeParam(t types.Type) bool {
+	_, ok := t.(*types.TypeParam)
+	return ok
+}
+
+func isStringExpr(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isConstExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// calleeFunc resolves the called function object, if the call is through a
+// plain identifier or selector.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// typeLabel renders a composite literal's type compactly for diagnostics.
+func typeLabel(info *types.Info, lit *ast.CompositeLit) string {
+	t := info.TypeOf(lit)
+	if t == nil {
+		return "T"
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}

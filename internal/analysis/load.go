@@ -1,0 +1,214 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis. Test
+// files (*_test.go) are excluded: the invariants lsbvet enforces are about
+// shipped simulator code, and tests legitimately use wall clocks and
+// unordered iteration.
+type Package struct {
+	// Dir is the package directory as given to the loader.
+	Dir string
+	// ImportPath is the module-relative import path ("lowsensing/obs").
+	ImportPath string
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+
+	// ignores maps file -> line -> analyzer names suppressed there by a
+	// well-formed //lsbvet:ignore directive. A directive suppresses
+	// diagnostics on its own line and on the line directly below it, so
+	// both trailing comments and comment-above placements work.
+	ignores map[string]map[int][]string
+	// wallclock maps file -> lines annotated //lsbvet:wallclock; the
+	// determinism analyzer exempts wall-clock reads (and only those) at
+	// the annotated line or the line below.
+	wallclock map[string]map[int]bool
+	// directiveDiags are the driver's own diagnostics about malformed
+	// lsbvet directives (unknown analyzer names, missing reasons). They
+	// are reported unconditionally and cannot be suppressed.
+	directiveDiags []Diagnostic
+}
+
+// Loader parses and type-checks packages with a shared FileSet and a
+// shared source importer, so dependencies are type-checked once per
+// process no matter how many packages are loaded. It is stdlib-only:
+// go/parser + go/types + importer.ForCompiler(fset, "source", ...), which
+// resolves the module's own import paths through go/build in module mode.
+// Loaders are not safe for concurrent use.
+type Loader struct {
+	fset *token.FileSet
+	imp  types.Importer
+}
+
+// NewLoader returns a Loader with a fresh FileSet and source importer.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+}
+
+// Load parses and type-checks the package in dir.
+func (l *Loader) Load(dir string) (*Package, error) {
+	names, err := goFileNames(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("%s: no non-test Go files", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	importPath, err := dirImportPath(dir)
+	if err != nil {
+		return nil, err
+	}
+	conf := types.Config{Importer: l.imp}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	tpkg, err := conf.Check(importPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", dir, err)
+	}
+	pkg := &Package{
+		Dir:        dir,
+		ImportPath: importPath,
+		Fset:       l.fset,
+		Files:      files,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}
+	pkg.collectDirectives()
+	return pkg, nil
+}
+
+// goFileNames lists the non-test .go files of dir, sorted.
+func goFileNames(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// ExpandPatterns resolves package patterns to package directories. A
+// pattern ending in "..." walks the directory tree beneath its prefix,
+// skipping testdata, hidden, and underscore-prefixed directories exactly
+// like the go tool; any other pattern names one directory and is taken
+// literally, which is how the analyzer fixtures under testdata are loaded
+// on purpose.
+func ExpandPatterns(patterns []string) ([]string, error) {
+	var dirs []string
+	for _, pat := range patterns {
+		if !strings.HasSuffix(pat, "...") {
+			dirs = append(dirs, filepath.Clean(pat))
+			continue
+		}
+		root := filepath.Clean(strings.TrimSuffix(pat, "..."))
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			if name := d.Name(); path != root &&
+				(name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return fs.SkipDir
+			}
+			names, err := goFileNames(path)
+			if err != nil {
+				return err
+			}
+			if len(names) > 0 {
+				dirs = append(dirs, path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("pattern %s: %w", pat, err)
+		}
+	}
+	return dirs, nil
+}
+
+// dirImportPath computes dir's import path by locating the enclosing
+// go.mod and joining the module path with dir's position under it.
+func dirImportPath(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return "", fmt.Errorf("%s: no enclosing go.mod", dir)
+		}
+		root = parent
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	rel, err := filepath.Rel(root, abs)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return modPath, nil
+	}
+	return modPath + "/" + filepath.ToSlash(rel), nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("%s: no module line", gomod)
+}

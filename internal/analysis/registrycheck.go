@@ -1,0 +1,188 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// The registry analyzer enforces the kind-registry discipline documented
+// in lowsensing's registry.go: RegisterProtocol, RegisterArrivals, and
+// RegisterJammer may only be called at init time — from an init function,
+// a package-level var initializer, or an unexported helper provably called
+// only from those — so every kind exists before the first spec can name
+// it, from any goroutine. The kind argument must be a compile-time string
+// constant that is non-empty, lowercase, and free of whitespace, so
+// grepping for a kind string always finds its registration and spec files
+// never depend on runtime string construction.
+
+// registerFuncs are the guarded functions, all in the module root package.
+var registerFuncs = map[string]bool{
+	"RegisterProtocol": true,
+	"RegisterArrivals": true,
+	"RegisterJammer":   true,
+}
+
+func runRegistry(p *Pass) {
+	info := p.Pkg.TypesInfo
+	initOnly := initOnlyFuncs(p.Pkg)
+	for _, f := range p.Pkg.Files {
+		walkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != rootPkgPath || !registerFuncs[fn.Name()] {
+				return true
+			}
+			atInit, encl := initContext(stack)
+			if !atInit && (encl == nil || !initOnly[info.Defs[encl.Name]]) {
+				p.Reportf(call.Pos(), "%s outside init or a package-level var initializer; kinds must exist before the first spec resolves", fn.Name())
+			}
+			if len(call.Args) > 0 {
+				p.checkKindArg(fn.Name(), call.Args[0])
+			}
+			return true
+		})
+	}
+}
+
+// initContext classifies the enclosing context of a node given its
+// ancestor stack. It returns atInit = true when the node sits directly in
+// an init function or a package-level var initializer (function literals
+// along the way count only when immediately invoked — a stored literal can
+// run at any time). Otherwise it returns the nearest enclosing FuncDecl,
+// if the path to it crosses no escaping function literal.
+func initContext(stack []ast.Node) (atInit bool, encl *ast.FuncDecl) {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.FuncDecl:
+			if n.Recv == nil && n.Name.Name == "init" {
+				return true, nil
+			}
+			return false, n
+		case *ast.FuncLit:
+			if i == 0 {
+				return false, nil
+			}
+			call, ok := stack[i-1].(*ast.CallExpr)
+			if !ok || call.Fun != ast.Expr(n) {
+				return false, nil
+			}
+		}
+	}
+	// Reached the file without crossing a function: a package-level var
+	// initializer.
+	return true, nil
+}
+
+// initOnlyFuncs computes the package's unexported top-level functions that
+// are reachable only at init time: every reference to them is a direct
+// call made from init, a package-level var initializer, or another
+// function in the set. Computed as a fixed point over the call edges.
+func initOnlyFuncs(pkg *Package) map[types.Object]bool {
+	info := pkg.TypesInfo
+
+	// Candidates: unexported, receiver-less, non-init top-level functions.
+	candidates := make(map[types.Object]bool)
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil || fd.Name.IsExported() || fd.Name.Name == "init" {
+				continue
+			}
+			if obj := info.Defs[fd.Name]; obj != nil {
+				candidates[obj] = true
+			}
+		}
+	}
+
+	// Each use of a candidate either disqualifies it outright (not a
+	// direct call, or inside an escaping literal) or records a dependency
+	// on the function the use appears in.
+	type use struct {
+		atInit bool
+		from   types.Object // nil unless the use sits in a named function
+	}
+	uses := make(map[types.Object][]use)
+	disqualified := make(map[types.Object]bool)
+	for _, f := range pkg.Files {
+		walkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := info.Uses[id]
+			if obj == nil || !candidates[obj] {
+				return true
+			}
+			directCall := false
+			if len(stack) > 0 {
+				if call, ok := stack[len(stack)-1].(*ast.CallExpr); ok && call.Fun == ast.Expr(id) {
+					directCall = true
+				}
+			}
+			if !directCall {
+				disqualified[obj] = true // taken as a value: may run later
+				return true
+			}
+			atInit, encl := initContext(stack)
+			switch {
+			case atInit:
+				uses[obj] = append(uses[obj], use{atInit: true})
+			case encl != nil:
+				uses[obj] = append(uses[obj], use{from: info.Defs[encl.Name]})
+			default:
+				disqualified[obj] = true // called from an escaping literal
+			}
+			return true
+		})
+	}
+
+	// Fixed point: start from "every non-disqualified candidate with at
+	// least one use qualifies" and remove any whose use depends on a
+	// non-member, until stable.
+	inSet := make(map[types.Object]bool)
+	//lsbvet:ignore determinism the fixed point below is confluent, so membership is order-independent
+	for obj := range candidates {
+		if !disqualified[obj] && len(uses[obj]) > 0 {
+			inSet[obj] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		//lsbvet:ignore determinism deletion order cannot change a least fixed point
+		for obj := range inSet {
+			for _, u := range uses[obj] {
+				if u.atInit || inSet[u.from] {
+					continue
+				}
+				delete(inSet, obj)
+				changed = true
+				break
+			}
+		}
+	}
+	return inSet
+}
+
+// checkKindArg requires the kind to be a compile-time lowercase string
+// constant.
+func (p *Pass) checkKindArg(fnName string, arg ast.Expr) {
+	tv, ok := p.Pkg.TypesInfo.Types[arg]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		p.Reportf(arg.Pos(), "%s kind must be a compile-time string constant, so registrations are greppable and spec-stable", fnName)
+		return
+	}
+	kind := constant.StringVal(tv.Value)
+	switch {
+	case kind == "":
+		p.Reportf(arg.Pos(), "%s kind must not be empty", fnName)
+	case kind != strings.ToLower(kind):
+		p.Reportf(arg.Pos(), "%s kind %q must be lowercase by registry convention", fnName, kind)
+	case strings.ContainsAny(kind, " \t\n"):
+		p.Reportf(arg.Pos(), "%s kind %q must not contain whitespace", fnName, kind)
+	}
+}

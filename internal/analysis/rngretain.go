@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The rngretain analyzer enforces the channel.Station / channel.Jammer /
+// channel.StationFactory contract that per-call *prng.Source arguments are
+// borrowed, never kept: the engine embeds each packet's Source by value in
+// its slot table and relocates that storage as the table grows, so a
+// pointer stored in a field, global, map, slice, or closure dangles into a
+// stale backing array. This is the exact bug class the station-recycling
+// migration note warns third-party protocol kinds about, enforced for any
+// function — method, factory, or helper — that takes a *prng.Source
+// parameter.
+//
+// Flagged escapes of the parameter (and of the Source value obtained by
+// dereferencing it, which silently forks the stream):
+//
+//   - assignment to a struct field, map or slice element, or package-level
+//     variable;
+//   - use as a composite-literal element;
+//   - capture by a nested function literal;
+//   - returning it;
+//   - taking its address.
+//
+// Passing the pointer onward as a call argument is the intended use and is
+// never flagged. The check is syntactic per function: a local alias that
+// then escapes is not tracked, so it is a lint, not a proof — but it
+// catches every natural spelling of the bug.
+
+func runRngRetain(p *Pass) {
+	info := p.Pkg.TypesInfo
+	for _, f := range p.Pkg.Files {
+		walkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			var params *ast.FieldList
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				params = fn.Type.Params
+			case *ast.FuncLit:
+				params = fn.Type.Params
+			default:
+				return true
+			}
+			for _, field := range params.List {
+				if !isPrngSourcePtr(info.TypeOf(field.Type)) {
+					continue
+				}
+				for _, name := range field.Names {
+					obj, ok := info.Defs[name].(*types.Var)
+					if !ok {
+						continue
+					}
+					p.checkSourceParam(n, obj)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isPrngSourcePtr reports whether t is *lowsensing/prng.Source.
+func isPrngSourcePtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Source" && obj.Pkg() != nil && obj.Pkg().Path() == prngPkgPath
+}
+
+// checkSourceParam walks the body of fnNode (the function owning the
+// parameter obj) and reports every use of obj that escapes the call.
+func (p *Pass) checkSourceParam(fnNode ast.Node, obj *types.Var) {
+	info := p.Pkg.TypesInfo
+	walkStack(fnNode, func(n ast.Node, stack []ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || info.Uses[id] != obj {
+			return true
+		}
+		// Capture by any function literal nested inside the owner: the
+		// closure may run after the call returns.
+		for i := len(stack) - 1; i >= 0; i-- {
+			if stack[i] == fnNode {
+				break
+			}
+			if _, ok := stack[i].(*ast.FuncLit); ok {
+				p.Reportf(id.Pos(), "per-call *prng.Source captured by a closure; draw from the argument inside the call, the engine owns and relocates the stream's storage")
+				return true
+			}
+		}
+		// The escaping expression is the identifier itself, or *ident (a
+		// value copy of the Source, which forks the stream).
+		expr, parent := ast.Expr(id), len(stack)-1
+		if parent >= 0 {
+			if star, ok := stack[parent].(*ast.StarExpr); ok && star.X == expr {
+				expr, parent = star, parent-1
+			}
+		}
+		if parent < 0 {
+			return true
+		}
+		switch pn := stack[parent].(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range pn.Rhs {
+				if rhs != expr || i >= len(pn.Lhs) {
+					continue
+				}
+				if desc, bad := escapingAssignTarget(info, pn.Lhs[i]); bad {
+					p.Reportf(id.Pos(), "per-call *prng.Source stored into %s; the engine owns and relocates the stream's storage, draw from the argument instead", desc)
+				}
+			}
+		case *ast.CompositeLit:
+			p.Reportf(id.Pos(), "per-call *prng.Source escapes via a composite literal; the engine owns and relocates the stream's storage, draw from the argument instead")
+		case *ast.KeyValueExpr:
+			if pn.Value == expr {
+				p.Reportf(id.Pos(), "per-call *prng.Source escapes via a composite literal; the engine owns and relocates the stream's storage, draw from the argument instead")
+			}
+		case *ast.ReturnStmt:
+			p.Reportf(id.Pos(), "per-call *prng.Source returned from the call; the engine owns and relocates the stream's storage")
+		case *ast.UnaryExpr:
+			if pn.Op == token.AND && pn.X == expr {
+				p.Reportf(id.Pos(), "address of per-call *prng.Source parameter taken; the engine owns and relocates the stream's storage")
+			}
+		}
+		return true
+	})
+}
+
+// escapingAssignTarget classifies an assignment target: anything other
+// than a plain local variable (or blank) outlives the call.
+func escapingAssignTarget(info *types.Info, lhs ast.Expr) (string, bool) {
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		if lhs.Name == "_" {
+			return "", false
+		}
+		obj := info.Uses[lhs]
+		if obj == nil {
+			obj = info.Defs[lhs]
+		}
+		if v, ok := obj.(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return "package-level variable " + lhs.Name, true
+		}
+		return "", false
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[lhs]; ok && sel.Kind() == types.FieldVal {
+			return "field " + lhs.Sel.Name, true
+		}
+		// Qualified package-level variable (pkg.Var) or embedded access.
+		return "variable " + lhs.Sel.Name, true
+	case *ast.IndexExpr:
+		return "a map or slice element", true
+	case *ast.StarExpr:
+		return "a dereferenced pointer", true
+	}
+	return "an assignment target that outlives the call", true
+}

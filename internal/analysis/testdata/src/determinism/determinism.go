@@ -1,0 +1,83 @@
+// Package determinism exercises the determinism analyzer. Lines with
+// want comments are true positives; the annotated lines next to them are
+// the same patterns made legal, proving each exemption works.
+package determinism
+
+import (
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()      // want `determinism: wall-clock time\.Now`
+	return time.Since(start) // want `determinism: wall-clock time\.Since`
+}
+
+func wallClockAnnotated() time.Duration {
+	start := time.Now() //lsbvet:wallclock fixture: progress timing, never folded into results
+	//lsbvet:wallclock fixture: the line-above form
+	return time.Since(start)
+}
+
+func env() string {
+	return os.Getenv("HOME") // want `determinism: os\.Getenv reads the process environment`
+}
+
+func globalRand() int {
+	return rand.Intn(6) // want `determinism: global math/rand Intn`
+}
+
+func seededRand() int {
+	r := rand.New(rand.NewSource(1)) // constructors are fine; only global state is forbidden
+	return r.Intn(6)                 // methods on a locally seeded *rand.Rand are fine
+}
+
+func mapKeysUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `determinism: iteration over map map\[string\]int has nondeterministic order`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func mapKeysSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // collect-then-sort: order cannot reach output
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func mapIntSum(m map[string]int) int {
+	total := 0
+	for _, v := range m { // integer accumulation commutes; order-insensitive
+		total += v
+	}
+	return total
+}
+
+func mapTransfer(dst, src map[string]int) {
+	for k, v := range src { // map-to-map transfer keyed by the ranged key
+		dst[k] = v
+	}
+}
+
+func mapFloatSum(m map[string]float64) float64 {
+	total := 0.0
+	//lsbvet:ignore determinism fixture: accepts FP summation order sensitivity deliberately
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func mapFloatSumFlagged(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want `determinism: iteration over map map\[string\]float64 has nondeterministic order`
+		total += v // FP addition is not associative, so the bits depend on order
+	}
+	return total
+}

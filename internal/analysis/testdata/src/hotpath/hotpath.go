@@ -1,0 +1,83 @@
+// Package hotpath exercises the hotpath analyzer. Only functions whose
+// doc comment carries //lsbvet:hotpath are checked; coldFmt below proves
+// unannotated functions are left alone.
+package hotpath
+
+import (
+	"fmt"
+	"strconv"
+)
+
+type item struct{ v int }
+
+func sink(v any) { _ = v }
+
+//lsbvet:hotpath
+func hotFormatting(n int) {
+	_ = fmt.Sprintf("%d", n) // want `hotpath: call to fmt\.Sprintf in hot path`
+	_ = strconv.Itoa(n)      // want `hotpath: call to strconv\.Itoa in hot path`
+}
+
+func coldFmt(n int) string { // no annotation: formatting is fine here
+	return fmt.Sprintf("%d", n)
+}
+
+//lsbvet:hotpath
+func hotClosure() func() int {
+	return func() int { return 1 } // want `hotpath: function literal in hot path`
+}
+
+//lsbvet:hotpath
+func hotLiterals() *item {
+	m := map[int]int{} // want `hotpath: map literal allocates in hot path`
+	_ = m
+	return &item{v: 1} // want `hotpath: escaping composite literal &item\{\.\.\.\} allocates in hot path`
+}
+
+//lsbvet:hotpath
+func hotValueLiteral() item {
+	return item{v: 1} // a value composite literal stays on the stack; not flagged
+}
+
+//lsbvet:hotpath
+func hotConcat(a, b string) string {
+	return a + b // want `hotpath: string concatenation allocates in hot path`
+}
+
+//lsbvet:hotpath
+func hotAppendConcat(s string) {
+	s += "x" // want `hotpath: string concatenation allocates in hot path`
+	_ = s
+}
+
+//lsbvet:hotpath
+func hotBoxReturn(v int) any {
+	return v // want `hotpath: interface conversion in hot path: return boxes int into`
+}
+
+//lsbvet:hotpath
+func hotBoxArg(v int) {
+	sink(v) // want `hotpath: interface conversion in hot path: call argument boxes int into`
+}
+
+//lsbvet:hotpath
+func hotBoxAssign(v int) {
+	var x any
+	x = v // want `hotpath: interface conversion in hot path: assignment boxes int into`
+	_ = x
+}
+
+//lsbvet:hotpath
+func hotConstBox() any {
+	return 42 // constants are materialized statically; not flagged
+}
+
+//lsbvet:hotpath
+func hotIfacePassthrough(x any) any {
+	return x // already an interface; converts nothing
+}
+
+//lsbvet:hotpath
+func hotSuppressed(n int) {
+	_ = fmt.Sprintf("%d", n) //lsbvet:ignore hotpath fixture: keeps formatting here deliberately
+}

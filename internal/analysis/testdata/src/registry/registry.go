@@ -1,0 +1,52 @@
+// Package registry exercises the registry analyzer against the real
+// lowsensing registration functions. Nothing here runs — the fixture is
+// only type-checked — so the kinds never collide with the builtins.
+package registry
+
+import (
+	"lowsensing"
+)
+
+func init() {
+	lowsensing.RegisterProtocol("goodkind", "registered from init", nil)
+	lowsensing.RegisterProtocol("", "doc", nil)          // want `registry: RegisterProtocol kind must not be empty`
+	lowsensing.RegisterProtocol("two words", "doc", nil) // want `registry: RegisterProtocol kind "two words" must not contain whitespace`
+	lowsensing.RegisterJammer("UpperKind", "doc", nil)   // want `registry: RegisterJammer kind "UpperKind" must be lowercase`
+}
+
+// A package-level var initializer is init time.
+var _ = registerVar()
+
+func registerVar() bool {
+	lowsensing.RegisterArrivals("varkind", "helper called only from a var initializer", nil)
+	return true
+}
+
+// An unexported helper called only from init qualifies.
+func registerHelper() {
+	lowsensing.RegisterJammer("initonlykind", "helper called only from init", nil)
+}
+
+func init() { registerHelper() }
+
+// A helper also reachable from an exported function does not.
+func registerBoth() {
+	lowsensing.RegisterJammer("bothkind", "doc", nil) // want `registry: RegisterJammer outside init or a package-level var initializer`
+}
+
+func init() { registerBoth() }
+
+// Trigger makes registerBoth callable at any time.
+func Trigger() { registerBoth() }
+
+// Setup is exported, so it can run long after init.
+func Setup(kind string) {
+	lowsensing.RegisterProtocol("latekind", "doc", nil) // want `registry: RegisterProtocol outside init or a package-level var initializer`
+	lowsensing.RegisterJammer(kind, "doc", nil)         // want `registry: RegisterJammer outside init` `registry: RegisterJammer kind must be a compile-time string constant`
+}
+
+// LateRegister models a harness helper the project has decided to allow.
+func LateRegister() {
+	//lsbvet:ignore registry fixture: a test harness registering kinds on demand
+	lowsensing.RegisterProtocol("okkind", "doc", nil)
+}

@@ -1,0 +1,77 @@
+// Package rngretain exercises the rngretain analyzer: per-call
+// *prng.Source parameters are borrowed, never kept, because the engine
+// relocates the slot-table storage they point into.
+package rngretain
+
+import (
+	"lowsensing/prng"
+)
+
+type station struct {
+	rng *prng.Source
+	w   float64
+}
+
+var (
+	globalRNG  *prng.Source
+	globalCopy prng.Source
+	globalPtr  **prng.Source
+)
+
+func keepInField(s *station, rng *prng.Source) {
+	s.rng = rng // want `rngretain: per-call \*prng\.Source stored into field rng`
+}
+
+func (s *station) ScheduleNext(from int64, rng *prng.Source) (int64, bool) {
+	s.rng = rng // want `rngretain: per-call \*prng\.Source stored into field rng`
+	return from, true
+}
+
+func keepInGlobal(rng *prng.Source) {
+	globalRNG = rng // want `rngretain: per-call \*prng\.Source stored into package-level variable globalRNG`
+}
+
+func keepValueCopy(rng *prng.Source) {
+	globalCopy = *rng // want `rngretain: per-call \*prng\.Source stored into package-level variable globalCopy`
+}
+
+func keepInClosure(rng *prng.Source) func() uint64 {
+	return func() uint64 {
+		return rng.Uint64() // want `rngretain: per-call \*prng\.Source captured by a closure`
+	}
+}
+
+func keepInLiteral(rng *prng.Source) station {
+	return station{rng: rng} // want `rngretain: per-call \*prng\.Source escapes via a composite literal`
+}
+
+func keepByReturn(rng *prng.Source) *prng.Source {
+	return rng // want `rngretain: per-call \*prng\.Source returned from the call`
+}
+
+func keepAddress(rng *prng.Source) {
+	globalPtr = &rng // want `rngretain: address of per-call \*prng\.Source parameter taken`
+}
+
+var factory = func(id int64, rng *prng.Source) {
+	globalRNG = rng // want `rngretain: per-call \*prng\.Source stored into package-level variable globalRNG`
+	_ = id
+}
+
+func draw(rng *prng.Source) float64 {
+	return rng.Float64() // drawing inside the call is the intended use
+}
+
+func forward(rng *prng.Source) float64 {
+	return draw(rng) // passing the pointer onward is never flagged
+}
+
+func mapElement(m map[int]float64, rng *prng.Source) {
+	m[0] = rng.Float64() // storing a draw is fine; only the pointer is borrowed
+}
+
+type recorder struct{ rng *prng.Source }
+
+func keepSuppressed(r *recorder, rng *prng.Source) {
+	r.rng = rng //lsbvet:ignore rngretain fixture: a debug recorder that deliberately owns a forked stream
+}

@@ -1,0 +1,46 @@
+// Package suppress exercises the //lsbvet:ignore machinery itself: an
+// ignore silences exactly the named analyzer at its line (and the line
+// below), other analyzers' diagnostics on the same line survive, and a
+// malformed or unknown-name directive is a diagnostic instead of a silent
+// no-op.
+package suppress
+
+import (
+	"fmt"
+	"time"
+)
+
+// One line that violates two analyzers at once: ignoring hotpath must
+// leave the determinism diagnostic standing.
+//
+//lsbvet:hotpath
+func mixedKeepDeterminism() {
+	//lsbvet:ignore hotpath fixture: the determinism diagnostic must survive
+	_ = fmt.Sprint(time.Now()) // want `determinism: wall-clock time\.Now`
+}
+
+// The same line with the opposite ignore: determinism is silenced and the
+// hotpath diagnostic survives.
+//
+//lsbvet:hotpath
+func mixedKeepHotpath() {
+	//lsbvet:ignore determinism fixture: the hotpath diagnostic must survive
+	_ = fmt.Sprint(time.Now()) // want `hotpath: call to fmt\.Sprint in hot path`
+}
+
+// An ignore reaches its own line and the next — not two lines down.
+func ignoreTooFarAway() time.Time {
+	//lsbvet:ignore determinism fixture: two lines above the violation, so it must not apply
+
+	return time.Now() // want `determinism: wall-clock time\.Now`
+}
+
+// Malformed directives are inert and report themselves. They cannot be
+// suppressed: the driver's own diagnostics are not a selectable analyzer.
+func malformed() {
+	_ = 0 /* want `lsbvet: //lsbvet:ignore needs an analyzer name and a reason` */ //lsbvet:ignore
+	_ = 1 /* want `lsbvet: unknown analyzer "nosuch" in //lsbvet:ignore` */        //lsbvet:ignore nosuch because misspelled names must not silently suppress
+	_ = 2 /* want `lsbvet: //lsbvet:ignore determinism is missing its reason` */   //lsbvet:ignore determinism
+	_ = 3 /* want `lsbvet: unknown lsbvet directive "frobnicate"` */               //lsbvet:frobnicate
+	_ = 4 /* want `lsbvet: unknown analyzer "lsbvet" in //lsbvet:ignore` */        //lsbvet:ignore lsbvet the driver cannot be told to ignore itself
+}

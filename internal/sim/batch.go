@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"fmt"
 	"math"
 )
 
@@ -62,6 +61,8 @@ import (
 // when t's accessor turns out to be alone with nothing else pending nearby,
 // the whole uncontended run it heads. Falls back to resolveSlot for
 // contended slots.
+//
+//lsbvet:hotpath
 func (e *Engine) resolveRun(t int64) {
 	// The run can extend at most to the slot before the pending arrival,
 	// and never past MaxSlots.
@@ -77,7 +78,7 @@ func (e *Engine) resolveRun(t int64) {
 	}
 	ev, ok := e.events.popAtMost(t)
 	if !ok {
-		panic(fmt.Sprintf("sim: resolveRun(%d) with no event due", t))
+		noEventPanic(t)
 	}
 	// Probe the wheel for the next pending event after the one popped. A
 	// hit at t means a second accessor shares the slot — contended, so the
@@ -101,6 +102,8 @@ func (e *Engine) resolveRun(t int64) {
 // the engine exactly as the general resolver would have left it: either the
 // station departed, or its next access is past limit and re-enters the
 // wheel.
+//
+//lsbvet:hotpath
 func (e *Engine) runStation(idx int32, t, limit int64) {
 	ss := &e.stations[idx]
 	jam := e.jammer
@@ -192,7 +195,7 @@ func (e *Engine) runStation(idx int32, t, limit int64) {
 		}
 		next, send := scheduleStation(ss, t+1, &ss.rng)
 		if next <= t {
-			panic(fmt.Sprintf("sim: station %d rescheduled slot %d not after %d", ss.id, next, t))
+			reschedPanic(ss.id, next, t)
 		}
 		ss.nextSlot = next
 		ss.willSend = send

@@ -70,6 +70,8 @@ func classifyStation(st Station) stationKind {
 // observeStation delivers one slot observation through the devirtualized
 // path: a direct call to the tagged concrete type, or the interface call
 // for kindGeneric.
+//
+//lsbvet:hotpath
 func observeStation(ss *stationState, o Observation) {
 	switch ss.kind {
 	case kindLSB:
@@ -96,6 +98,8 @@ func observeStation(ss *stationState, o Observation) {
 // scheduleStation asks the station for its next access through the
 // devirtualized path. rng is passed explicitly rather than read from ss so
 // the call sites keep the exact &ss.rng argument the contract requires.
+//
+//lsbvet:hotpath
 func scheduleStation(ss *stationState, from int64, rng *prng.Source) (int64, bool) {
 	switch ss.kind {
 	case kindLSB:

@@ -279,6 +279,8 @@ func (e *Engine) Run() (Result, error) {
 // the packet's slot-table entry comes off the free list, its rng stream is
 // reinitialized in place, and a recycled ReusableStation is Reset instead
 // of reconstructed.
+//
+//lsbvet:hotpath
 func (e *Engine) inject(t int64) {
 	count := e.pendCount
 	for i := int64(0); i < count; i++ {
@@ -309,7 +311,7 @@ func (e *Engine) inject(t int64) {
 		ss.st = st
 		next, send := scheduleStation(ss, t, &ss.rng)
 		if next < t {
-			panic(fmt.Sprintf("sim: station %d scheduled slot %d before current slot %d", id, next, t))
+			schedBehindPanic(id, next, t)
 		}
 		ss.id = id
 		ss.arrival = t
@@ -344,13 +346,15 @@ func (e *Engine) inject(t int64) {
 	// this point (adaptive arrivals); history reflects slots < t.
 	nextSlot, nextCount, ok := e.params.Arrivals.Next()
 	if ok && nextSlot < t {
-		panic(fmt.Sprintf("sim: arrival source went backwards: %d after %d", nextSlot, t))
+		arrivalsBackPanic(nextSlot, t)
 	}
 	e.pendSlot, e.pendCount, e.pendOK = nextSlot, nextCount, ok
 }
 
 // resolveSlot pops every station accessing slot t, resolves the channel,
 // delivers observations, and reschedules survivors.
+//
+//lsbvet:hotpath
 func (e *Engine) resolveSlot(t int64) {
 	e.stats.SlotsResolved++
 	e.slotStations = e.slotStations[:0]
@@ -418,7 +422,7 @@ func (e *Engine) resolveSlot(t int64) {
 		}
 		next, send := scheduleStation(ss, t+1, &ss.rng)
 		if next <= t {
-			panic(fmt.Sprintf("sim: station %d rescheduled slot %d not after %d", ss.id, next, t))
+			reschedPanic(ss.id, next, t)
 		}
 		ss.nextSlot = next
 		ss.willSend = send
@@ -434,6 +438,8 @@ func (e *Engine) resolveSlot(t int64) {
 // depart finalizes a delivered packet: folds its statistics into the
 // accumulators (and sink/retained record), unlinks it from the live list,
 // and recycles its slot-table entry.
+//
+//lsbvet:hotpath
 func (e *Engine) depart(idx int32, t int64) {
 	ss := &e.stations[idx]
 	e.finishPacket(PacketStats{
@@ -624,4 +630,29 @@ func (e *Engine) VisitActiveWindows(fn func(w float64)) {
 			fn(w.Window())
 		}
 	}
+}
+
+// Cold panic helpers. The resolvers above are //lsbvet:hotpath: fmt's
+// formatting machinery must stay out of their bodies (and out of their
+// inlining budget), so invariant-violation panics are built here, behind
+// //go:noinline, exactly like the timing wheel's pushPanic.
+
+//go:noinline
+func noEventPanic(t int64) {
+	panic(fmt.Sprintf("sim: resolveRun(%d) with no event due", t))
+}
+
+//go:noinline
+func reschedPanic(id, next, t int64) {
+	panic(fmt.Sprintf("sim: station %d rescheduled slot %d not after %d", id, next, t))
+}
+
+//go:noinline
+func schedBehindPanic(id, next, t int64) {
+	panic(fmt.Sprintf("sim: station %d scheduled slot %d before current slot %d", id, next, t))
+}
+
+//go:noinline
+func arrivalsBackPanic(next, t int64) {
+	panic(fmt.Sprintf("sim: arrival source went backwards: %d after %d", next, t))
 }

@@ -174,6 +174,8 @@ func (w *timingWheel) Len() int { return w.n }
 // working on, and the cursor never advances past that slot. Ids must be
 // non-negative (the engine's are arrival indices), which is what lets the
 // bucket sort run radix passes over the id bytes.
+//
+//lsbvet:hotpath
 func (w *timingWheel) Push(ev event) {
 	if ev.slot < w.cur {
 		w.pushPanic(ev.slot)
@@ -242,6 +244,8 @@ func (w *timingWheel) pushPanic(slot int64) {
 // digit at that level — is unambiguous within the cursor's block. An
 // empty bucket takes the event inline; an occupied one chains it through
 // the node array.
+//
+//lsbvet:hotpath
 func (w *timingWheel) link(idx int32, slot, id int64) {
 	d := uint64(slot ^ w.cur)
 	if d < wheelL0Size {
@@ -294,6 +298,8 @@ func (w *timingWheel) toOverflow(idx int32, slot, id int64) {
 
 // chain threads an event behind a bucket's inline head through the shared
 // node array (growing it to cover idx — the only place the array grows).
+//
+//lsbvet:hotpath
 func (w *timingWheel) chain(b *bucket, idx int32, slot, id int64) {
 	for int(idx) >= len(w.nodes) {
 		w.nodes = append(w.nodes, wheelNode{})
@@ -310,6 +316,8 @@ func (w *timingWheel) chain(b *bucket, idx int32, slot, id int64) {
 // down as it goes). When the earliest slot exceeds limit — or no events
 // are pending — it reports false and leaves the cursor at most at limit,
 // so the caller remains free to push anything >= its own time floor.
+//
+//lsbvet:hotpath
 func (w *timingWheel) locate(limit int64) (int64, bool) {
 	// The floor is a proven lower bound on every pending slot, so a limit
 	// below it is a miss before any scanning — this is the engine's common
@@ -354,6 +362,8 @@ func (w *timingWheel) locate(limit int64) (int64, bool) {
 // overflow heap's due region — and re-places its events relative to the
 // new cursor (each lands at a strictly lower level). It reports whether
 // it moved anything; false means every pending event is beyond limit.
+//
+//lsbvet:hotpath
 func (w *timingWheel) cascade(limit int64) bool {
 	for l := uint(0); l < wheelUpper; l++ {
 		occ := w.occUp[l]
@@ -430,6 +440,8 @@ func (w *timingWheel) cascade(limit int64) bool {
 // cursor advances to the returned slot (and never beyond limit), so after
 // a hit the caller may push at that slot or later; after a miss, at limit
 // or later.
+//
+//lsbvet:hotpath
 func (w *timingWheel) nextAtMost(limit int64) (int64, bool) {
 	return w.locate(limit)
 }
@@ -439,6 +451,8 @@ func (w *timingWheel) nextAtMost(limit int64) (int64, bool) {
 // locate's scan with the extraction so the hot singleton case — one event
 // at the minimum slot, nothing buffered — runs straight-line: floor check,
 // bitmap scan, one bucket-header read, done.
+//
+//lsbvet:hotpath
 func (w *timingWheel) popAtMost(limit int64) (event, bool) {
 	if limit < w.floor || w.n == 0 {
 		return event{}, false

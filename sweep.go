@@ -364,7 +364,7 @@ func (sw *Sweep) Stream(emit func(PointResult) error) error {
 			jobs = append(jobs, runner.Job[timedResult]{
 				Seed: runner.DeriveSeed(sw.seed, sw.id, pi, rep),
 				Run: func(seed uint64) (timedResult, error) {
-					start := time.Now()
+					start := time.Now() //lsbvet:wallclock per-job wall time is reported, never folded into results
 					sc.Seed = seed
 					var rec Recorder
 					if sw.observe != nil {
@@ -377,12 +377,12 @@ func (sw *Sweep) Stream(emit func(PointResult) error) error {
 						// of the job, on the worker.
 						err = obs.Flush(rec)
 					}
-					return timedResult{r: r, wall: time.Since(start)}, err
+					return timedResult{r: r, wall: time.Since(start)}, err //lsbvet:wallclock per-job wall time is reported, never folded into results
 				},
 			})
 		}
 	}
-	startAll := time.Now()
+	startAll := time.Now() //lsbvet:wallclock progress/ETA reporting only
 	var acc PointResult
 	return runner.Stream(runner.New(sw.workers), jobs, func(i int, tr timedResult) error {
 		pi := i / sw.reps
@@ -396,7 +396,7 @@ func (sw *Sweep) Stream(emit func(PointResult) error) error {
 			// still owed. Both are exact under any Workers setting because
 			// this fold is the single point every result passes through.
 			done := i + 1
-			elapsed := time.Since(startAll)
+			elapsed := time.Since(startAll) //lsbvet:wallclock progress/ETA reporting only
 			eta := time.Duration(float64(elapsed) / float64(done) * float64(len(jobs)-done))
 			sw.progress(SweepProgress{
 				Done:    done,
