@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 
+	"lowsensing/cluster"
 	"lowsensing/internal/arrivals"
 	"lowsensing/internal/core"
 	"lowsensing/internal/jamming"
@@ -19,6 +20,7 @@ func init() {
 	registerBuiltinArrivals()
 	registerBuiltinProtocols()
 	registerBuiltinJammers()
+	registerBuiltinRouters()
 }
 
 func registerBuiltinArrivals() {
@@ -116,6 +118,29 @@ func registerBuiltinProtocols() {
 		"genie-aided ALOHA oracle that knows the exact backlog (throughput ceiling, not realizable)",
 		func(ProtocolSpec) (StationFactory, error) {
 			return protocols.NewGenieAlohaFactory(), nil
+		})
+}
+
+func registerBuiltinRouters() {
+	RegisterRouter(RouterRandom,
+		"assigns each packet to a uniformly random channel",
+		func(_ RouterSpec, seed uint64) (Router, error) {
+			return cluster.NewRandom(seed), nil
+		})
+	RegisterRouter(RouterRoundRobin,
+		"cycles through channels 0..C-1 in arrival order",
+		func(RouterSpec, uint64) (Router, error) {
+			return cluster.NewRoundRobin(), nil
+		})
+	RegisterRouter(RouterLeastBacklog,
+		"joins the channel with the fewest live packets (epoch-synchronized execution)",
+		func(RouterSpec, uint64) (Router, error) {
+			return cluster.NewLeastBacklog(), nil
+		})
+	RegisterRouter(RouterSticky,
+		"hashes a flow key (id % flows; 0 = per-packet) to a fixed channel",
+		func(r RouterSpec, seed uint64) (Router, error) {
+			return cluster.NewSticky(seed, r.Flows), nil
 		})
 }
 

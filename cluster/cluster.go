@@ -1,0 +1,209 @@
+// Package cluster runs C independent slotted channels under one shared
+// clock, with a pluggable Router deciding which channel each arriving
+// packet joins — the multi-channel analogue of a single lowsensing run,
+// and the reproduction's bridge from the paper's one-channel model
+// (Bender, Fineman, Gilbert, Kuszmaul, and Young, PODC 2024) to
+// production-shaped questions: does LOW-SENSING BACKOFF's energy advantage
+// survive load balancing, and is contention or fragmentation the failure
+// mode at scale?
+//
+// # Model
+//
+// All channels share the global slot clock and the global arrival stream.
+// When the stream delivers a batch of packets at slot s, the router
+// assigns each packet (in arrival order) to one channel; the packet then
+// runs the channel's own protocol/jammer dynamics, which never interact
+// with other channels. Channels are therefore independent between routing
+// decisions — which is what makes execution shardable.
+//
+// # Determinism
+//
+// A cluster run is a pure function of its Config: the router is consulted
+// once per packet in global arrival order from a single goroutine, each
+// channel draws from its own derived prng stream (ChannelSeed), and
+// results are merged by channel index. The Result is byte-identical at
+// any worker count and bit-equal to a serial reference execution; the
+// TestClusterSerialShardedIdentical suite pins this down.
+//
+// The public entry points are the lowsensing root package's
+// ClusterScenario (declarative, registry-resolved) and this package's
+// Run (programmatic). Register new router kinds with
+// lowsensing.RegisterRouter.
+package cluster
+
+import (
+	"fmt"
+
+	"lowsensing/channel"
+	"lowsensing/internal/sim"
+	"lowsensing/obs"
+	"lowsensing/prng"
+)
+
+// View is the router's read-only window onto the cluster at the moment of
+// a routing decision. Backlog reports live packets currently in channel
+// ch; it reads the real engine state in the epoch-synchronized executor
+// and is only available to routers that declare NeedsBacklog. Routed
+// reports packets assigned to ch so far (including earlier packets of the
+// current batch), available to every router.
+type View interface {
+	Channels() int
+	Backlog(ch int) int64
+	Routed(ch int) int64
+}
+
+// Router decides which channel each arriving packet joins. Route is
+// called once per packet, in global arrival order, from a single
+// goroutine — id is the packet's global arrival index, slot its arrival
+// slot — and must return a channel in [0, v.Channels()). Routers may be
+// stateful (counters, rng streams) and are single-use: construct a fresh
+// router per run. All randomness must come from a prng stream seeded at
+// construction, never from global entropy.
+//
+// NeedsBacklog declares whether Route reads v.Backlog. Backlog-oblivious
+// routers (it returns false) let the executor pre-route the whole arrival
+// stream and run channels to completion independently — the fast sharded
+// path. Backlog-aware routers force epoch-synchronized execution: every
+// channel is stepped to each arrival slot before the decision, so Backlog
+// is exact.
+type Router interface {
+	Route(id, slot int64, v View) int
+	NeedsBacklog() bool
+}
+
+// Config parameterizes one cluster run. Channels, Arrivals, Router, and
+// NewStation are required; per-channel components are built through the
+// New* hooks so every channel gets independently seeded state.
+type Config struct {
+	// Channels is C, the number of slotted channels. Must be >= 1.
+	Channels int
+	// Workers bounds execution parallelism; <= 0 selects GOMAXPROCS.
+	// The Result is byte-identical at any value.
+	Workers int
+	// Seed is the run's base seed. Each channel derives its own stream
+	// via ChannelSeed; the router's seed is the caller's business
+	// (RouterSpec derives one from the scenario seed).
+	Seed uint64
+	// MaxSlots bounds every channel's run (0 means the engine default).
+	MaxSlots int64
+	// Arrivals is the global arrival stream, consumed once on the
+	// coordinating goroutine. Arrivals after MaxSlots are dropped,
+	// exactly as a single-channel engine would drop them.
+	Arrivals channel.ArrivalSource
+	// Router assigns each packet to a channel. Single-use.
+	Router Router
+	// NewStation builds stations, shared by all channels; per-packet rng
+	// streams are already channel-derived, so one factory serves all.
+	NewStation channel.StationFactory
+	// NewJammer, if non-nil, builds channel ch's jammer from the
+	// channel's derived seed. Jammers are stateful; never share one
+	// instance across channels.
+	NewJammer func(ch int, seed uint64) (channel.Jammer, error)
+	// NewRecorder, if non-nil, builds channel ch's obs.Recorder. Each
+	// channel's recorder receives that channel's event stream; recorders
+	// are flushed (obs.Flush) when their channel finishes.
+	NewRecorder func(ch int) obs.Recorder
+	// ReuseStations opts every channel into station recycling (see
+	// sim.Params.ReuseStations for the contract).
+	ReuseStations bool
+	// DisableBatching forces every channel through the general resolver.
+	DisableBatching bool
+
+	// forceEpoch routes even backlog-oblivious routers through the
+	// epoch-synchronized executor; test-only knob for the cross-path
+	// differential.
+	forceEpoch bool
+}
+
+// Result is the outcome of a cluster run: every channel's own Result,
+// the routing tally, the merged totals, and the Jain fairness index.
+type Result struct {
+	// PerChannel holds channel ch's single-channel Result at index ch.
+	PerChannel []sim.Result
+	// Routed counts the packets assigned to each channel.
+	Routed []int64
+	// Total merges the per-channel results: counters are summed, Energy
+	// tallies merged, LastSlot is the max, Truncated reports whether any
+	// channel truncated. EngineStats fields are summed across channels —
+	// including the Peak* fields, which therefore read as the cluster's
+	// aggregate footprint, not a single engine's peak.
+	Total sim.Result
+	// Fairness is the Jain index (sum x)^2 / (C * sum x^2) over
+	// per-channel completed-packet counts: 1.0 when perfectly balanced,
+	// 1/C when one channel got everything. It is 1 when no packets
+	// completed anywhere.
+	Fairness float64
+}
+
+// ChannelSeed derives channel ch's engine seed from the cluster base
+// seed, in the same SplitMix64-chain style as runner.DeriveSeed, under a
+// cluster-specific domain constant so channel streams collide with
+// neither sweep-job seeds nor each other.
+func ChannelSeed(base uint64, ch int) uint64 {
+	h := prng.Mix64(base ^ 0x6c73622d636c6368) // "lsb-clch"
+	return prng.Mix64(h ^ uint64(ch))
+}
+
+// merge folds the per-channel results and routing tally into a Result.
+func merge(per []sim.Result, routed []int64) Result {
+	r := Result{PerChannel: per, Routed: routed}
+	for i := range per {
+		cr := &per[i]
+		r.Total.Arrived += cr.Arrived
+		r.Total.Completed += cr.Completed
+		r.Total.ActiveSlots += cr.ActiveSlots
+		r.Total.JammedSlots += cr.JammedSlots
+		if cr.LastSlot > r.Total.LastSlot {
+			r.Total.LastSlot = cr.LastSlot
+		}
+		if cr.Truncated {
+			r.Total.Truncated = true
+		}
+		r.Total.Energy.Merge(&cr.Energy)
+		s := &r.Total.EngineStats
+		s.SlotsResolved += cr.EngineStats.SlotsResolved
+		s.EventsScheduled += cr.EngineStats.EventsScheduled
+		s.WheelCascades += cr.EngineStats.WheelCascades
+		s.HeapOverflows += cr.EngineStats.HeapOverflows
+		s.BatchedSlots += cr.EngineStats.BatchedSlots
+		s.StationsBuilt += cr.EngineStats.StationsBuilt
+		s.StationsReused += cr.EngineStats.StationsReused
+		s.EntriesRecycled += cr.EngineStats.EntriesRecycled
+		s.PeakBacklog += cr.EngineStats.PeakBacklog
+		s.PeakSlotTable += cr.EngineStats.PeakSlotTable
+	}
+	r.Fairness = jain(per)
+	return r
+}
+
+// jain computes the Jain fairness index over per-channel completed
+// counts; 1 when nothing completed anywhere.
+func jain(per []sim.Result) float64 {
+	var sum, sumSq float64
+	for i := range per {
+		x := float64(per[i].Completed)
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(per)) * sumSq)
+}
+
+// validate checks the required Config fields.
+func (cfg *Config) validate() error {
+	if cfg.Channels < 1 {
+		return fmt.Errorf("cluster: Config.Channels must be >= 1, got %d", cfg.Channels)
+	}
+	if cfg.Arrivals == nil {
+		return fmt.Errorf("cluster: Config.Arrivals is required")
+	}
+	if cfg.Router == nil {
+		return fmt.Errorf("cluster: Config.Router is required")
+	}
+	if cfg.NewStation == nil {
+		return fmt.Errorf("cluster: Config.NewStation is required")
+	}
+	return nil
+}

@@ -1,0 +1,263 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"lowsensing/channel"
+	"lowsensing/internal/arrivals"
+	"lowsensing/internal/core"
+	"lowsensing/internal/jamming"
+	"lowsensing/internal/sim"
+)
+
+// testConfig builds a 16-channel config over the real LSB station factory:
+// Poisson arrivals, light random jamming, the shapes the executors must
+// agree on.
+func testConfig(t *testing.T, router Router) Config {
+	t.Helper()
+	factory, err := core.NewFactory(core.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := arrivals.NewPoisson(0.3, 800, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Channels:   16,
+		Seed:       21,
+		Arrivals:   src,
+		Router:     router,
+		NewStation: factory,
+		NewJammer: func(ch int, seed uint64) (channel.Jammer, error) {
+			return jamming.NewRandom(0.05, 100, seed)
+		},
+		ReuseStations: true,
+	}
+}
+
+// scrubWheel zeroes the wheel-mechanics counters that legitimately differ
+// between the pre-routed and epoch-synchronized executors: both resolve
+// the same slots and schedule the same events, but the timing wheel's
+// cursor walks different distances when a run is cut into epochs.
+func scrubWheel(r *Result) {
+	for i := range r.PerChannel {
+		r.PerChannel[i].EngineStats.WheelCascades = 0
+		r.PerChannel[i].EngineStats.HeapOverflows = 0
+	}
+	r.Total.EngineStats.WheelCascades = 0
+	r.Total.EngineStats.HeapOverflows = 0
+}
+
+// TestPreRoutedEpochDifferential is the cross-executor contract: for every
+// backlog-oblivious router, the epoch-synchronized executor (forced via
+// the test knob) produces exactly the pre-routed executor's results —
+// per-channel counters, energy tallies, routing, fairness — modulo the
+// wheel-mechanics counters scrubWheel documents.
+func TestPreRoutedEpochDifferential(t *testing.T) {
+	routers := map[string]func() Router{
+		"random":     func() Router { return NewRandom(21) },
+		"roundrobin": func() Router { return NewRoundRobin() },
+		"sticky":     func() Router { return NewSticky(21, 16) },
+	}
+	for name, mk := range routers {
+		t.Run(name, func(t *testing.T) {
+			pre, err := Run(testConfig(t, mk()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := testConfig(t, mk())
+			cfg.forceEpoch = true
+			epoch, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scrubWheel(&pre)
+			scrubWheel(&epoch)
+			if !reflect.DeepEqual(pre, epoch) {
+				t.Fatalf("executors disagree:\npre-routed %+v\nepoch      %+v", pre, epoch)
+			}
+		})
+	}
+}
+
+// TestEpochShardedIdentical: the epoch-synchronized executor itself is
+// worker-count invariant — the backlog-aware router path has no serial
+// shortcut to compare against other than its own W == 1 mode.
+func TestEpochShardedIdentical(t *testing.T) {
+	run := func(workers int) Result {
+		cfg := testConfig(t, NewLeastBacklog())
+		cfg.Workers = workers
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	ref := run(1)
+	if ref.Total.Arrived != 800 {
+		t.Fatalf("arrived %d, want 800", ref.Total.Arrived)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		if got := run(workers); !reflect.DeepEqual(got, ref) {
+			t.Fatalf("workers=%d epoch result differs from serial reference", workers)
+		}
+	}
+}
+
+// fakeView is a scripted View for router unit tests.
+type fakeView struct {
+	channels int
+	backlog  []int64
+	routed   []int64
+}
+
+func (v *fakeView) Channels() int        { return v.channels }
+func (v *fakeView) Backlog(ch int) int64 { return v.backlog[ch] }
+func (v *fakeView) Routed(ch int) int64  { return v.routed[ch] }
+
+func TestRoundRobinCycles(t *testing.T) {
+	r := NewRoundRobin()
+	v := &fakeView{channels: 3}
+	for id := int64(0); id < 9; id++ {
+		if ch := r.Route(id, 0, v); ch != int(id%3) {
+			t.Fatalf("packet %d routed to %d, want %d", id, ch, id%3)
+		}
+	}
+}
+
+func TestLeastBacklogPicksMinLowestIndex(t *testing.T) {
+	r := NewLeastBacklog()
+	if !r.NeedsBacklog() {
+		t.Fatal("least-backlog router must declare NeedsBacklog")
+	}
+	v := &fakeView{channels: 4, backlog: []int64{5, 2, 7, 2}}
+	if ch := r.Route(0, 0, v); ch != 1 {
+		t.Fatalf("routed to %d, want 1 (min backlog, lowest index on the 1/3 tie)", ch)
+	}
+	v.backlog = []int64{0, 0, 0, 0}
+	if ch := r.Route(1, 0, v); ch != 0 {
+		t.Fatalf("all-equal backlog routed to %d, want 0", ch)
+	}
+}
+
+func TestStickyKeepsFlowsTogether(t *testing.T) {
+	v := &fakeView{channels: 8}
+	a, b := NewSticky(5, 4), NewSticky(5, 4)
+	for id := int64(0); id < 64; id++ {
+		ch := a.Route(id, 0, v)
+		if ch != b.Route(id, 0, v) {
+			t.Fatalf("same seed routed packet %d differently", id)
+		}
+		// id and id+4 share a flow key (flows = 4), so they share a channel.
+		if id >= 4 && ch != a.Route(id-4, 0, v) {
+			t.Fatalf("packet %d left its flow's channel", id)
+		}
+	}
+	// A different seed must produce a different placement somewhere.
+	c := NewSticky(6, 4)
+	same := true
+	for id := int64(0); id < 64; id++ {
+		if a.Route(id, 0, v) != c.Route(id, 0, v) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("sticky placement ignores the seed")
+	}
+}
+
+func TestRandomInRangeAndDeterministic(t *testing.T) {
+	v := &fakeView{channels: 5}
+	a, b := NewRandom(9), NewRandom(9)
+	seen := make(map[int]bool)
+	for id := int64(0); id < 200; id++ {
+		ch := a.Route(id, 0, v)
+		if ch < 0 || ch >= 5 {
+			t.Fatalf("routed outside [0, 5): %d", ch)
+		}
+		if ch != b.Route(id, 0, v) {
+			t.Fatalf("same seed routed packet %d differently", id)
+		}
+		seen[ch] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("200 packets hit only channels %v", seen)
+	}
+}
+
+// badRouter returns an out-of-range channel on the nth call.
+type badRouter struct{ n, calls int64 }
+
+func (b *badRouter) Route(id, slot int64, v View) int {
+	b.calls++
+	if b.calls > b.n {
+		return v.Channels() // one past the end
+	}
+	return 0
+}
+func (b *badRouter) NeedsBacklog() bool { return false }
+
+func TestRouterRangeChecked(t *testing.T) {
+	cfg := testConfig(t, &badRouter{n: 3})
+	cfg.Channels = 4
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("out-of-range route accepted")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	valid := testConfig(t, NewRoundRobin())
+	breakages := map[string]func(*Config){
+		"channels": func(c *Config) { c.Channels = 0 },
+		"arrivals": func(c *Config) { c.Arrivals = nil },
+		"router":   func(c *Config) { c.Router = nil },
+		"station":  func(c *Config) { c.NewStation = nil },
+	}
+	for name, brk := range breakages {
+		cfg := valid
+		brk(&cfg)
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("%s: invalid config accepted", name)
+		}
+	}
+}
+
+// TestChannelSeedsDistinct: the derived per-channel seeds collide neither
+// with each other nor with the base across a realistic range.
+func TestChannelSeedsDistinct(t *testing.T) {
+	seen := map[uint64]int{}
+	for base := uint64(0); base < 4; base++ {
+		for ch := 0; ch < 256; ch++ {
+			s := ChannelSeed(base, ch)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision: ChannelSeed(%d, %d) == entry %d", base, ch, prev)
+			}
+			seen[s] = len(seen)
+		}
+	}
+}
+
+// TestMergeTotals: merge sums what must sum and maxes what must max.
+func TestMergeTotals(t *testing.T) {
+	per := []sim.Result{
+		{Arrived: 3, Completed: 2, ActiveSlots: 10, JammedSlots: 1, LastSlot: 40},
+		{Arrived: 5, Completed: 5, ActiveSlots: 12, JammedSlots: 0, LastSlot: 90, Truncated: true},
+	}
+	r := merge(per, []int64{3, 5})
+	if r.Total.Arrived != 8 || r.Total.Completed != 7 || r.Total.ActiveSlots != 22 {
+		t.Fatalf("bad sums: %+v", r.Total)
+	}
+	if r.Total.LastSlot != 90 || !r.Total.Truncated {
+		t.Fatalf("LastSlot/Truncated: %+v", r.Total)
+	}
+	// Jain over completed counts (2, 5): 49 / (2 * 29).
+	if want := 49.0 / 58.0; r.Fairness != want {
+		t.Fatalf("fairness %v, want %v", r.Fairness, want)
+	}
+	if jain(nil) != 1 || jain([]sim.Result{{}, {}}) != 1 {
+		t.Fatal("empty/zero fairness must be 1")
+	}
+}

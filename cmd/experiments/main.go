@@ -9,7 +9,7 @@
 //
 //	experiments                       # everything, full scale, all cores
 //	experiments -list                 # experiment IDs with descriptions
-//	experiments -kinds                # registered protocol/arrival/jammer kinds
+//	experiments -kinds                # registered protocol/arrival/jammer/router kinds
 //	experiments -id E1,E2 -scale small
 //	experiments -parallel 1           # serial; output identical to parallel
 //	experiments -outdir results/
@@ -57,7 +57,7 @@ func runE(args []string, out, errW io.Writer) error {
 	fs.SetOutput(out)
 	var (
 		list     = fs.Bool("list", false, "print experiment IDs with one-line descriptions and exit")
-		kinds    = fs.Bool("kinds", false, "list every registered protocol/arrival/jammer kind usable in -spec files and exit")
+		kinds    = fs.Bool("kinds", false, "list every registered protocol/arrival/jammer/router kind usable in -spec files and exit")
 		idList   = fs.String("id", "all", "comma-separated experiment IDs, or \"all\"")
 		scale    = fs.String("scale", "full", "sweep scale: full or small")
 		reps     = fs.Int("reps", 0, "replications per data point (0 = scale default)")

@@ -15,8 +15,17 @@
 //	lsbsim -n 1024 -arrivals poisson -rate 0.1    # Poisson arrivals
 //	lsbsim -n 1024 -jam random -jamrate 0.25      # random jamming
 //	lsbsim -n 1024 -jam reactive -jambudget 64    # reactive jam on packet 0
+//	lsbsim -n 4096 -channels 16 -router sticky    # 16-channel cluster, affinity routing
 //	lsbsim -spec scenario.json                    # whole scenario from JSON
 //	lsbsim -kinds                                 # list registered kinds
+//
+// With -channels >= 2 the same scenario runs as a multi-channel cluster:
+// arriving packets are assigned to channels by the -router policy (any
+// kind registered with lowsensing.RegisterRouter), every channel runs the
+// protocol independently, and the summary adds the routing balance, the
+// Jain fairness index, and one line per channel. -trace then multiplexes
+// all channels into one NDJSON file (run labels ch00, ch01, ...), and
+// -metrics writes the cluster-wide windowed roll-up.
 package main
 
 import (
@@ -75,8 +84,10 @@ func run(args []string, out io.Writer) error {
 		maxSlots  = fs.Int64("maxslots", 0, "slot cap (0 = generous default)")
 		c         = fs.Float64("c", 0, "LSB constant c (0 = default)")
 		wmin      = fs.Float64("wmin", 0, "LSB minimum window (0 = default)")
+		channels  = fs.Int("channels", 1, "run a multi-channel cluster with this many channels (>= 2 enables cluster mode)")
+		router    = fs.String("router", "", "cluster routing policy for -channels >= 2 (default random; see -kinds)")
 		specFile  = fs.String("spec", "", "JSON scenario file; replaces the flag-built scenario (see lowsensing.Scenario)")
-		kinds     = fs.Bool("kinds", false, "list every registered protocol/arrival/jammer kind and exit")
+		kinds     = fs.Bool("kinds", false, "list every registered protocol/arrival/jammer/router kind and exit")
 		traceOut  = fs.String("trace", "", "write the structured trace (slot + packet events) to this file as NDJSON (.csv for CSV)")
 		metrics_  = fs.String("metrics", "", "write the windowed time-series to this file as NDJSON (.csv for CSV)")
 		window    = fs.Int64("window", 0, "metrics window size in slots (0 = 1024)")
@@ -119,6 +130,18 @@ func run(args []string, out io.Writer) error {
 		protoLbl = protocolLabel(sc)
 	}
 
+	// Cluster mode: -channels >= 2 runs the same scenario as a
+	// multi-channel cluster behind the -router policy.
+	if *channels != 1 {
+		if *channels < 1 {
+			return fmt.Errorf("-channels must be >= 1, got %d", *channels)
+		}
+		return runCluster(out, sc, protoLbl, *channels, *router, *traceOut, *metrics_, *window)
+	}
+	if *router != "" {
+		return fmt.Errorf("-router requires -channels >= 2")
+	}
+
 	// Observability side channels: -trace streams raw slot/packet events,
 	// -metrics streams the windowed time-series. Both attach as recorders;
 	// a run without them pays one predictable branch per slot.
@@ -157,8 +180,14 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	es := metrics.SummarizeEnergy(r)
 	fmt.Fprintf(out, "protocol            %s\n", protoLbl)
+	return printSummary(out, r)
+}
+
+// printSummary prints the merged result block shared by single-channel
+// and cluster runs, returning errUndelivered when packets remain.
+func printSummary(out io.Writer, r lowsensing.Result) error {
+	es := metrics.SummarizeEnergy(r)
 	fmt.Fprintf(out, "packets             %d arrived, %d delivered", r.Arrived, r.Completed)
 	if r.Truncated {
 		fmt.Fprintf(out, "  (TRUNCATED at slot %d)", r.LastSlot)
@@ -179,6 +208,128 @@ func run(args []string, out io.Writer) error {
 		return errUndelivered
 	}
 	return nil
+}
+
+// runCluster executes the flag-built scenario as a -channels cluster and
+// prints the cluster summary: the merged block in the single-channel
+// format, the routing balance, and one line per channel. -trace
+// multiplexes every channel's NDJSON stream into one file with ch%02d run
+// labels; -metrics rolls the per-channel windowed series up into one
+// cluster-wide series (obs.MergeWindowSeries).
+func runCluster(out io.Writer, sc lowsensing.Scenario, protoLbl string, channels int, routerKind, traceOut, metricsOut string, window int64) error {
+	cs := lowsensing.ClusterScenario{
+		Seed:     sc.Seed,
+		Channels: channels,
+		MaxSlots: sc.MaxSlots,
+		Arrivals: sc.Arrivals,
+		Protocol: sc.Protocol,
+		Jammer:   sc.Jammer,
+		Router:   lowsensing.RouterSpec{Kind: routerKind},
+	}
+	if err := cs.Validate(); err != nil {
+		return err
+	}
+
+	// Per-channel recorder factories; each channel gets an obs.Multi over
+	// one recorder per requested side channel. The factories may be
+	// invoked from worker goroutines, so they only index preallocated
+	// state or construct sinks over a sync writer.
+	var mks []func(ch int) lowsensing.Recorder
+	var finishers []func() error
+	if traceOut != "" {
+		if strings.HasSuffix(traceOut, ".csv") {
+			return fmt.Errorf("-trace in cluster mode multiplexes NDJSON run labels; .csv is not supported")
+		}
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		bw := bufio.NewWriter(f)
+		shared := obs.NewSyncWriter(bw)
+		finishers = append(finishers, func() error {
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+			return f.Close()
+		})
+		mks = append(mks, func(ch int) lowsensing.Recorder {
+			sink := obs.NewNDJSON(shared)
+			sink.SetRun(fmt.Sprintf("ch%02d", ch))
+			return sink
+		})
+	}
+	var wins []*obs.Windows
+	if metricsOut != "" {
+		wins = make([]*obs.Windows, channels)
+		for ch := range wins {
+			wins[ch] = obs.NewWindows(window, nil)
+		}
+		mks = append(mks, func(ch int) lowsensing.Recorder { return wins[ch] })
+	}
+
+	var cr lowsensing.ClusterResult
+	var err error
+	if len(mks) > 0 {
+		cr, err = cs.RunObserved(func(ch int) lowsensing.Recorder {
+			recs := make([]lowsensing.Recorder, len(mks))
+			for i, mk := range mks {
+				recs[i] = mk(ch)
+			}
+			return obs.Multi(recs...)
+		})
+	} else {
+		cr, err = cs.Run()
+	}
+	for _, done := range finishers {
+		if ferr := done(); err == nil {
+			err = ferr
+		}
+	}
+	if err != nil {
+		return err
+	}
+
+	if metricsOut != "" {
+		sink, done, err := openSink(metricsOut)
+		if err != nil {
+			return err
+		}
+		series := make([][]obs.WindowStat, channels)
+		for ch, w := range wins {
+			series[ch] = w.Stats()
+		}
+		for _, ws := range obs.MergeWindowSeries(series...) {
+			sink.RecordWindow(ws)
+		}
+		if err := done(); err != nil {
+			return err
+		}
+	}
+
+	label := cs.Router.Kind
+	if label == "" {
+		label = lowsensing.RouterRandom
+	}
+	fmt.Fprintf(out, "cluster             %d channels, router %s\n", channels, label)
+	fmt.Fprintf(out, "protocol            %s\n", protoLbl)
+	minR, maxR := cr.Routed[0], cr.Routed[0]
+	for _, n := range cr.Routed[1:] {
+		if n < minR {
+			minR = n
+		}
+		if n > maxR {
+			maxR = n
+		}
+	}
+	fmt.Fprintf(out, "routed/channel      min %d  max %d\n", minR, maxR)
+	fmt.Fprintf(out, "fairness (jain)     %.4f\n", cr.Fairness)
+	sumErr := printSummary(out, cr.Total)
+	for ch := range cr.PerChannel {
+		r := &cr.PerChannel[ch]
+		fmt.Fprintf(out, "  ch%02d  routed %6d  delivered %6d  throughput %.4f\n",
+			ch, cr.Routed[ch], r.Completed, r.Throughput())
+	}
+	return sumErr
 }
 
 // flagScenario is the bag of scenario-shaping flag values.
@@ -295,7 +446,9 @@ func specFlagConflict(fs *flag.FlagSet) string {
 	conflict := ""
 	fs.Visit(func(f *flag.Flag) {
 		switch f.Name {
-		case "spec", "trace", "metrics", "window":
+		// -channels/-router select the execution mode, like the
+		// observability flags — a spec'd scenario can run as a cluster.
+		case "spec", "trace", "metrics", "window", "channels", "router":
 			return
 		}
 		if conflict == "" {
@@ -306,11 +459,12 @@ func specFlagConflict(fs *flag.FlagSet) string {
 }
 
 // recordSink is the slice of the obs sink surface lsbsim drives: raw
-// events, windowed series, and a flush. Both obs.NDJSON and obs.CSV
-// satisfy it.
+// events, windowed series, run labeling (cluster mode tags each channel's
+// stream), and a flush. Both obs.NDJSON and obs.CSV satisfy it.
 type recordSink interface {
 	obs.Recorder
 	RecordWindow(obs.WindowStat)
+	SetRun(string)
 	Flush() error
 }
 

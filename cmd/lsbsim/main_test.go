@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -228,7 +229,7 @@ func TestRunKinds(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	for _, section := range []string{"protocols:", "arrivals:", "jammers:"} {
+	for _, section := range []string{"protocols:", "arrivals:", "jammers:", "routers:"} {
 		if !strings.Contains(out, section) {
 			t.Fatalf("missing section %q:\n%s", section, out)
 		}
@@ -266,5 +267,108 @@ func TestRunUndeliveredExit(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "undelivered") {
 		t.Fatalf("missing undelivered line:\n%s", buf.String())
+	}
+}
+
+// TestRunClusterMode: -channels runs the flag scenario as a cluster, with
+// the routing balance, the fairness index, the merged summary, and one
+// line per channel.
+func TestRunClusterMode(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "64", "-seed", "3", "-channels", "4", "-router", "roundrobin"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"cluster             4 channels, router roundrobin",
+		"protocol            lsb",
+		"routed/channel      min 16  max 16",
+		"fairness (jain)     1.0000",
+		"64 arrived, 64 delivered",
+		"ch00", "ch03",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+
+	// The summary's merged block is the ClusterScenario Total of the same
+	// run, so the CLI path and the library path cannot drift.
+	cr, err := lowsensing.ClusterScenario{
+		Seed:     3,
+		Channels: 4,
+		Arrivals: lowsensing.BatchArrivals(64),
+		Router:   lowsensing.RouterSpec{Kind: lowsensing.RouterRoundRobin},
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.Total.Arrived != 64 || cr.Total.Completed != 64 {
+		t.Fatalf("library run disagrees with CLI expectations: %+v", cr.Total)
+	}
+}
+
+// TestRunClusterObservability: cluster -trace multiplexes per-channel run
+// labels into one NDJSON file, -metrics writes the merged window series,
+// and .csv traces are rejected (CSV has no run-label multiplexing).
+func TestRunClusterObservability(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.ndjson")
+	metrics := filepath.Join(dir, "metrics.ndjson")
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "48", "-seed", "5", "-channels", "3", "-trace", trace,
+		"-metrics", metrics, "-window", "64"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ch := 0; ch < 3; ch++ {
+		label := fmt.Sprintf("\"run\":\"ch%02d\"", ch)
+		if !strings.Contains(string(data), label) {
+			t.Fatalf("trace misses channel label %s", label)
+		}
+	}
+	mdata, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(mdata), "\"type\":\"window\"") {
+		t.Fatalf("metrics file has no windows:\n%s", mdata)
+	}
+
+	if err := run([]string{"-n", "8", "-channels", "2", "-trace", filepath.Join(dir, "t.csv")}, &bytes.Buffer{}); err == nil {
+		t.Fatal("cluster -trace .csv accepted")
+	}
+}
+
+// TestRunClusterFlagErrors: the cluster flags are validated, and -spec
+// composes with -channels (the execution mode is not part of the
+// scenario).
+func TestRunClusterFlagErrors(t *testing.T) {
+	if err := run([]string{"-n", "8", "-router", "roundrobin"}, &bytes.Buffer{}); err == nil ||
+		!strings.Contains(err.Error(), "-router requires -channels") {
+		t.Fatalf("-router without -channels: %v", err)
+	}
+	if err := run([]string{"-n", "8", "-channels", "0"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("-channels 0 accepted")
+	}
+	err := run([]string{"-n", "8", "-channels", "2", "-router", "nope"}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "registered kinds:") {
+		t.Fatalf("unknown router kind: %v", err)
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "scenario.json")
+	if err := os.WriteFile(path, []byte(`{"seed": 3, "arrivals": {"kind": "batch", "n": 32}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-spec", path, "-channels", "2", "-router", "sticky"}, &buf); err != nil {
+		t.Fatalf("-spec with -channels rejected: %v", err)
+	}
+	if !strings.Contains(buf.String(), "cluster             2 channels, router sticky") {
+		t.Fatalf("spec cluster run summary:\n%s", buf.String())
 	}
 }

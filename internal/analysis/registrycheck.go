@@ -8,8 +8,9 @@ import (
 )
 
 // The registry analyzer enforces the kind-registry discipline documented
-// in lowsensing's registry.go: RegisterProtocol, RegisterArrivals, and
-// RegisterJammer may only be called at init time — from an init function,
+// in lowsensing's registry.go: RegisterProtocol, RegisterArrivals,
+// RegisterJammer, and RegisterRouter may only be called at init time —
+// from an init function,
 // a package-level var initializer, or an unexported helper provably called
 // only from those — so every kind exists before the first spec can name
 // it, from any goroutine. The kind argument must be a compile-time string
@@ -22,6 +23,7 @@ var registerFuncs = map[string]bool{
 	"RegisterProtocol": true,
 	"RegisterArrivals": true,
 	"RegisterJammer":   true,
+	"RegisterRouter":   true,
 }
 
 func runRegistry(p *Pass) {

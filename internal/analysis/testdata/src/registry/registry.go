@@ -12,6 +12,8 @@ func init() {
 	lowsensing.RegisterProtocol("", "doc", nil)          // want `registry: RegisterProtocol kind must not be empty`
 	lowsensing.RegisterProtocol("two words", "doc", nil) // want `registry: RegisterProtocol kind "two words" must not contain whitespace`
 	lowsensing.RegisterJammer("UpperKind", "doc", nil)   // want `registry: RegisterJammer kind "UpperKind" must be lowercase`
+	lowsensing.RegisterRouter("goodrouter", "registered from init", nil)
+	lowsensing.RegisterRouter("BadRouter", "doc", nil) // want `registry: RegisterRouter kind "BadRouter" must be lowercase`
 }
 
 // A package-level var initializer is init time.
@@ -43,6 +45,7 @@ func Trigger() { registerBoth() }
 func Setup(kind string) {
 	lowsensing.RegisterProtocol("latekind", "doc", nil) // want `registry: RegisterProtocol outside init or a package-level var initializer`
 	lowsensing.RegisterJammer(kind, "doc", nil)         // want `registry: RegisterJammer outside init` `registry: RegisterJammer kind must be a compile-time string constant`
+	lowsensing.RegisterRouter("laterouter", "doc", nil) // want `registry: RegisterRouter outside init or a package-level var initializer`
 }
 
 // LateRegister models a harness helper the project has decided to allow.

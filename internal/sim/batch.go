@@ -65,10 +65,14 @@ import (
 //lsbvet:hotpath
 func (e *Engine) resolveRun(t int64) {
 	// The run can extend at most to the slot before the pending arrival,
-	// and never past MaxSlots.
+	// never past MaxSlots, and — in stepped execution — never to the
+	// current step limit, whose slot belongs to a later epoch.
 	limit := e.params.MaxSlots
 	if e.pendOK && e.pendSlot-1 < limit {
 		limit = e.pendSlot - 1
+	}
+	if e.stepLimit-1 < limit {
+		limit = e.stepLimit - 1
 	}
 	if limit < t {
 		// A further arrival batch is pending at t itself; the general

@@ -129,6 +129,15 @@ type Engine struct {
 	// by result().
 	stats EngineStats
 
+	// Stepped-execution state (StepTo/InjectAt/FinishRun). stepLimit is the
+	// exclusive slot bound the current advance may resolve up to — MaxInt64
+	// outside stepped mode, so Run and the batch fast path are unaffected.
+	// stepFloor is the highest limit stepped to so far; injections may not
+	// land before it.
+	stepLimit int64
+	stepping  bool
+	stepFloor int64
+
 	ran bool
 }
 
@@ -171,7 +180,7 @@ func NewEngine(p Params) (*Engine, error) {
 	if p.MaxSlots == 0 {
 		p.MaxSlots = DefaultMaxSlots
 	}
-	e := &Engine{params: p, jammer: p.Jammer, liveHead: -1, liveTail: -1}
+	e := &Engine{params: p, jammer: p.Jammer, liveHead: -1, liveTail: -1, stepLimit: math.MaxInt64}
 	if e.jammer == nil {
 		e.jammer = NoJammer{}
 	}
@@ -201,10 +210,14 @@ type EngineBound interface {
 
 // Run executes the simulation to completion (arrivals exhausted and all
 // packets delivered) or until MaxSlots, and returns the result. Run may be
-// called once.
+// called once, and not on an engine driven through the stepped API
+// (StepTo/InjectAt/FinishRun).
 func (e *Engine) Run() (Result, error) {
 	if e.ran {
 		return Result{}, fmt.Errorf("sim: Engine.Run called twice")
+	}
+	if e.stepping {
+		return Result{}, fmt.Errorf("sim: Engine.Run mixed with stepped API (StepTo/InjectAt)")
 	}
 	e.ran = true
 	// The batch fast path synthesizes no per-slot event stream, so any
@@ -213,10 +226,23 @@ func (e *Engine) Run() (Result, error) {
 	// Decided here, not at construction, so the flag reflects the params the
 	// run actually starts with. See batch.go for the per-run-of-slots
 	// conditions.
+	e.decideBatchOK()
+	e.advance(math.MaxInt64)
+	return e.result(), nil
+}
+
+func (e *Engine) decideBatchOK() {
 	p := &e.params
 	e.batchOK = !p.DisableBatching && p.Recorder == nil && p.Probe == nil &&
 		!p.RetainPackets && e.react == nil
+}
 
+// advance is the scheduler loop shared by Run and the stepped API: it
+// resolves slots strictly below limit (and never past MaxSlots), injecting
+// pending arrivals as their slots come due. Run passes MaxInt64; StepTo
+// passes its epoch boundary.
+func (e *Engine) advance(limit int64) {
+	e.stepLimit = limit
 	for {
 		// One scheduler peek per iteration. The pending arrival slot is
 		// also the peek's limit: it is the earliest slot the engine could
@@ -224,16 +250,20 @@ func (e *Engine) Run() (Result, error) {
 		// injects accesses at its own slot), so the wheel's cursor must
 		// not advance past it while searching for the minimum.
 		tArrival := int64(math.MaxInt64)
-		if e.pendOK {
+		if e.pendOK && e.pendSlot < limit {
 			tArrival = e.pendSlot
 		}
 		t := tArrival
-		tEvent, evOK := e.events.nextAtMost(tArrival)
+		bound := tArrival
+		if limit-1 < bound {
+			bound = limit - 1
+		}
+		tEvent, evOK := e.events.nextAtMost(bound)
 		if evOK {
-			t = tEvent // nextAtMost guarantees tEvent <= tArrival
+			t = tEvent // nextAtMost guarantees tEvent <= bound
 		}
 		if t == math.MaxInt64 {
-			break // no events, no arrivals: done
+			break // no events, no arrivals below limit: done
 		}
 		if t > e.params.MaxSlots {
 			break
@@ -270,7 +300,75 @@ func (e *Engine) Run() (Result, error) {
 			}
 		}
 	}
+}
 
+// --- stepped execution ---
+//
+// The stepped API drives an engine in externally-clocked epochs, so a
+// coordinator (the cluster package) can interleave many engines under one
+// shared clock: StepTo(s) resolves everything before slot s, InjectAt(s, n)
+// then adds arrivals at s, and FinishRun drains the remainder. A stepped
+// run is bit-identical to Run over an arrival source yielding the same
+// (slot, count) batches, because epochs cut the scheduler loop exactly
+// where a pending arrival batch would have bounded it anyway.
+
+// beginStep enters stepped mode, deciding the batch fast path on first use.
+func (e *Engine) beginStep() error {
+	if e.ran {
+		return fmt.Errorf("sim: stepped call after run finished")
+	}
+	if !e.stepping {
+		e.stepping = true
+		e.decideBatchOK()
+	}
+	return nil
+}
+
+// StepTo resolves every slot strictly before limit. Limits must be
+// nondecreasing across calls; a limit at or below a previous one is a no-op.
+func (e *Engine) StepTo(limit int64) error {
+	if err := e.beginStep(); err != nil {
+		return err
+	}
+	if limit <= e.stepFloor {
+		return nil
+	}
+	e.advance(limit)
+	e.stepFloor = limit
+	return nil
+}
+
+// InjectAt adds count packet arrivals at slot t, which must be at or after
+// every slot already stepped past. Call StepTo(t) first so the injected
+// packets see exactly the history a slot-t arrival would have seen.
+func (e *Engine) InjectAt(t, count int64) error {
+	if err := e.beginStep(); err != nil {
+		return err
+	}
+	if count <= 0 {
+		return fmt.Errorf("sim: InjectAt count must be > 0, got %d", count)
+	}
+	if t < e.stepFloor {
+		return fmt.Errorf("sim: InjectAt(%d) behind step floor %d", t, e.stepFloor)
+	}
+	if t > e.params.MaxSlots {
+		return fmt.Errorf("sim: InjectAt(%d) past MaxSlots %d", t, e.params.MaxSlots)
+	}
+	// Mirror the scheduler loop, which sets curSlot at arrival slots even
+	// when nothing resolves there (adaptive components read it).
+	e.curSlot = t
+	e.injectBatch(t, count)
+	return nil
+}
+
+// FinishRun resolves everything still pending and returns the result,
+// ending a stepped run. It may be called once.
+func (e *Engine) FinishRun() (Result, error) {
+	if err := e.beginStep(); err != nil {
+		return Result{}, err
+	}
+	e.ran = true
+	e.advance(math.MaxInt64)
 	return e.result(), nil
 }
 
@@ -282,7 +380,22 @@ func (e *Engine) Run() (Result, error) {
 //
 //lsbvet:hotpath
 func (e *Engine) inject(t int64) {
-	count := e.pendCount
+	e.injectBatch(t, e.pendCount)
+	// Advance to the next batch. The source may consult an engine View at
+	// this point (adaptive arrivals); history reflects slots < t.
+	nextSlot, nextCount, ok := e.params.Arrivals.Next()
+	if ok && nextSlot < t {
+		arrivalsBackPanic(nextSlot, t)
+	}
+	e.pendSlot, e.pendCount, e.pendOK = nextSlot, nextCount, ok
+}
+
+// injectBatch constructs count stations arriving at slot t. It is the body
+// of inject without the source advance, so the stepped API (InjectAt) can
+// feed externally-routed arrivals through the identical lifecycle.
+//
+//lsbvet:hotpath
+func (e *Engine) injectBatch(t, count int64) {
 	for i := int64(0); i < count; i++ {
 		id := e.nextID
 		e.nextID++
@@ -342,13 +455,6 @@ func (e *Engine) inject(t int64) {
 			e.stats.PeakBacklog = e.activeCount
 		}
 	}
-	// Advance to the next batch. The source may consult an engine View at
-	// this point (adaptive arrivals); history reflects slots < t.
-	nextSlot, nextCount, ok := e.params.Arrivals.Next()
-	if ok && nextSlot < t {
-		arrivalsBackPanic(nextSlot, t)
-	}
-	e.pendSlot, e.pendCount, e.pendOK = nextSlot, nextCount, ok
 }
 
 // resolveSlot pops every station accessing slot t, resolves the channel,

@@ -1,6 +1,10 @@
 package obs
 
-import "lowsensing/internal/stats"
+import (
+	"sort"
+
+	"lowsensing/internal/stats"
+)
 
 // DefaultWindow is the window size (in slots) used when Windows is
 // constructed with size <= 0.
@@ -49,6 +53,52 @@ func (w WindowStat) JamRate() float64 {
 		return 0
 	}
 	return float64(w.Jammed) / float64(w.Resolved)
+}
+
+// Merge folds another WindowStat covering the same slot range into w:
+// slot and departure counters sum, the Accesses and Latency tallies merge.
+// Backlog and MaxBacklog sum too — merged series come from independent
+// channels (a cluster roll-up), so the merged Backlog is the cluster-wide
+// backlog at window end, and MaxBacklog the sum of per-channel highs (an
+// upper bound on the cluster's true high-water mark, whose per-slot value
+// no per-channel series retains).
+func (w *WindowStat) Merge(o WindowStat) {
+	w.Resolved += o.Resolved
+	w.Successes += o.Successes
+	w.Collisions += o.Collisions
+	w.Empties += o.Empties
+	w.Jammed += o.Jammed
+	w.Departures += o.Departures
+	w.Backlog += o.Backlog
+	w.MaxBacklog += o.MaxBacklog
+	w.Accesses.Merge(&o.Accesses)
+	w.Latency.Merge(&o.Latency)
+}
+
+// MergeWindowSeries merges per-channel window series into one cluster-wide
+// series: windows with the same Index are folded together (WindowStat.
+// Merge), and the result is sorted by Index. Every input series must come
+// from accumulators with the same window size — indices are trusted, not
+// re-derived — and each stays sparse: a window absent everywhere is absent
+// from the merge.
+func MergeWindowSeries(series ...[]WindowStat) []WindowStat {
+	byIndex := make(map[int64]WindowStat)
+	for _, s := range series {
+		for _, ws := range s {
+			if cur, ok := byIndex[ws.Index]; ok {
+				cur.Merge(ws)
+				byIndex[ws.Index] = cur
+			} else {
+				byIndex[ws.Index] = ws
+			}
+		}
+	}
+	out := make([]WindowStat, 0, len(byIndex))
+	for _, ws := range byIndex {
+		out = append(out, ws)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
 }
 
 // Windows folds the event stream into a per-window time-series: a

@@ -9,10 +9,11 @@ import (
 )
 
 // This file implements the kind registries that make the declarative layer
-// open-world: every protocol, arrival-process, and jammer kind that
-// ParseScenario, ParseSweepSpec, Sweep.VaryProtocol, and the CLIs can
-// resolve — built-in or user-defined — goes through the same three
-// registries. The built-ins self-register in builtins.go; user components
+// open-world: every protocol, arrival-process, jammer, and cluster-router
+// kind that ParseScenario, ParseClusterScenario, ParseSweepSpec,
+// Sweep.VaryProtocol, and the CLIs can resolve — built-in or user-defined —
+// goes through the same registries. The built-ins self-register in
+// builtins.go; user components
 // register from an init function (or any point before the kind is first
 // parsed) and are indistinguishable from built-ins afterwards.
 //
@@ -46,6 +47,12 @@ type ArrivalsFactory func(spec ArrivalsSpec, seed uint64) (ArrivalSource, error)
 // is called fresh for every run.
 type JammerFactory func(spec JammerSpec, seed uint64) (Jammer, error)
 
+// RouterFactory builds the cluster router a RouterSpec describes, seeded
+// for one run. Routers are single-use (their state — counters, rng streams
+// — advances as packets are routed); the factory is called fresh for every
+// run.
+type RouterFactory func(spec RouterSpec, seed uint64) (Router, error)
+
 // KindDoc is one registered kind with its registration doc string.
 type KindDoc struct {
 	Kind string
@@ -55,7 +62,7 @@ type KindDoc struct {
 // registry is the common map-with-lock behind the three kind registries.
 // F is one of the factory function types above.
 type registry[F any] struct {
-	what    string // "protocol", "arrival", "jammer"; used in messages
+	what    string // "protocol", "arrival", "jammer", "router"; used in messages
 	mu      sync.RWMutex
 	entries map[string]regEntry[F]
 }
@@ -118,6 +125,7 @@ var (
 	protocolRegistry = &registry[ProtocolFactory]{what: "protocol"}
 	arrivalsRegistry = &registry[ArrivalsFactory]{what: "arrival"}
 	jammerRegistry   = &registry[JammerFactory]{what: "jammer"}
+	routerRegistry   = &registry[RouterFactory]{what: "router"}
 )
 
 // RegisterProtocol makes a protocol kind resolvable everywhere specs are:
@@ -152,6 +160,13 @@ func RegisterJammer(kind, doc string, factory JammerFactory) {
 	jammerRegistry.register(kind, doc, factory, factory == nil)
 }
 
+// RegisterRouter makes a cluster-router kind resolvable from specs
+// (ParseClusterScenario, SweepSpec cluster fields, the CLIs' -router
+// flags), exactly like RegisterProtocol does for protocols.
+func RegisterRouter(kind, doc string, factory RouterFactory) {
+	routerRegistry.register(kind, doc, factory, factory == nil)
+}
+
 // ProtocolKinds returns every registered protocol kind with its doc string,
 // sorted by kind.
 func ProtocolKinds() []KindDoc { return protocolRegistry.kinds() }
@@ -164,10 +179,14 @@ func ArrivalKinds() []KindDoc { return arrivalsRegistry.kinds() }
 // sorted by kind.
 func JammerKinds() []KindDoc { return jammerRegistry.kinds() }
 
+// RouterKinds returns every registered cluster-router kind with its doc
+// string, sorted by kind.
+func RouterKinds() []KindDoc { return routerRegistry.kinds() }
+
 // WriteKinds writes the full registry listing — every protocol, arrival,
-// and jammer kind with its registration doc, sorted, one section per
-// registry — to w. Both CLIs' -kinds flags print exactly this, so a kind
-// registered by an importing package shows up automatically.
+// jammer, and router kind with its registration doc, sorted, one section
+// per registry — to w. Both CLIs' -kinds flags print exactly this, so a
+// kind registered by an importing package shows up automatically.
 func WriteKinds(w io.Writer) error {
 	sections := []struct {
 		title string
@@ -176,6 +195,7 @@ func WriteKinds(w io.Writer) error {
 		{"protocols", ProtocolKinds()},
 		{"arrivals", ArrivalKinds()},
 		{"jammers", JammerKinds()},
+		{"routers", RouterKinds()},
 	}
 	for i, s := range sections {
 		if i > 0 {

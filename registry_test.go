@@ -49,6 +49,8 @@ func TestKindListings(t *testing.T) {
 			[]string{"batch", "bernoulli", "poisson", "aqt", "file"}},
 		{"jammers", lowsensing.JammerKinds(),
 			[]string{"random", "burst", "reactive"}},
+		{"routers", lowsensing.RouterKinds(),
+			[]string{"random", "roundrobin", "leastbacklog", "sticky"}},
 	}
 	for _, tc := range cases {
 		names := kindNames(tc.kinds)
@@ -92,6 +94,16 @@ func TestUnknownKindErrorsEnumerateRegistered(t *testing.T) {
 	_, err = lowsensing.JammerSpec{Kind: "no-such-kind"}.Jammer(1)
 	check(t, err, "jammer", lowsensing.JammerKinds())
 
+	_, err = lowsensing.RouterSpec{Kind: "no-such-kind"}.Router(1)
+	check(t, err, "router", lowsensing.RouterKinds())
+
+	// And through ParseClusterScenario, where router typos actually happen.
+	_, err = lowsensing.ParseClusterScenario([]byte(`{"channels": 2, "arrivals": {"kind": "batch", "n": 4}, "router": {"kind": "no-such-kind"}}`))
+	check(t, err, "router", lowsensing.RouterKinds())
+	if !strings.Contains(err.Error(), "roundrobin") || !strings.Contains(err.Error(), "leastbacklog") {
+		t.Fatalf("enumeration misses built-in routers: %v", err)
+	}
+
 	// The same message surfaces through ParseScenario, where spec-file
 	// typos actually happen.
 	_, err = lowsensing.ParseScenario([]byte(`{"arrivals": {"kind": "batch", "n": 4}, "protocol": {"kind": "no-such-kind"}}`))
@@ -133,6 +145,11 @@ func TestRegisterPanics(t *testing.T) {
 	})
 	mustPanic(t, "registered twice", func() {
 		lowsensing.RegisterJammer("random", "dup", func(lowsensing.JammerSpec, uint64) (lowsensing.Jammer, error) {
+			return nil, nil
+		})
+	})
+	mustPanic(t, "registered twice", func() {
+		lowsensing.RegisterRouter("roundrobin", "dup", func(lowsensing.RouterSpec, uint64) (lowsensing.Router, error) {
 			return nil, nil
 		})
 	})

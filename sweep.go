@@ -40,6 +40,8 @@ type Sweep struct {
 	seed     uint64
 	reps     int
 	workers  int
+	channels int // > 0: every job runs a cluster of this many channels
+	router   RouterSpec
 	axes     []sweepAxis
 	progress func(SweepProgress)
 	observe  func(Point, int) Recorder
@@ -97,6 +99,27 @@ func (sw *Sweep) Workers(n int) *Sweep {
 	return sw
 }
 
+// Cluster makes every job a multi-channel cluster run: each (point,
+// replication) executes the point's scenario as a ClusterScenario with
+// the given channel count and router, and the folded Result is the
+// cluster's merged Total. The sweep stays parallel across jobs — each
+// cluster runs its channels serially (Workers 1 inside the job), which
+// keeps results identical to any other arrangement and the pool fully
+// loaded.
+func (sw *Sweep) Cluster(channels int, router RouterSpec) *Sweep {
+	if channels < 1 {
+		return sw.fail(fmt.Errorf("lowsensing: sweep cluster channels must be >= 1, got %d", channels))
+	}
+	// Resolve the router kind eagerly so a typo fails at build time like
+	// any other spec error, not per job.
+	if _, err := router.Router(0); err != nil {
+		return sw.fail(err)
+	}
+	sw.channels = channels
+	sw.router = router
+	return sw
+}
+
 // SweepProgress is one progress report of a running sweep, delivered once
 // per finished job (point × replication), in grid order.
 type SweepProgress struct {
@@ -108,8 +131,11 @@ type SweepProgress struct {
 	// Wall is the job's own wall-clock run time; Elapsed is the wall time
 	// since the sweep started.
 	Wall, Elapsed time.Duration
-	// Events is the number of scheduler events the job's engine processed
-	// (EngineStats.EventsScheduled) — the engine's unit of work.
+	// Events is the number of scheduler events the job processed
+	// (EngineStats.EventsScheduled) — the engine's unit of work. For
+	// cluster jobs it sums every channel's engine, so EventsPerSec and
+	// the ETA weigh multi-channel jobs by their full workload, not by
+	// channel 0 alone.
 	Events int64
 	// ETA estimates the remaining wall time from the mean job rate so far.
 	ETA time.Duration
@@ -370,12 +396,18 @@ func (sw *Sweep) Stream(emit func(PointResult) error) error {
 					if sw.observe != nil {
 						rec = sw.observe(point, rep)
 					}
-					r, err := sc.Simulation(WithRecorder(rec)).Run()
-					if err == nil {
-						// A recorder holding buffered or partial state (a
-						// sink, a windowed accumulator) is flushed as part
-						// of the job, on the worker.
-						err = obs.Flush(rec)
+					var r Result
+					var err error
+					if sw.channels > 0 {
+						r, err = sw.runClusterJob(sc, rec)
+					} else {
+						r, err = sc.Simulation(WithRecorder(rec)).Run()
+						if err == nil {
+							// A recorder holding buffered or partial state (a
+							// sink, a windowed accumulator) is flushed as part
+							// of the job, on the worker.
+							err = obs.Flush(rec)
+						}
 					}
 					return timedResult{r: r, wall: time.Since(start)}, err //lsbvet:wallclock per-job wall time is reported, never folded into results
 				},
@@ -416,6 +448,39 @@ func (sw *Sweep) Stream(emit func(PointResult) error) error {
 	})
 }
 
+// runClusterJob executes one sweep job as a cluster run and returns the
+// merged Total. The point scenario's fields carry over verbatim; channels
+// run serially inside the job (Workers 1) because the sweep already
+// parallelizes across jobs. A per-job recorder, if any, is shared by all
+// channels: with oblivious routers the channels run one after another, so
+// the streams concatenate per channel; with backlog-aware routers they
+// interleave in epoch order. Cluster recorders are flushed by the cluster
+// executor itself.
+func (sw *Sweep) runClusterJob(sc Scenario, rec Recorder) (Result, error) {
+	ccs := ClusterScenario{
+		Seed:            sc.Seed,
+		Channels:        sw.channels,
+		MaxSlots:        sc.MaxSlots,
+		Arrivals:        sc.Arrivals,
+		Protocol:        sc.Protocol,
+		Jammer:          sc.Jammer,
+		Router:          sw.router,
+		DisableBatching: sc.DisableBatching,
+		Workers:         1,
+	}
+	var cr ClusterResult
+	var err error
+	if rec != nil {
+		cr, err = ccs.RunObserved(func(int) Recorder { return rec })
+	} else {
+		cr, err = ccs.Run()
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	return cr.Total, nil
+}
+
 // timedResult pairs a job's Result with its wall-clock run time, measured
 // on the worker, so progress reports cost nothing when unused.
 type timedResult struct {
@@ -437,6 +502,11 @@ type SweepSpec struct {
 	Reps int `json:"reps,omitempty"`
 	// Base is the scenario every point starts from.
 	Base Scenario `json:"base"`
+	// Channels, when > 0, runs every job as a cluster of this many
+	// channels (see Sweep.Cluster); Router then selects the routing
+	// policy (zero value: random).
+	Channels int        `json:"channels,omitempty"`
+	Router   RouterSpec `json:"router,omitzero"`
 	// Axes are applied outermost first.
 	Axes []AxisSpec `json:"axes,omitempty"`
 }
@@ -481,6 +551,9 @@ func (ss SweepSpec) Sweep() (*Sweep, error) {
 	}
 	if ss.Reps != 0 {
 		sw.Reps(ss.Reps)
+	}
+	if ss.Channels != 0 {
+		sw.Cluster(ss.Channels, ss.Router)
 	}
 	for _, ax := range ss.Axes {
 		labels := make([]string, len(ax.Variants))
