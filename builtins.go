@@ -21,6 +21,8 @@ func init() {
 	registerBuiltinProtocols()
 	registerBuiltinJammers()
 	registerBuiltinRouters()
+	registerBuiltinChurn()
+	registerBuiltinFaults()
 }
 
 func registerBuiltinArrivals() {

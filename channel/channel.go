@@ -206,6 +206,65 @@ type RangeJammer interface {
 	NextJammedInRange(from, to int64) (slot int64, ok bool)
 }
 
+// Churn is a population-churn process — the churn contract. It adds flows
+// that join mid-run and removes packets that give up before delivery,
+// modeling dynamic populations (flash crowds, epoch renewals, Poisson
+// join/leave).
+//
+// Joins returns the extra arrival stream the churn process injects on top
+// of the scenario's base arrivals, or nil when the process only removes
+// packets. Like any ArrivalSource it is consumed as it runs, so a Churn
+// value backs exactly one run.
+//
+// LeaveSlot returns the slot at which the packet abandons the system if it
+// is still undelivered: the packet behaves normally through slot
+// LeaveSlot-1 and never accesses a slot >= LeaveSlot. A negative return
+// means the packet never leaves. LeaveSlot must be a pure function of
+// (id, arrival) and construction-time parameters — never of call order or
+// engine state — so that sharded cluster execution and the batched and
+// general engine paths all see identical lifetimes. It must return either
+// a negative value or a slot strictly greater than arrival: a packet lives
+// at least through its arrival slot.
+//
+// An abandoned packet's energy spent is kept, its unfinished work is
+// reported as Abandoned (distinct from end-of-run survivors), and its
+// PacketStats carry the DepartureAbandoned sentinel.
+type Churn interface {
+	Joins() ArrivalSource
+	LeaveSlot(id, arrival int64) int64
+}
+
+// FaultModel injects station faults — the fault contract. The engine
+// consults it on the observe path, after the channel outcome is resolved
+// and only for stations that did not succeed, so delivery accounting stays
+// truthful: faults can distort what a station believes and when it acts,
+// never whether a packet was in fact delivered.
+//
+// Corrupt may replace the outcome a listening station observes (sensing
+// faults: false-busy turns Empty into Noisy, false-idle turns Noisy into
+// Empty). It is consulted only for listen-only accesses at Empty or Noisy
+// slots — a sender that failed knows the slot was Noisy without sensing
+// (paper footnote 2), and Success observations are ack-level, not
+// carrier-level.
+//
+// Crash reports whether the station crashes at this access and how many
+// additional slots it stays down. A crashed station loses all protocol
+// state and re-enters cold — the restart-on-churn baseline — rescheduling
+// from slot+1+down; the crashed access's energy is still charged, and the
+// observation it would have received is lost.
+//
+// All randomness must be drawn from the rng argument: the engine passes a
+// dedicated fault stream (independent of every station stream) and calls
+// the model in deterministic per-slot, per-station id order, so the same
+// seed yields bit-identical fault trajectories at any worker count.
+// Implementations must be stateless apart from construction-time
+// parameters — one FaultModel value may serve many runs and channels
+// concurrently — and must not retain the *prng.Source.
+type FaultModel interface {
+	Corrupt(id, slot int64, o Outcome, rng *prng.Source) Outcome
+	Crash(id, slot int64, rng *prng.Source) (down int64, crashed bool)
+}
+
 // NoJammer is a Jammer that never jams. The zero value is ready to use.
 type NoJammer struct{}
 

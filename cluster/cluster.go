@@ -103,6 +103,17 @@ type Config struct {
 	// channel's recorder receives that channel's event stream; recorders
 	// are flushed (obs.Flush) when their channel finishes.
 	NewRecorder func(ch int) obs.Recorder
+	// Lifetime, if non-nil, gives packets finite patience (population
+	// churn): it is consulted at injection with the packet's
+	// channel-local id and arrival slot, exactly as sim.Params.Lifetime —
+	// ids are per-channel, so an id-keyed lifetime law draws per
+	// (channel, local id), deterministically at any worker count.
+	Lifetime func(id, arrival int64) int64
+	// Faults, if non-nil, injects station faults on every channel (see
+	// sim.Params.Faults). Fault models are stateless, so one value safely
+	// serves all channels; each channel draws from its own derived fault
+	// stream.
+	Faults channel.FaultModel
 	// ReuseStations opts every channel into station recycling (see
 	// sim.Params.ReuseStations for the contract).
 	ReuseStations bool
@@ -133,6 +144,10 @@ type Result struct {
 	// 1/C when one channel got everything. It is 1 when no packets
 	// completed anywhere.
 	Fairness float64
+	// Degradation compares the run against its fault-free baseline (one
+	// whole-cluster row). It is filled only by
+	// lowsensing.ClusterScenario.RunWithBaseline; plain Run leaves it nil.
+	Degradation []sim.ClassDelta
 }
 
 // ChannelSeed derives channel ch's engine seed from the cluster base
@@ -151,8 +166,10 @@ func merge(per []sim.Result, routed []int64) Result {
 		cr := &per[i]
 		r.Total.Arrived += cr.Arrived
 		r.Total.Completed += cr.Completed
+		r.Total.Abandoned += cr.Abandoned
 		r.Total.ActiveSlots += cr.ActiveSlots
 		r.Total.JammedSlots += cr.JammedSlots
+		r.Total.Faults.Merge(cr.Faults)
 		if cr.LastSlot > r.Total.LastSlot {
 			r.Total.LastSlot = cr.LastSlot
 		}
@@ -177,7 +194,10 @@ func merge(per []sim.Result, routed []int64) Result {
 }
 
 // jain computes the Jain fairness index over per-channel completed
-// counts; 1 when nothing completed anywhere.
+// counts; 1 when nothing completed anywhere. The formula is inlined from
+// stats.Jain (which powers the root package's cross-class fairness, so the
+// two indices are directly comparable) to keep the recorder-off cluster
+// path's per-run allocation footprint fixed.
 func jain(per []sim.Result) float64 {
 	var sum, sumSq float64
 	for i := range per {

@@ -6,7 +6,9 @@ import (
 
 	"lowsensing/channel"
 	"lowsensing/internal/arrivals"
+	"lowsensing/internal/churn"
 	"lowsensing/internal/core"
+	"lowsensing/internal/faults"
 	"lowsensing/internal/jamming"
 	"lowsensing/internal/sim"
 )
@@ -79,6 +81,94 @@ func TestPreRoutedEpochDifferential(t *testing.T) {
 				t.Fatalf("executors disagree:\npre-routed %+v\nepoch      %+v", pre, epoch)
 			}
 		})
+	}
+}
+
+// churnConfig layers population churn (Poisson joins with geometric
+// patience, merged into the global arrival stream) and flaky station
+// faults on top of testConfig. Churn is single-use, so the helper builds
+// everything fresh per call.
+func churnConfig(t *testing.T, router Router) Config {
+	t.Helper()
+	cfg := testConfig(t, router)
+	c, err := churn.NewPoissonJoinLeave(0.1, 200, 0.02, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Arrivals = arrivals.NewMerge(cfg.Arrivals, c.Joins())
+	cfg.Lifetime = c.LeaveSlot
+	fm, err := faults.NewFlaky(0.1, 0.05, 0.02, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults = fm
+	return cfg
+}
+
+// TestPreRoutedEpochChurnFaultsDifferential extends the cross-executor
+// contract to churned, faulty runs: abandons, crash recoveries, and
+// corrupted observations must land identically whether channels run to
+// completion independently or in lockstep epochs.
+func TestPreRoutedEpochChurnFaultsDifferential(t *testing.T) {
+	routers := map[string]func() Router{
+		"random":     func() Router { return NewRandom(21) },
+		"roundrobin": func() Router { return NewRoundRobin() },
+		"sticky":     func() Router { return NewSticky(21, 16) },
+	}
+	for name, mk := range routers {
+		t.Run(name, func(t *testing.T) {
+			pre, err := Run(churnConfig(t, mk()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := churnConfig(t, mk())
+			cfg.forceEpoch = true
+			epoch, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scrubWheel(&pre)
+			scrubWheel(&epoch)
+			if !reflect.DeepEqual(pre, epoch) {
+				t.Fatalf("executors disagree under churn/faults:\npre-routed %+v\nepoch      %+v", pre, epoch)
+			}
+			tot := pre.Total
+			if tot.Abandoned == 0 {
+				t.Fatal("churn abandoned nothing; the differential is vacuous")
+			}
+			if tot.Faults.Corrupted == 0 || tot.Faults.Crashes == 0 {
+				t.Fatalf("fault injection vacuous: %+v", tot.Faults)
+			}
+			if tot.Completed+tot.Abandoned+tot.Energy.Undelivered != tot.Arrived {
+				t.Fatalf("cluster conservation broken: %d + %d + %d != %d",
+					tot.Completed, tot.Abandoned, tot.Energy.Undelivered, tot.Arrived)
+			}
+		})
+	}
+}
+
+// TestEpochShardedChurnFaultsIdentical: the epoch executor stays
+// worker-count invariant when churn and faults are active (the
+// backlog-aware path injects churn joins through the same coordinator
+// routing as base arrivals).
+func TestEpochShardedChurnFaultsIdentical(t *testing.T) {
+	run := func(workers int) Result {
+		cfg := churnConfig(t, NewLeastBacklog())
+		cfg.Workers = workers
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	ref := run(1)
+	if ref.Total.Abandoned == 0 {
+		t.Fatal("churn abandoned nothing; the invariance test is vacuous")
+	}
+	for _, workers := range []int{2, 8} {
+		if got := run(workers); !reflect.DeepEqual(got, ref) {
+			t.Fatalf("workers=%d churned epoch result differs from serial reference", workers)
+		}
 	}
 }
 

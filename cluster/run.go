@@ -68,6 +68,8 @@ func channelParams(cfg *Config, ch int, seed uint64, src channel.ArrivalSource) 
 		Arrivals:        src,
 		NewStation:      cfg.NewStation,
 		MaxSlots:        cfg.MaxSlots,
+		Lifetime:        cfg.Lifetime,
+		Faults:          cfg.Faults,
 		ReuseStations:   cfg.ReuseStations,
 		DisableBatching: cfg.DisableBatching,
 	}

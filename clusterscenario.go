@@ -7,6 +7,8 @@ import (
 	"maps"
 
 	"lowsensing/cluster"
+	"lowsensing/internal/arrivals"
+	"lowsensing/internal/sim"
 	"lowsensing/obs"
 )
 
@@ -106,6 +108,16 @@ type ClusterScenario struct {
 	Jammer JammerSpec `json:"jammer,omitzero"`
 	// Router selects the routing policy. The zero value is RouterRandom.
 	Router RouterSpec `json:"router,omitzero"`
+	// Churn selects a population-churn process (zero value = none). The
+	// churn's join stream merges into the cluster-wide arrival stream — so
+	// joining packets are routed like any others — and its leave law gives
+	// every packet finite patience, keyed by the packet's channel-local id
+	// and arrival slot.
+	Churn ChurnSpec `json:"churn,omitzero"`
+	// Faults selects the station fault model injected on every channel
+	// (zero value = none); each channel draws from its own derived fault
+	// stream. Fault counts merge into Total.Faults.
+	Faults FaultSpec `json:"faults,omitzero"`
 	// DisableBatching forces every channel through the engine's general
 	// per-slot resolver. Results are bit-identical either way.
 	DisableBatching bool `json:"disable_batching,omitempty"`
@@ -123,6 +135,8 @@ func (cs ClusterScenario) clone() ClusterScenario {
 	cs.Protocol.Params = maps.Clone(cs.Protocol.Params)
 	cs.Jammer.Params = maps.Clone(cs.Jammer.Params)
 	cs.Router.Params = maps.Clone(cs.Router.Params)
+	cs.Churn.Params = maps.Clone(cs.Churn.Params)
+	cs.Faults.Params = maps.Clone(cs.Faults.Params)
 	return cs
 }
 
@@ -144,6 +158,21 @@ func (cs ClusterScenario) config() (cluster.Config, error) {
 	if err != nil {
 		return cluster.Config{}, err
 	}
+	ch, err := cs.Churn.Churn(cs.Seed)
+	if err != nil {
+		return cluster.Config{}, err
+	}
+	var lifetime func(id, arrival int64) int64
+	if ch != nil {
+		if joins := ch.Joins(); joins != nil {
+			src = arrivals.NewMerge(src, joins)
+		}
+		lifetime = ch.LeaveSlot
+	}
+	model, err := cs.Faults.Model()
+	if err != nil {
+		return cluster.Config{}, err
+	}
 	cfg := cluster.Config{
 		Channels:   cs.Channels,
 		Workers:    cs.Workers,
@@ -152,6 +181,8 @@ func (cs ClusterScenario) config() (cluster.Config, error) {
 		Arrivals:   src,
 		Router:     rt,
 		NewStation: factory,
+		Lifetime:   lifetime,
+		Faults:     model,
 		// Registered protocol kinds produce uniformly-configured stations
 		// (the RegisterProtocol contract), so recycling is always safe
 		// here — same rule as the single-channel Scenario layer.
@@ -190,6 +221,34 @@ func (cs ClusterScenario) RunObserved(mk func(ch int) Recorder) (ClusterResult, 
 	}
 	cfg.NewRecorder = func(ch int) obs.Recorder { return mk(ch) }
 	return cluster.Run(cfg)
+}
+
+// FaultFree returns a copy of the cluster scenario with the churn and
+// fault specs stripped — the baseline RunWithBaseline measures degradation
+// against.
+func (cs ClusterScenario) FaultFree() ClusterScenario {
+	out := cs.clone()
+	out.Churn = ChurnSpec{}
+	out.Faults = FaultSpec{}
+	return out
+}
+
+// RunWithBaseline executes the cluster scenario and its FaultFree
+// counterpart and fills Result.Degradation with the whole-cluster delta
+// against the baseline (computed over the merged Totals). The two runs
+// share the seed, so the comparison isolates exactly the churn and fault
+// effects.
+func (cs ClusterScenario) RunWithBaseline() (ClusterResult, error) {
+	res, err := cs.Run()
+	if err != nil {
+		return ClusterResult{}, err
+	}
+	base, err := cs.FaultFree().Run()
+	if err != nil {
+		return ClusterResult{}, fmt.Errorf("lowsensing: fault-free baseline: %w", err)
+	}
+	res.Degradation = sim.DegradationVs(res.Total, base.Total)
+	return res, nil
 }
 
 // Validate checks that every part of the scenario is constructible. It

@@ -19,6 +19,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -71,6 +72,8 @@ func runE(args []string, out, errW io.Writer) error {
 		traceOut = fs.String("trace", "", "with -spec: write every job's structured trace (slot + packet events) to this NDJSON file, one labeled stream per job")
 		metrics  = fs.String("metrics", "", "with -spec: write every job's windowed time-series to this NDJSON file, one labeled stream per job")
 		window   = fs.Int64("window", 0, "metrics window size in slots (0 = 1024)")
+		churn    = fs.String("churn", "", "with -spec: override the base scenario's population churn with this JSON snippet (see -kinds)")
+		faults   = fs.String("faults", "", "with -spec: override the base scenario's station faults with this JSON snippet (see -kinds)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -130,7 +133,8 @@ func runE(args []string, out, errW io.Writer) error {
 		if explicit["id"] || explicit["scale"] {
 			return fmt.Errorf("-id/-scale select registry experiments and do not apply to -spec sweeps")
 		}
-		// -seed and -reps, when given, override the spec file's values.
+		// -seed/-reps/-churn/-faults, when given, override the spec
+		// file's values.
 		return runSpec(specRun{
 			path:    *specFile,
 			workers: *parallel,
@@ -141,10 +145,15 @@ func runE(args []string, out, errW io.Writer) error {
 			metrics: *metrics,
 			window:  *window,
 			prog:    *progress,
+			churn:   *churn,
+			faults:  *faults,
 		}, out, errW)
 	}
 	if *progress || *traceOut != "" || *metrics != "" {
 		return fmt.Errorf("-progress/-trace/-metrics observe declarative sweeps; they require -spec")
+	}
+	if *churn != "" || *faults != "" {
+		return fmt.Errorf("-churn/-faults override a declarative sweep's base scenario; they require -spec")
 	}
 
 	rc := harness.DefaultRunConfig()
@@ -210,6 +219,7 @@ type specRun struct {
 	trace, metrics string
 	window         int64
 	prog           bool
+	churn, faults  string
 }
 
 // runSpec executes a declarative sweep spec and renders one aggregate
@@ -232,6 +242,20 @@ func runSpec(o specRun, out, errW io.Writer) error {
 	}
 	if o.reps > 0 {
 		ss.Reps = o.reps
+	}
+	// -churn/-faults replace the base scenario's specs wholesale (the
+	// sweep's axes still patch over them like any other base field).
+	if o.churn != "" {
+		ss.Base.Churn = lowsensing.ChurnSpec{}
+		if err := parseJSONFlag("churn", o.churn, &ss.Base.Churn); err != nil {
+			return err
+		}
+	}
+	if o.faults != "" {
+		ss.Base.Faults = lowsensing.FaultSpec{}
+		if err := parseJSONFlag("faults", o.faults, &ss.Base.Faults); err != nil {
+			return err
+		}
 	}
 	sw, err := ss.Sweep()
 	if err != nil {
@@ -295,7 +319,7 @@ func runSpec(o specRun, out, errW io.Writer) error {
 		ID:    id,
 		Title: fmt.Sprintf("Declarative sweep from %s", filepath.Base(o.path)),
 		Columns: []string{
-			"point", "reps", "arrived", "delivered", "tput", "meanAcc", "p99Acc", "maxAcc", "meanLat",
+			"point", "reps", "arrived", "delivered", "abandoned", "tput", "meanAcc", "p99Acc", "maxAcc", "meanLat",
 		},
 	}
 	start := time.Now() //lsbvet:wallclock operator-facing elapsed-time report
@@ -305,6 +329,7 @@ func runSpec(o specRun, out, errW io.Writer) error {
 			fmt.Sprintf("%d", pr.Reps),
 			fmt.Sprintf("%d", pr.Arrived),
 			fmt.Sprintf("%.3f", pr.DeliveredFrac()),
+			fmt.Sprintf("%d", pr.Abandoned),
 			fmt.Sprintf("%.3f", pr.Throughput.Mean()),
 			fmt.Sprintf("%.1f", pr.Energy.Accesses.Mean()),
 			fmt.Sprintf("%.0f", pr.Energy.Accesses.Quantile(0.99)),
@@ -326,6 +351,17 @@ func runSpec(o specRun, out, errW io.Writer) error {
 	fmt.Fprintln(out, tab)
 	fmt.Fprintf(out, "(%s completed in %s)\n", id, time.Since(start).Round(time.Millisecond)) //lsbvet:wallclock operator-facing elapsed-time report
 	return writeTable(o.outdir, id, tab)
+}
+
+// parseJSONFlag strictly decodes a JSON-snippet flag value into spec
+// (unknown fields are errors, same as the spec file itself).
+func parseJSONFlag(name, value string, spec any) error {
+	dec := json.NewDecoder(strings.NewReader(value))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(spec); err != nil {
+		return fmt.Errorf("-%s: %v", name, err)
+	}
+	return nil
 }
 
 func sweepReps(ss lowsensing.SweepSpec) int {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -287,4 +288,65 @@ func TestSpecObservability(t *testing.T) {
 	if tableOf(plain.String()) != tableOf(out.String()) {
 		t.Fatalf("observability changed the table:\n%s\nvs\n%s", plain.String(), out.String())
 	}
+}
+
+// TestSpecChurnFaultsOverride: -churn/-faults replace the base scenario's
+// robustness specs of a -spec sweep, and the table gains the abandoned
+// column.
+func TestSpecChurnFaultsOverride(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "sweep.json")
+	if err := os.WriteFile(spec, []byte(`{
+		"id": "rob",
+		"seed": 7,
+		"base": {"arrivals": {"kind": "batch", "n": 64}, "max_slots": 200000},
+		"axes": [{"name": "protocol", "variants": [
+			{"label": "lsb"},
+			{"label": "beb", "patch": {"protocol": {"kind": "beb"}}}
+		]}]
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf strings.Builder
+	err := run([]string{"-spec", spec,
+		"-churn", `{"kind":"poisson-join-leave","rate":0.05,"n":32,"leave_rate":0.02}`,
+		"-faults", `{"kind":"sensing","false_busy":0.1}`}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	if !strings.Contains(got, "abandoned") {
+		t.Fatalf("table missing abandoned column:\n%s", got)
+	}
+	// The churn override actually bites: some point abandons packets, so
+	// the abandoned column is not all zeros.
+	if rows := strings.Count(got, "\n"); rows < 2 || !regexpAbandonNonzero(got) {
+		t.Fatalf("churn override produced no abandons:\n%s", got)
+	}
+
+	// Malformed snippets and missing -spec are rejected up front.
+	if err := run([]string{"-spec", spec, "-faults", `{"kind":`}, &strings.Builder{}); err == nil ||
+		!strings.Contains(err.Error(), "-faults") {
+		t.Fatalf("malformed -faults: %v", err)
+	}
+	if err := run([]string{"-churn", `{"kind":"epochs","period":64}`}, &strings.Builder{}); err == nil ||
+		!strings.Contains(err.Error(), "require -spec") {
+		t.Fatalf("-churn without -spec: %v", err)
+	}
+}
+
+// regexpAbandonNonzero reports whether any data row carries a nonzero
+// abandoned count (column 5 of the sweep table).
+func regexpAbandonNonzero(table string) bool {
+	for _, line := range strings.Split(table, "\n") {
+		f := strings.Fields(line)
+		if len(f) < 10 || !strings.Contains(f[0], "protocol=") {
+			continue // not a data row
+		}
+		if n, err := strconv.Atoi(f[4]); err == nil && n > 0 {
+			return true
+		}
+	}
+	return false
 }

@@ -16,6 +16,8 @@
 //	lsbsim -n 1024 -jam random -jamrate 0.25      # random jamming
 //	lsbsim -n 1024 -jam reactive -jambudget 64    # reactive jam on packet 0
 //	lsbsim -n 4096 -channels 16 -router sticky    # 16-channel cluster, affinity routing
+//	lsbsim -n 1024 -churn '{"kind":"poisson-join-leave","rate":0.05,"n":64,"leave_rate":0.02}'
+//	lsbsim -n 1024 -faults '{"kind":"sensing","false_busy":0.2,"false_idle":0.1}' -baseline
 //	lsbsim -spec scenario.json                    # whole scenario from JSON
 //	lsbsim -kinds                                 # list registered kinds
 //
@@ -30,6 +32,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -40,6 +43,7 @@ import (
 
 	"lowsensing"
 	"lowsensing/internal/metrics"
+	"lowsensing/internal/sim"
 	"lowsensing/obs"
 )
 
@@ -84,6 +88,9 @@ func run(args []string, out io.Writer) error {
 		maxSlots  = fs.Int64("maxslots", 0, "slot cap (0 = generous default)")
 		c         = fs.Float64("c", 0, "LSB constant c (0 = default)")
 		wmin      = fs.Float64("wmin", 0, "LSB minimum window (0 = default)")
+		churn     = fs.String("churn", "", "population churn spec as JSON, e.g. {\"kind\":\"flash-crowd\",\"slot\":64,\"n\":12,\"lifetime\":400} (see -kinds)")
+		faults    = fs.String("faults", "", "station fault spec as JSON, e.g. {\"kind\":\"sensing\",\"false_busy\":0.2} (see -kinds)")
+		baseline  = fs.Bool("baseline", false, "also run the fault-free baseline (same seed, churn and faults stripped) and print the degradation report")
 		channels  = fs.Int("channels", 1, "run a multi-channel cluster with this many channels (>= 2 enables cluster mode)")
 		router    = fs.String("router", "", "cluster routing policy for -channels >= 2 (default random; see -kinds)")
 		specFile  = fs.String("spec", "", "JSON scenario file; replaces the flag-built scenario (see lowsensing.Scenario)")
@@ -124,6 +131,7 @@ func run(args []string, out io.Writer) error {
 			rate: *rate, gran: *gran, jam: *jam, jamRate: *jamRate,
 			jamFrom: *jamFrom, jamTo: *jamTo, jamBudget: *jamBudget,
 			seed: *seed, maxSlots: *maxSlots, c: *c, wmin: *wmin,
+			churn: *churn, faults: *faults,
 		}); err != nil {
 			return err
 		}
@@ -136,7 +144,7 @@ func run(args []string, out io.Writer) error {
 		if *channels < 1 {
 			return fmt.Errorf("-channels must be >= 1, got %d", *channels)
 		}
-		return runCluster(out, sc, protoLbl, *channels, *router, *traceOut, *metrics_, *window)
+		return runCluster(out, sc, protoLbl, *channels, *router, *baseline, *traceOut, *metrics_, *window)
 	}
 	if *router != "" {
 		return fmt.Errorf("-router requires -channels >= 2")
@@ -180,6 +188,17 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	// -baseline: rerun the fault-free counterpart (same seed, churn and
+	// faults stripped) and report graceful degradation. The baseline run is
+	// never observed — the side channels describe the faulty run.
+	if *baseline {
+		base, err := sc.FaultFree().Run()
+		if err != nil {
+			return fmt.Errorf("fault-free baseline: %w", err)
+		}
+		r.Degradation = sim.DegradationVs(r, base)
+	}
+
 	fmt.Fprintf(out, "protocol            %s\n", protoLbl)
 	return printSummary(out, r)
 }
@@ -189,10 +208,17 @@ func run(args []string, out io.Writer) error {
 func printSummary(out io.Writer, r lowsensing.Result) error {
 	es := metrics.SummarizeEnergy(r)
 	fmt.Fprintf(out, "packets             %d arrived, %d delivered", r.Arrived, r.Completed)
+	if r.Abandoned > 0 {
+		fmt.Fprintf(out, ", %d abandoned", r.Abandoned)
+	}
 	if r.Truncated {
 		fmt.Fprintf(out, "  (TRUNCATED at slot %d)", r.LastSlot)
 	}
 	fmt.Fprintln(out)
+	if f := r.Faults; f != (lowsensing.FaultStats{}) {
+		fmt.Fprintf(out, "faults              %d corrupted (%d busy, %d idle), %d crashes, %d down slots\n",
+			f.Corrupted, f.FalseBusy, f.FalseIdle, f.Crashes, f.DownSlots)
+	}
 	fmt.Fprintf(out, "active slots        %d\n", r.ActiveSlots)
 	fmt.Fprintf(out, "jammed slots        %d\n", r.JammedSlots)
 	fmt.Fprintf(out, "throughput          %.4f   (T+J)/S\n", r.Throughput())
@@ -203,11 +229,33 @@ func printSummary(out io.Writer, r lowsensing.Result) error {
 	if es.Latency.N > 0 {
 		fmt.Fprintf(out, "latency (slots)     mean %.1f  p99 %.0f  max %.0f\n", es.Latency.Mean, es.Latency.P99, es.Latency.Max)
 	}
+	if len(r.Classes) > 0 {
+		fmt.Fprintf(out, "class fairness      %.4f\n", r.ClassFairness)
+		for _, cl := range r.Classes {
+			fmt.Fprintf(out, "  class %-12s arrived %6d  delivered %6d  abandoned %6d  survivors %6d\n",
+				cl.Name, cl.Arrived, cl.Completed, cl.Abandoned, cl.Survivors)
+		}
+	}
+	printDegradation(out, r.Degradation)
 	if es.Undelivered > 0 {
 		fmt.Fprintf(out, "undelivered         %d\n", es.Undelivered)
 		return errUndelivered
 	}
 	return nil
+}
+
+// printDegradation prints the graceful-degradation rows of a -baseline run
+// (one row per class; classless runs produce a single unnamed row).
+func printDegradation(out io.Writer, rows []lowsensing.ClassDelta) {
+	for _, d := range rows {
+		name := d.Name
+		if name == "" {
+			name = "(all)"
+		}
+		fmt.Fprintf(out, "degradation %-12s delivered %.4f vs %.4f (%+.4f)  accesses %.1f vs %.1f  latency %.1f vs %.1f\n",
+			name, d.DeliveredFrac, d.BaselineDeliveredFrac, d.Delta,
+			d.MeanAccesses, d.BaselineMeanAccesses, d.MeanLatency, d.BaselineMeanLatency)
+	}
 }
 
 // runCluster executes the flag-built scenario as a -channels cluster and
@@ -216,7 +264,7 @@ func printSummary(out io.Writer, r lowsensing.Result) error {
 // multiplexes every channel's NDJSON stream into one file with ch%02d run
 // labels; -metrics rolls the per-channel windowed series up into one
 // cluster-wide series (obs.MergeWindowSeries).
-func runCluster(out io.Writer, sc lowsensing.Scenario, protoLbl string, channels int, routerKind, traceOut, metricsOut string, window int64) error {
+func runCluster(out io.Writer, sc lowsensing.Scenario, protoLbl string, channels int, routerKind string, baseline bool, traceOut, metricsOut string, window int64) error {
 	cs := lowsensing.ClusterScenario{
 		Seed:     sc.Seed,
 		Channels: channels,
@@ -224,7 +272,12 @@ func runCluster(out io.Writer, sc lowsensing.Scenario, protoLbl string, channels
 		Arrivals: sc.Arrivals,
 		Protocol: sc.Protocol,
 		Jammer:   sc.Jammer,
+		Churn:    sc.Churn,
+		Faults:   sc.Faults,
 		Router:   lowsensing.RouterSpec{Kind: routerKind},
+	}
+	if len(sc.Classes) > 0 {
+		return fmt.Errorf("-channels >= 2 does not support multi-class scenarios")
 	}
 	if err := cs.Validate(); err != nil {
 		return err
@@ -288,6 +341,13 @@ func runCluster(out io.Writer, sc lowsensing.Scenario, protoLbl string, channels
 	if err != nil {
 		return err
 	}
+	if baseline {
+		base, err := cs.FaultFree().Run()
+		if err != nil {
+			return fmt.Errorf("fault-free baseline: %w", err)
+		}
+		cr.Degradation = sim.DegradationVs(cr.Total, base.Total)
+	}
 
 	if metricsOut != "" {
 		sink, done, err := openSink(metricsOut)
@@ -323,6 +383,7 @@ func runCluster(out io.Writer, sc lowsensing.Scenario, protoLbl string, channels
 	}
 	fmt.Fprintf(out, "routed/channel      min %d  max %d\n", minR, maxR)
 	fmt.Fprintf(out, "fairness (jain)     %.4f\n", cr.Fairness)
+	printDegradation(out, cr.Degradation)
 	sumErr := printSummary(out, cr.Total)
 	for ch := range cr.PerChannel {
 		r := &cr.PerChannel[ch]
@@ -345,6 +406,7 @@ type flagScenario struct {
 	seed                      uint64
 	maxSlots                  int64
 	c, wmin                   float64
+	churn, faults             string
 }
 
 // makeScenario compiles the flag values into a declarative Scenario and
@@ -360,6 +422,12 @@ func makeScenario(f flagScenario) (lowsensing.Scenario, error) {
 		Protocol: makeProtocolSpec(f),
 		Jammer:   makeJammerSpec(f),
 		MaxSlots: f.maxSlots,
+	}
+	if err := parseJSONFlag("churn", f.churn, &sc.Churn); err != nil {
+		return lowsensing.Scenario{}, err
+	}
+	if err := parseJSONFlag("faults", f.faults, &sc.Faults); err != nil {
+		return lowsensing.Scenario{}, err
 	}
 	if sc.MaxSlots == 0 {
 		sc.MaxSlots = 2000*f.n + (1 << 22)
@@ -429,6 +497,20 @@ func makeJammerSpec(f flagScenario) lowsensing.JammerSpec {
 	}
 }
 
+// parseJSONFlag strictly decodes a JSON-snippet flag value into spec
+// (unknown fields are errors, same as -spec files). Empty means unset.
+func parseJSONFlag(name, value string, spec any) error {
+	if value == "" {
+		return nil
+	}
+	dec := json.NewDecoder(strings.NewReader(value))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(spec); err != nil {
+		return fmt.Errorf("-%s: %v", name, err)
+	}
+	return nil
+}
+
 func max64(a, b int64) int64 {
 	if a > b {
 		return a
@@ -448,7 +530,8 @@ func specFlagConflict(fs *flag.FlagSet) string {
 		switch f.Name {
 		// -channels/-router select the execution mode, like the
 		// observability flags — a spec'd scenario can run as a cluster.
-		case "spec", "trace", "metrics", "window", "channels", "router":
+		// -baseline only adds a report over whatever scenario runs.
+		case "spec", "trace", "metrics", "window", "channels", "router", "baseline":
 			return
 		}
 		if conflict == "" {

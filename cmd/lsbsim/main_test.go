@@ -372,3 +372,75 @@ func TestRunClusterFlagErrors(t *testing.T) {
 		t.Fatalf("spec cluster run summary:\n%s", buf.String())
 	}
 }
+
+// TestRunChurnFaultsFlags drives the robustness flags end to end: the JSON
+// snippets compile into the scenario, the summary reports abandons and
+// fault counters, and -baseline adds the degradation row.
+func TestRunChurnFaultsFlags(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-n", "256", "-seed", "5", "-maxslots", "200000",
+		"-churn", `{"kind":"poisson-join-leave","rate":0.05,"n":32,"leave_rate":0.02}`,
+		"-faults", `{"kind":"sensing","false_busy":0.2,"false_idle":0.1}`,
+		"-baseline"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"abandoned", "faults", "corrupted", "degradation (all)"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("output missing %q:\n%s", frag, out)
+		}
+	}
+
+	// Cluster mode threads the same specs through ClusterScenario.
+	buf.Reset()
+	err = run([]string{"-n", "256", "-seed", "5", "-channels", "2", "-router", "roundrobin",
+		"-churn", `{"kind":"flash-crowd","slot":16,"n":8,"lifetime":40}`,
+		"-faults", `{"kind":"crash","rate":0.01,"down":4}`,
+		"-baseline"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = buf.String()
+	for _, frag := range []string{"cluster             2 channels", "crashes", "degradation (all)"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("cluster output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+// TestRunChurnFaultsFlagErrors: malformed or unknown snippets are rejected
+// before the run, and the scenario-shaping flags conflict with -spec.
+func TestRunChurnFaultsFlagErrors(t *testing.T) {
+	if err := run([]string{"-n", "8", "-churn", `{"kind":`}, &bytes.Buffer{}); err == nil ||
+		!strings.Contains(err.Error(), "-churn") {
+		t.Fatalf("malformed -churn: %v", err)
+	}
+	if err := run([]string{"-n", "8", "-faults", `{"bogus":1}`}, &bytes.Buffer{}); err == nil ||
+		!strings.Contains(err.Error(), "-faults") {
+		t.Fatalf("unknown -faults field: %v", err)
+	}
+	// Unknown kinds surface the registry's sorted kind listing.
+	if err := run([]string{"-n", "8", "-churn", `{"kind":"nope"}`}, &bytes.Buffer{}); err == nil ||
+		!strings.Contains(err.Error(), "registered kinds:") {
+		t.Fatalf("unknown churn kind: %v", err)
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "scenario.json")
+	if err := os.WriteFile(path, []byte(`{"seed": 3, "arrivals": {"kind": "batch", "n": 8}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-spec", path, "-churn", `{"kind":"epochs","period":64}`}, &bytes.Buffer{}); err == nil ||
+		!strings.Contains(err.Error(), "-churn does not apply") {
+		t.Fatalf("-spec with -churn: %v", err)
+	}
+	// -baseline composes with -spec (it shapes no scenario data).
+	var buf bytes.Buffer
+	if err := run([]string{"-spec", path, "-baseline"}, &buf); err != nil {
+		t.Fatalf("-spec with -baseline rejected: %v", err)
+	}
+	if !strings.Contains(buf.String(), "degradation (all)") {
+		t.Fatalf("baseline row missing:\n%s", buf.String())
+	}
+}

@@ -9,7 +9,8 @@ import (
 
 // The registry analyzer enforces the kind-registry discipline documented
 // in lowsensing's registry.go: RegisterProtocol, RegisterArrivals,
-// RegisterJammer, and RegisterRouter may only be called at init time —
+// RegisterJammer, RegisterRouter, RegisterChurn, and RegisterFault may
+// only be called at init time —
 // from an init function,
 // a package-level var initializer, or an unexported helper provably called
 // only from those — so every kind exists before the first spec can name
@@ -24,6 +25,8 @@ var registerFuncs = map[string]bool{
 	"RegisterArrivals": true,
 	"RegisterJammer":   true,
 	"RegisterRouter":   true,
+	"RegisterChurn":    true,
+	"RegisterFault":    true,
 }
 
 func runRegistry(p *Pass) {

@@ -14,6 +14,10 @@ func init() {
 	lowsensing.RegisterJammer("UpperKind", "doc", nil)   // want `registry: RegisterJammer kind "UpperKind" must be lowercase`
 	lowsensing.RegisterRouter("goodrouter", "registered from init", nil)
 	lowsensing.RegisterRouter("BadRouter", "doc", nil) // want `registry: RegisterRouter kind "BadRouter" must be lowercase`
+	lowsensing.RegisterChurn("goodchurn", "registered from init", nil)
+	lowsensing.RegisterChurn("Bad Churn", "doc", nil) // want `registry: RegisterChurn kind "Bad Churn" must be lowercase`
+	lowsensing.RegisterFault("goodfault", "registered from init", nil)
+	lowsensing.RegisterFault("", "doc", nil) // want `registry: RegisterFault kind must not be empty`
 }
 
 // A package-level var initializer is init time.
@@ -46,6 +50,8 @@ func Setup(kind string) {
 	lowsensing.RegisterProtocol("latekind", "doc", nil) // want `registry: RegisterProtocol outside init or a package-level var initializer`
 	lowsensing.RegisterJammer(kind, "doc", nil)         // want `registry: RegisterJammer outside init` `registry: RegisterJammer kind must be a compile-time string constant`
 	lowsensing.RegisterRouter("laterouter", "doc", nil) // want `registry: RegisterRouter outside init or a package-level var initializer`
+	lowsensing.RegisterChurn("latechurn", "doc", nil)   // want `registry: RegisterChurn outside init or a package-level var initializer`
+	lowsensing.RegisterFault("latefault", "doc", nil)   // want `registry: RegisterFault outside init or a package-level var initializer`
 }
 
 // LateRegister models a harness helper the project has decided to allow.

@@ -281,3 +281,71 @@ func (s *Shifted) Next() (int64, int64, bool) {
 }
 
 var _ channel.ArrivalSource = (*Shifted)(nil)
+
+// Merge interleaves several sources into one nondecreasing stream, breaking
+// same-slot ties by source index (lower index first) so the merge order —
+// and therefore the packet-id assignment of a run — is deterministic. It
+// panics if an inner source goes backwards. Inner sources must not be
+// engine-bound: Merge consumes their heads ahead of injection.
+//
+// OnEmit, if set, is invoked for every emitted batch with the index of the
+// originating source, before Next returns it. Multi-class scenarios use the
+// hook to build the packet-id → class tape: the engine assigns ids densely
+// in injection order, so the emission order is the id order.
+type Merge struct {
+	OnEmit  func(source int, slot, count int64)
+	sources []channel.ArrivalSource
+	heads   []mergeHead
+	inited  bool
+}
+
+type mergeHead struct {
+	slot  int64
+	count int64
+	ok    bool
+}
+
+// NewMerge returns a source merging the given sources. Nil sources are
+// skipped (a churn process with no joins contributes nothing); source
+// indices reported to OnEmit count the nil entries, so callers can index a
+// parallel class table directly.
+func NewMerge(sources ...channel.ArrivalSource) *Merge {
+	return &Merge{sources: sources}
+}
+
+// Next implements channel.ArrivalSource.
+func (m *Merge) Next() (int64, int64, bool) {
+	if !m.inited {
+		m.inited = true
+		m.heads = make([]mergeHead, len(m.sources))
+		for i, src := range m.sources {
+			if src == nil {
+				continue
+			}
+			slot, count, ok := src.Next()
+			m.heads[i] = mergeHead{slot: slot, count: count, ok: ok}
+		}
+	}
+	best := -1
+	for i := range m.heads {
+		h := &m.heads[i]
+		if h.ok && (best < 0 || h.slot < m.heads[best].slot) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return 0, 0, false
+	}
+	slot, count := m.heads[best].slot, m.heads[best].count
+	nextSlot, nextCount, ok := m.sources[best].Next()
+	if ok && nextSlot < slot {
+		panic("arrivals: merged source went backwards")
+	}
+	m.heads[best] = mergeHead{slot: nextSlot, count: nextCount, ok: ok}
+	if m.OnEmit != nil {
+		m.OnEmit(best, slot, count)
+	}
+	return slot, count, true
+}
+
+var _ channel.ArrivalSource = (*Merge)(nil)

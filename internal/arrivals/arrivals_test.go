@@ -275,3 +275,75 @@ func TestConcatEmpty(t *testing.T) {
 		t.Fatal("empty concat produced a batch")
 	}
 }
+
+func TestMergeOrderAndTies(t *testing.T) {
+	a, err := NewTrace([]TraceBatch{{Slot: 0, Count: 1}, {Slot: 5, Count: 2}, {Slot: 9, Count: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewTrace([]TraceBatch{{Slot: 3, Count: 4}, {Slot: 5, Count: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nil sources are skipped but still occupy an OnEmit index, so a class
+	// table indexed by source position stays aligned.
+	m := NewMerge(a, nil, b)
+	var emits []int
+	m.OnEmit = func(source int, slot, count int64) { emits = append(emits, source) }
+	got := drain(t, m, 16)
+	want := []TraceBatch{{0, 1}, {3, 4}, {5, 2}, {5, 8}, {9, 1}}
+	if len(got) != len(want) {
+		t.Fatalf("merged %d batches, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("batch %d = %v, want %v (same-slot ties break by source index)", i, got[i], want[i])
+		}
+	}
+	wantEmits := []int{0, 2, 0, 2, 0}
+	for i := range wantEmits {
+		if emits[i] != wantEmits[i] {
+			t.Fatalf("OnEmit sources = %v, want %v", emits, wantEmits)
+		}
+	}
+}
+
+func TestMergeAllNilOrEmpty(t *testing.T) {
+	if _, _, ok := NewMerge(nil, nil).Next(); ok {
+		t.Fatal("merge of nils produced a batch")
+	}
+	empty, err := NewTrace(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := NewMerge(empty).Next(); ok {
+		t.Fatal("merge of an empty source produced a batch")
+	}
+}
+
+// backwards is a deliberately broken source: its second batch precedes its
+// first.
+type backwards struct{ n int }
+
+func (s *backwards) Next() (int64, int64, bool) {
+	s.n++
+	switch s.n {
+	case 1:
+		return 10, 1, true
+	case 2:
+		return 5, 1, true
+	}
+	return 0, 0, false
+}
+
+func TestMergePanicsOnBackwardsSource(t *testing.T) {
+	m := NewMerge(&backwards{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("backwards inner source not detected")
+		}
+	}()
+	for i := 0; i < 4; i++ {
+		m.Next()
+	}
+}

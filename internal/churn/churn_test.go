@@ -1,0 +1,139 @@
+package churn
+
+import (
+	"testing"
+
+	"lowsensing/channel"
+)
+
+func TestFlashCrowdValidation(t *testing.T) {
+	if _, err := NewFlashCrowd(-1, 8, 0); err == nil {
+		t.Fatal("negative slot accepted")
+	}
+	if _, err := NewFlashCrowd(0, 0, 10); err == nil {
+		t.Fatal("empty crowd accepted")
+	}
+	if _, err := NewFlashCrowd(0, 8, 0); err != nil {
+		t.Fatalf("lifetime 0 (never leave) rejected: %v", err)
+	}
+}
+
+func TestFlashCrowdJoinsAndLeaves(t *testing.T) {
+	f, err := NewFlashCrowd(64, 12, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slot, count, ok := f.Joins().Next()
+	if !ok || slot != 64 || count != 12 {
+		t.Fatalf("Joins head = (%d, %d, %v), want (64, 12, true)", slot, count, ok)
+	}
+	// The patience is a pure function of arrival, id-independent.
+	if got := f.LeaveSlot(3, 100); got != 500 {
+		t.Fatalf("LeaveSlot(3, 100) = %d, want 500", got)
+	}
+	if got := f.LeaveSlot(99, 100); got != 500 {
+		t.Fatalf("patience must not depend on id: got %d", got)
+	}
+	// Lifetime <= 0 means nobody ever leaves.
+	f2, err := NewFlashCrowd(64, 12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f2.LeaveSlot(0, 100); got != -1 {
+		t.Fatalf("LeaveSlot with lifetime 0 = %d, want -1", got)
+	}
+}
+
+func TestEpochsLeaveLaw(t *testing.T) {
+	if _, err := NewEpochs(0); err == nil {
+		t.Fatal("period 0 accepted")
+	}
+	e, err := NewEpochs(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Joins() != nil {
+		t.Fatal("epoch renewal must inject no joins")
+	}
+	// The leave slot is the first multiple of the period strictly after
+	// arrival: a packet arriving exactly on a boundary lives a full epoch.
+	cases := []struct{ arrival, want int64 }{
+		{0, 100}, {1, 100}, {99, 100}, {100, 200}, {101, 200}, {250, 300},
+	}
+	for _, c := range cases {
+		if got := e.LeaveSlot(0, c.arrival); got != c.want {
+			t.Fatalf("LeaveSlot(arrival=%d) = %d, want %d", c.arrival, got, c.want)
+		}
+	}
+}
+
+func TestPoissonJoinLeaveValidation(t *testing.T) {
+	if _, err := NewPoissonJoinLeave(0, 8, 0.1, 1); err == nil {
+		t.Fatal("rate 0 accepted")
+	}
+	if _, err := NewPoissonJoinLeave(0.1, 0, 0.1, 1); err == nil {
+		t.Fatal("join budget 0 accepted")
+	}
+	if _, err := NewPoissonJoinLeave(0.1, 8, 1.5, 1); err == nil {
+		t.Fatal("leave rate > 1 accepted")
+	}
+	if _, err := NewPoissonJoinLeave(0.1, 8, 0, 1); err != nil {
+		t.Fatalf("leave rate 0 (pure joins) rejected: %v", err)
+	}
+}
+
+func TestPoissonJoinLeaveDeterminism(t *testing.T) {
+	mk := func() channel.Churn {
+		p, err := NewPoissonJoinLeave(0.2, 64, 0.05, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	// The patience is a pure function of (seed, id): identical across
+	// process instances and across repeated calls, regardless of order.
+	a, b := mk(), mk()
+	for _, id := range []int64{0, 1, 7, 1 << 20} {
+		x := a.LeaveSlot(id, 100)
+		if x <= 100 {
+			t.Fatalf("LeaveSlot(id=%d) = %d, not after arrival", id, x)
+		}
+		if y := b.LeaveSlot(id, 100); y != x {
+			t.Fatalf("LeaveSlot(id=%d) differs across instances: %d vs %d", id, x, y)
+		}
+		if y := a.LeaveSlot(id, 100); y != x {
+			t.Fatalf("LeaveSlot(id=%d) differs across calls: %d vs %d", id, x, y)
+		}
+	}
+	// Different ids draw from different streams (all equal would mean the
+	// id salt is dead).
+	if a.LeaveSlot(0, 100) == a.LeaveSlot(1, 100) && a.LeaveSlot(1, 100) == a.LeaveSlot(2, 100) {
+		t.Fatal("patience identical for ids 0,1,2: per-id stream not salted")
+	}
+	// The join stream is deterministic and respects the budget.
+	total := int64(0)
+	src := mk().Joins()
+	prev := int64(-1)
+	for {
+		slot, count, ok := src.Next()
+		if !ok {
+			break
+		}
+		if slot < prev {
+			t.Fatalf("join stream went backwards: %d after %d", slot, prev)
+		}
+		prev = slot
+		total += count
+	}
+	if total != 64 {
+		t.Fatalf("join budget: emitted %d packets, want 64", total)
+	}
+	// LeaveRate 0: nobody leaves.
+	p0, err := NewPoissonJoinLeave(0.2, 64, 0, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p0.LeaveSlot(5, 100); got != -1 {
+		t.Fatalf("LeaveSlot with leave rate 0 = %d, want -1", got)
+	}
+}

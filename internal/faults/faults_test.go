@@ -1,0 +1,124 @@
+package faults
+
+import (
+	"math"
+	"testing"
+
+	"lowsensing/channel"
+	"lowsensing/prng"
+)
+
+func TestConstructorValidation(t *testing.T) {
+	if _, err := NewSensing(1.5, 0); err == nil {
+		t.Fatal("false-busy > 1 accepted")
+	}
+	if _, err := NewSensing(0, math.NaN()); err == nil {
+		t.Fatal("NaN false-idle accepted")
+	}
+	if _, err := NewSensing(0, 0); err == nil {
+		t.Fatal("no-op sensing model accepted")
+	}
+	if _, err := NewCrash(0, 4); err == nil {
+		t.Fatal("no-op crash model accepted")
+	}
+	if _, err := NewCrash(0.1, -1); err == nil {
+		t.Fatal("negative down time accepted")
+	}
+	if _, err := NewFlaky(0, 0, 0, 0); err == nil {
+		t.Fatal("no-op flaky model accepted")
+	}
+	if _, err := NewFlaky(0.1, 0, 0.1, -2); err == nil {
+		t.Fatal("negative flaky down time accepted")
+	}
+}
+
+func TestCorruptDirections(t *testing.T) {
+	// Extreme probabilities make corruption deterministic: every Empty
+	// flips Noisy and every Noisy flips Empty, but Success is untouchable —
+	// sensing faults corrupt what an idle listener hears, never the fact of
+	// a delivered packet.
+	m, err := NewSensing(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rng prng.Source
+	rng.Reinit(1, 2)
+	if got := m.Corrupt(0, 0, channel.OutcomeEmpty, &rng); got != channel.OutcomeNoisy {
+		t.Fatalf("Empty with false-busy 1 = %v, want Noisy", got)
+	}
+	if got := m.Corrupt(0, 1, channel.OutcomeNoisy, &rng); got != channel.OutcomeEmpty {
+		t.Fatalf("Noisy with false-idle 1 = %v, want Empty", got)
+	}
+	if got := m.Corrupt(0, 2, channel.OutcomeSuccess, &rng); got != channel.OutcomeSuccess {
+		t.Fatalf("Success corrupted to %v", got)
+	}
+}
+
+func TestDrawDisciplineIsOutcomeIndependent(t *testing.T) {
+	// The contract behind bit-exact fault trajectories: the number of rng
+	// draws per call depends only on the model's parameters, never on the
+	// outcome passed in. Two identical streams fed different outcome
+	// sequences must stay in lockstep.
+	m, err := NewFlaky(0.3, 0.2, 0.1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b prng.Source
+	a.Reinit(7, 9)
+	b.Reinit(7, 9)
+	outcomesA := []channel.Outcome{channel.OutcomeEmpty, channel.OutcomeNoisy, channel.OutcomeSuccess}
+	outcomesB := []channel.Outcome{channel.OutcomeSuccess, channel.OutcomeEmpty, channel.OutcomeNoisy}
+	for i := 0; i < 300; i++ {
+		m.Corrupt(int64(i), int64(i), outcomesA[i%3], &a)
+		m.Corrupt(int64(i), int64(i), outcomesB[i%3], &b)
+		m.Crash(int64(i), int64(i), &a)
+		m.Crash(int64(i), int64(i), &b)
+	}
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("fault streams diverged: draw count depends on the outcome")
+	}
+}
+
+func TestCrashDrawsAndDownTime(t *testing.T) {
+	m, err := NewCrash(1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rng prng.Source
+	rng.Reinit(3, 4)
+	down, crashed := m.Crash(0, 10, &rng)
+	if !crashed || down != 6 {
+		t.Fatalf("Crash with rate 1 = (%d, %v), want (6, true)", down, crashed)
+	}
+	// A sensing-only model never draws in Crash, so the stream position is
+	// untouched.
+	s, err := NewSensing(0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var x, y prng.Source
+	x.Reinit(5, 6)
+	y.Reinit(5, 6)
+	if _, crashed := s.Crash(0, 0, &x); crashed {
+		t.Fatal("sensing-only model crashed")
+	}
+	if x.Uint64() != y.Uint64() {
+		t.Fatal("sensing-only Crash consumed from the rng")
+	}
+}
+
+func TestZeroModelInjectsNothing(t *testing.T) {
+	var m Model
+	var rng prng.Source
+	rng.Reinit(1, 1)
+	before := rng
+	if got := m.Corrupt(0, 0, channel.OutcomeEmpty, &rng); got != channel.OutcomeEmpty {
+		t.Fatalf("zero model corrupted: %v", got)
+	}
+	if _, crashed := m.Crash(0, 0, &rng); crashed {
+		t.Fatal("zero model crashed")
+	}
+	if rng.Uint64() != before.Uint64() {
+		t.Fatal("zero model consumed from the rng")
+	}
+}

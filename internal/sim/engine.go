@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"lowsensing/channel"
 	"lowsensing/obs"
 	"lowsensing/prng"
 )
@@ -25,10 +26,12 @@ type Params struct {
 	// Recorder, if non-nil, receives the run's structured event stream: an
 	// obs.SlotEvent after every resolved slot (before Probe) and an
 	// obs.PacketEvent for every packet — delivered packets at departure in
-	// departure order, undelivered packets at the end of the run in arrival
-	// order with Departure = -1. The packet events of packets departing at
-	// slot t precede t's slot event. A nil Recorder costs one predictable
-	// branch per slot and keeps the hot path allocation-free.
+	// departure order, packets abandoned by churn at their leave slot with
+	// Departure = DepartureAbandoned, undelivered packets at the end of the
+	// run in arrival order with Departure = -1. The packet events of packets
+	// departing (or abandoning) at slot t precede t's slot event. A nil
+	// Recorder costs one predictable branch per slot and keeps the hot path
+	// allocation-free.
 	Recorder obs.Recorder
 	// PacketSink, if non-nil, receives every packet's final PacketStats:
 	// delivered packets as they depart (in departure order), undelivered
@@ -46,6 +49,26 @@ type Params struct {
 	// bit-identical either way (the equivalence the property tests pin
 	// down); the switch exists as an escape hatch and for those tests.
 	DisableBatching bool
+	// Lifetime, if non-nil, assigns every packet a churn leave slot at
+	// injection: a packet with Lifetime(id, arrival) = L behaves normally
+	// through slot L-1 and, if still undelivered, abandons the system
+	// before acting in slot L (negative = never leaves). The function must
+	// be pure in (id, arrival) — see channel.Churn.LeaveSlot — and must
+	// return either a negative value or a slot strictly after arrival.
+	// Abandoned packets keep their energy spent, carry Departure =
+	// DepartureAbandoned, and are counted in Result.Abandoned; a nil
+	// Lifetime costs one predictable branch per event and keeps the batch
+	// fast path eligible.
+	Lifetime func(id, arrival int64) int64
+	// Faults, if non-nil, injects station faults on the observe path: it
+	// may corrupt the outcome a listening station senses and may crash a
+	// station, which then loses all protocol state and re-enters cold (see
+	// channel.FaultModel). The model draws from a dedicated engine-owned
+	// prng stream, independent of every station stream, so fault
+	// trajectories are bit-identical per seed. A nil Faults costs one
+	// predictable branch per accessor and keeps the batch fast path
+	// eligible.
+	Faults channel.FaultModel
 	// ReuseStations opts into station recycling: when a departed packet's
 	// Station implements ReusableStation, the object stays attached to its
 	// recycled slot-table entry and is Reset for the entry's next packet
@@ -62,6 +85,10 @@ type Params struct {
 
 // DefaultMaxSlots is the safety cap applied when Params.MaxSlots is zero.
 const DefaultMaxSlots = int64(1) << 40
+
+// faultStream is the stream index of the engine's dedicated fault-model
+// rng (station packets use streams id+1).
+const faultStream = 0x666c7473 // "flts"
 
 // Engine runs the slotted-channel simulation. Construct with NewEngine and
 // drive with Run; an Engine is single-use and not safe for concurrent use.
@@ -115,6 +142,13 @@ type Engine struct {
 	completed    int64
 	curSlot      int64
 
+	// Fault-injection and churn state. faultRng is the dedicated stream
+	// Params.Faults draws from — independent of every station stream, and
+	// advanced in deterministic per-slot, per-station id order.
+	faultRng   prng.Source
+	abandoned  int64
+	faultStats FaultStats
+
 	// Scratch buffers reused across slots.
 	slotStations []int32
 	slotSenders  []int64
@@ -157,6 +191,7 @@ type stationState struct {
 	listens   int64
 	nextSlot  int64
 	firstSend int64 // slot of the packet's first transmission; -1 if none yet
+	leaveAt   int64 // churn leave slot; -1 means the packet never leaves
 	prevLive  int32
 	nextLive  int32
 	willSend  bool
@@ -188,6 +223,9 @@ func NewEngine(p Params) (*Engine, error) {
 		e.react = rj
 	}
 	e.rangeJam, _ = e.jammer.(RangeJammer)
+	if p.Faults != nil {
+		e.faultRng.Reinit(p.Seed, faultStream)
+	}
 	// Adaptive adversary components receive a handle to the engine so they
 	// can observe public history (backlog, counts) when making decisions.
 	if b, ok := e.jammer.(EngineBound); ok {
@@ -232,9 +270,14 @@ func (e *Engine) Run() (Result, error) {
 }
 
 func (e *Engine) decideBatchOK() {
+	// Churn and faults force the general resolver: abandon events and
+	// fault-stream draws are per-slot effects the batch path does not
+	// replay. The fault-free, churn-free path is untouched — which is also
+	// what makes runs with faults on trivially identical across the
+	// batched/general setting.
 	p := &e.params
 	e.batchOK = !p.DisableBatching && p.Recorder == nil && p.Probe == nil &&
-		!p.RetainPackets && e.react == nil
+		!p.RetainPackets && e.react == nil && p.Faults == nil && p.Lifetime == nil
 }
 
 // advance is the scheduler loop shared by Run and the stepped API: it
@@ -291,12 +334,16 @@ func (e *Engine) advance(limit int64) {
 				e.resolveRun(t)
 				continue
 			}
-			e.resolveSlot(t)
-			if e.params.Recorder != nil {
-				e.params.Recorder.RecordSlot(e.LastSlotEvent())
-			}
-			if e.params.Probe != nil {
-				e.params.Probe(e, t)
+			// A false return means every due event was a churn abandon: no
+			// station accessed the channel, so there is no slot to record
+			// or probe.
+			if e.resolveSlot(t) {
+				if e.params.Recorder != nil {
+					e.params.Recorder.RecordSlot(e.LastSlotEvent())
+				}
+				if e.params.Probe != nil {
+					e.params.Probe(e, t)
+				}
 			}
 		}
 	}
@@ -426,12 +473,20 @@ func (e *Engine) injectBatch(t, count int64) {
 		if next < t {
 			schedBehindPanic(id, next, t)
 		}
+		leaveAt := int64(-1)
+		if e.params.Lifetime != nil {
+			leaveAt = e.params.Lifetime(id, t)
+			if leaveAt >= 0 && leaveAt <= t {
+				leaveBehindPanic(id, leaveAt, t)
+			}
+		}
 		ss.id = id
 		ss.arrival = t
 		ss.sends = 0
 		ss.listens = 0
 		ss.nextSlot = next
 		ss.firstSend = -1
+		ss.leaveAt = leaveAt
 		ss.prevLive = e.liveTail
 		ss.nextLive = -1
 		ss.willSend = send
@@ -444,7 +499,13 @@ func (e *Engine) injectBatch(t, count int64) {
 		if e.params.RetainPackets {
 			e.retained = append(e.retained, PacketStats{ID: id, Arrival: t, Departure: -1})
 		}
-		e.events.Push(event{slot: next, id: id, idx: idx})
+		// Cap the event at the leave slot: the station is woken there to
+		// abandon instead of to act.
+		evSlot := next
+		if leaveAt >= 0 && leaveAt < evSlot {
+			evSlot = leaveAt
+		}
+		e.events.Push(event{slot: evSlot, id: id, idx: idx})
 		if e.activeCount == 0 {
 			e.busy = true
 			e.busyStart = t
@@ -457,12 +518,16 @@ func (e *Engine) injectBatch(t, count int64) {
 	}
 }
 
-// resolveSlot pops every station accessing slot t, resolves the channel,
-// delivers observations, and reschedules survivors.
+// resolveSlot pops every station due at slot t — separating churn
+// abandons (processed first, in id order) from channel accessors —
+// resolves the channel, delivers observations (possibly corrupted or lost
+// to faults), and reschedules survivors. It reports whether the slot was
+// actually resolved: false means every due event was an abandon, no
+// station accessed the channel, and neither the jammer nor any per-slot
+// observer saw the slot.
 //
 //lsbvet:hotpath
-func (e *Engine) resolveSlot(t int64) {
-	e.stats.SlotsResolved++
+func (e *Engine) resolveSlot(t int64) bool {
 	e.slotStations = e.slotStations[:0]
 	e.slotSenders = e.slotSenders[:0]
 	for {
@@ -470,11 +535,30 @@ func (e *Engine) resolveSlot(t int64) {
 		if !ok {
 			break
 		}
+		if ss := &e.stations[ev.idx]; ss.leaveAt >= 0 && t >= ss.leaveAt {
+			e.abandonStation(ev.idx)
+			continue
+		}
 		e.slotStations = append(e.slotStations, ev.idx)
 		if e.stations[ev.idx].willSend {
 			e.slotSenders = append(e.slotSenders, ev.id)
 		}
 	}
+	if len(e.slotStations) == 0 {
+		// Abandon-only slot. The leavers were live through slot t-1, so if
+		// they closed the busy period it ends there: t-busyStart active
+		// slots, and the unobserved jams run over [jamCursor, t).
+		if e.activeCount == 0 && e.busy {
+			if t > e.jamCursor {
+				e.jammedSlots += e.jammer.CountRange(e.jamCursor, t)
+			}
+			e.jamCursor = t
+			e.closedActive += t - e.busyStart
+			e.busy = false
+		}
+		return false
+	}
+	e.stats.SlotsResolved++
 
 	// Account jamming over the skipped active range (jamCursor, t).
 	if e.busy && t > e.jamCursor {
@@ -519,7 +603,33 @@ func (e *Engine) resolveSlot(t int64) {
 		} else {
 			ss.listens++
 		}
-		observeStation(ss, Observation{Slot: t, Outcome: outcome, Sent: sent, Succeeded: succeeded})
+		if e.params.Faults != nil && !succeeded {
+			// Fault injection, on the engine's dedicated stream in accessor
+			// (id) order: sensing corruption first (listen-only accesses at
+			// Empty/Noisy slots), then the crash decision. Delivery stays
+			// truthful — succeeded accesses are never consulted.
+			oo := outcome
+			if !sent && outcome != OutcomeSuccess {
+				oo = e.params.Faults.Corrupt(ss.id, t, outcome, &e.faultRng)
+				if oo != outcome {
+					e.faultStats.Corrupted++
+					if outcome == OutcomeEmpty && oo == OutcomeNoisy {
+						e.faultStats.FalseBusy++
+					} else if outcome == OutcomeNoisy && oo == OutcomeEmpty {
+						e.faultStats.FalseIdle++
+					}
+				}
+			}
+			if down, crashed := e.params.Faults.Crash(ss.id, t, &e.faultRng); crashed {
+				e.faultStats.Crashes++
+				e.faultStats.DownSlots += down
+				e.crashStation(idx, t, down)
+				continue
+			}
+			observeStation(ss, Observation{Slot: t, Outcome: oo, Sent: sent, Succeeded: false})
+		} else {
+			observeStation(ss, Observation{Slot: t, Outcome: outcome, Sent: sent, Succeeded: succeeded})
+		}
 		if succeeded {
 			e.depart(idx, t)
 			e.completed++
@@ -532,13 +642,87 @@ func (e *Engine) resolveSlot(t int64) {
 		}
 		ss.nextSlot = next
 		ss.willSend = send
-		e.events.Push(event{slot: next, id: ss.id, idx: idx})
+		evSlot := next
+		if ss.leaveAt >= 0 && ss.leaveAt < evSlot {
+			evSlot = ss.leaveAt
+		}
+		e.events.Push(event{slot: evSlot, id: ss.id, idx: idx})
 	}
 
 	if e.activeCount == 0 && e.busy {
 		e.closedActive += t - e.busyStart + 1
 		e.busy = false
 	}
+	return true
+}
+
+// abandonStation removes a packet that reached its churn leave slot: its
+// statistics are folded with Departure = DepartureAbandoned, its live-list
+// link removed, and its slot-table entry recycled — exactly a departure's
+// lifecycle, minus the delivery.
+//
+//lsbvet:hotpath
+func (e *Engine) abandonStation(idx int32) {
+	ss := &e.stations[idx]
+	e.abandoned++
+	e.activeCount--
+	e.finishPacket(PacketStats{
+		ID:        ss.id,
+		Arrival:   ss.arrival,
+		Departure: DepartureAbandoned,
+		Sends:     ss.sends,
+		Listens:   ss.listens,
+	}, ss.firstSend, ss.leaveAt)
+	if ss.prevLive >= 0 {
+		e.stations[ss.prevLive].nextLive = ss.nextLive
+	} else {
+		e.liveHead = ss.nextLive
+	}
+	if ss.nextLive >= 0 {
+		e.stations[ss.nextLive].prevLive = ss.prevLive
+	} else {
+		e.liveTail = ss.prevLive
+	}
+	var reuse ReusableStation
+	var kind stationKind
+	if e.params.ReuseStations {
+		if reuse, _ = ss.st.(ReusableStation); reuse != nil {
+			kind = ss.kind
+		}
+	}
+	*ss = stationState{reuse: reuse, kind: kind}
+	e.freeList = append(e.freeList, idx)
+}
+
+// crashStation rebuilds a crashed station cold — it loses every bit of
+// protocol state, continuing its own rng stream (a reinit would replay the
+// original draws and re-derive the schedule it already ran) — and
+// reschedules its first fresh access from slot t+1+down.
+func (e *Engine) crashStation(idx int32, t, down int64) {
+	ss := &e.stations[idx]
+	if rs, ok := ss.st.(ReusableStation); ok && e.params.ReuseStations {
+		rs.Reset(ss.id, &ss.rng)
+		e.stats.StationsReused++
+	} else {
+		ss.st = e.params.NewStation(ss.id, &ss.rng)
+		ss.kind = classifyStation(ss.st)
+		e.stats.StationsBuilt++
+	}
+	if down < 0 {
+		down = 0
+	}
+	from := t + 1 + down
+	next, send := scheduleStation(ss, from, &ss.rng)
+	if next < from {
+		schedBehindPanic(ss.id, next, from)
+	}
+	ss.nextSlot = next
+	ss.willSend = send
+	evSlot := next
+	if ss.leaveAt >= 0 && ss.leaveAt < evSlot {
+		evSlot = ss.leaveAt
+	}
+	e.events.Push(event{slot: evSlot, id: ss.id, idx: idx})
 }
 
 // depart finalizes a delivered packet: folds its statistics into the
@@ -554,7 +738,7 @@ func (e *Engine) depart(idx int32, t int64) {
 		Departure: t,
 		Sends:     ss.sends,
 		Listens:   ss.listens,
-	}, ss.firstSend)
+	}, ss.firstSend, -1)
 	if ss.prevLive >= 0 {
 		e.stations[ss.prevLive].nextLive = ss.nextLive
 	} else {
@@ -581,10 +765,11 @@ func (e *Engine) depart(idx int32, t int64) {
 }
 
 // finishPacket routes one packet's final statistics to the accumulators,
-// the retained record, the sink, and the recorder. firstSend is carried
-// alongside PacketStats (not inside it) so the differential reference
-// engine's bit-exact PacketStats comparison is untouched.
-func (e *Engine) finishPacket(p PacketStats, firstSend int64) {
+// the retained record, the sink, and the recorder. firstSend and leftAt
+// (the churn abandon slot, -1 for delivered packets and survivors) are
+// carried alongside PacketStats (not inside it) so the differential
+// reference engine's bit-exact PacketStats comparison is untouched.
+func (e *Engine) finishPacket(p PacketStats, firstSend, leftAt int64) {
 	e.energy.AddPacket(p)
 	if e.params.RetainPackets {
 		e.retained[p.ID] = p
@@ -598,6 +783,7 @@ func (e *Engine) finishPacket(p PacketStats, firstSend int64) {
 			Arrival:   p.Arrival,
 			FirstSend: firstSend,
 			Departure: p.Departure,
+			LeftAt:    leftAt,
 			Sends:     p.Sends,
 			Listens:   p.Listens,
 		})
@@ -608,9 +794,11 @@ func (e *Engine) result() Result {
 	r := Result{
 		Arrived:     e.nextID,
 		Completed:   e.completed,
+		Abandoned:   e.abandoned,
 		ActiveSlots: e.closedActive,
 		JammedSlots: e.jammedSlots,
 		LastSlot:    e.curSlot,
+		Faults:      e.faultStats,
 	}
 	if e.busy {
 		// Truncated: count the open busy period and its unobserved jams. The
@@ -636,7 +824,7 @@ func (e *Engine) result() Result {
 			Departure: -1,
 			Sends:     ss.sends,
 			Listens:   ss.listens,
-		}, ss.firstSend)
+		}, ss.firstSend, -1)
 		idx = next
 	}
 	r.Energy = e.energy
@@ -761,4 +949,9 @@ func schedBehindPanic(id, next, t int64) {
 //go:noinline
 func arrivalsBackPanic(next, t int64) {
 	panic(fmt.Sprintf("sim: arrival source went backwards: %d after %d", next, t))
+}
+
+//go:noinline
+func leaveBehindPanic(id, leaveAt, t int64) {
+	panic(fmt.Sprintf("sim: packet %d got leave slot %d not after its arrival %d", id, leaveAt, t))
 }

@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"testing"
+
+	"lowsensing/internal/arrivals"
+	"lowsensing/internal/churn"
+	"lowsensing/internal/core"
+	"lowsensing/internal/faults"
+)
+
+// BenchmarkEngineFaults measures what fault injection and churn cost on the
+// engine's hot path, against the same Bernoulli LSB workload as
+// BenchmarkEngineHotPath/lsb/bernoulli. The off row is the gate: with
+// Faults and Lifetime nil the engine must stay allocation-free and within
+// a few percent of the plain hot path — the robustness hooks are one
+// predictable branch each when disabled. The remaining rows price the
+// enabled paths: sensing corruption (one uniform per unsucceeded listen),
+// crash injection, and churn lifetimes (a leave-slot computation per
+// injection plus abandon sweeps).
+func BenchmarkEngineFaults(b *testing.B) {
+	run := func(b *testing.B, mut func(*Params)) {
+		b.Helper()
+		src, err := arrivals.NewBernoulli(0.15, int64(b.N), 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := Params{
+			Seed:          1,
+			Arrivals:      src,
+			NewStation:    core.MustFactory(core.Default()),
+			ReuseStations: true,
+		}
+		if mut != nil {
+			mut(&p)
+		}
+		e, err := NewEngine(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		res, err := e.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Arrived != int64(b.N) {
+			b.Fatalf("arrived %d packets, want %d", res.Arrived, b.N)
+		}
+		b.ReportMetric(float64(res.Energy.Accesses.Sum)/b.Elapsed().Seconds(), "events/sec")
+	}
+
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+
+	b.Run("sensing", func(b *testing.B) {
+		m, err := faults.NewSensing(0.1, 0.05)
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, func(p *Params) { p.Faults = m })
+	})
+
+	b.Run("flaky", func(b *testing.B) {
+		m, err := faults.NewFlaky(0.1, 0.05, 0.001, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, func(p *Params) { p.Faults = m })
+	})
+
+	b.Run("churn", func(b *testing.B) {
+		// Lifetimes far beyond the drain horizon: the bench prices the
+		// leave-slot bookkeeping, not a different (abandon-heavy) workload.
+		c, err := churn.NewPoissonJoinLeave(0.01, 1, 1e-7, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, func(p *Params) { p.Lifetime = c.LeaveSlot })
+	})
+}

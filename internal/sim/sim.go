@@ -66,6 +66,10 @@ type (
 	RangeJammer = channel.RangeJammer
 	// NoJammer is a Jammer that never jams.
 	NoJammer = channel.NoJammer
+	// Churn is a population-churn process (joins plus leave slots).
+	Churn = channel.Churn
+	// FaultModel injects sensing corruption and station crashes.
+	FaultModel = channel.FaultModel
 )
 
 // The three channel outcomes, re-exported from package channel.
@@ -77,7 +81,8 @@ const (
 
 // PacketStats records the lifetime and energy of one packet. ID is the
 // packet's global arrival index (0-based). Departure is -1 if the packet
-// was still in the system when the run ended. Energy in the paper's sense
+// was still in the system when the run ended, and DepartureAbandoned (-2)
+// if it left undelivered under churn. Energy in the paper's sense
 // is Sends + Listens: each slot in which the packet accessed the channel
 // costs one unit (a sending packet need not also listen, so a
 // send-and-listen slot costs one access, counted as a send).
@@ -88,6 +93,14 @@ type PacketStats struct {
 	Sends     int64
 	Listens   int64
 }
+
+// DepartureAbandoned is the PacketStats.Departure sentinel of a packet
+// that left the system undelivered under churn (Params.Lifetime) — as
+// opposed to -1, a survivor still in the system when the run ended.
+const DepartureAbandoned = int64(-2)
+
+// Abandoned reports whether the packet left undelivered under churn.
+func (p PacketStats) Abandoned() bool { return p.Departure == DepartureAbandoned }
 
 // Accesses returns the packet's total channel accesses.
 func (p PacketStats) Accesses() int64 { return p.Sends + p.Listens }
@@ -114,6 +127,10 @@ type EnergyStats struct {
 	Latency  stats.Tally
 	// Undelivered counts packets still in the system at the end.
 	Undelivered int64
+	// Abandoned counts packets that left undelivered under churn
+	// (PacketStats.Departure == DepartureAbandoned). Their energy is folded
+	// like everyone else's; their latency, like survivors', is not.
+	Abandoned int64
 }
 
 // AddPacket folds one packet's final statistics into the accumulators.
@@ -121,9 +138,12 @@ func (e *EnergyStats) AddPacket(p PacketStats) {
 	e.Sends.Add(p.Sends)
 	e.Listens.Add(p.Listens)
 	e.Accesses.Add(p.Sends + p.Listens)
-	if p.Departure >= 0 {
+	switch {
+	case p.Departure >= 0:
 		e.Latency.Add(p.Latency())
-	} else {
+	case p.Departure == DepartureAbandoned:
+		e.Abandoned++
+	default:
 		e.Undelivered++
 	}
 }
@@ -137,6 +157,7 @@ func (e *EnergyStats) Merge(o *EnergyStats) {
 	e.Accesses.Merge(&o.Accesses)
 	e.Latency.Merge(&o.Latency)
 	e.Undelivered += o.Undelivered
+	e.Abandoned += o.Abandoned
 }
 
 // Packets returns the number of packets accounted so far.
@@ -189,12 +210,40 @@ type EngineStats struct {
 	PeakSlotTable int64
 }
 
+// FaultStats summarizes the station faults a run injected
+// (Params.Faults). All counters are exact and deterministic per seed.
+type FaultStats struct {
+	// Corrupted counts observations altered by sensing faults; FalseBusy
+	// (Empty sensed as Noisy) and FalseIdle (Noisy sensed as Empty) split
+	// it by direction.
+	Corrupted int64
+	FalseBusy int64
+	FalseIdle int64
+	// Crashes counts station crash events — each lost the station's whole
+	// protocol state — and DownSlots sums the offline slots they imposed.
+	Crashes   int64
+	DownSlots int64
+}
+
+// Merge sums another run's fault counters into this one.
+func (f *FaultStats) Merge(o FaultStats) {
+	f.Corrupted += o.Corrupted
+	f.FalseBusy += o.FalseBusy
+	f.FalseIdle += o.FalseIdle
+	f.Crashes += o.Crashes
+	f.DownSlots += o.DownSlots
+}
+
 // Result summarizes a finished run.
 type Result struct {
 	// Arrived is the number of packets injected (N_t).
 	Arrived int64
 	// Completed is the number of packets that succeeded (T_t).
 	Completed int64
+	// Abandoned is the number of packets that left undelivered under churn
+	// (Params.Lifetime). Conservation holds on every run:
+	// Arrived == Completed + Abandoned + Energy.Undelivered.
+	Abandoned int64
 	// ActiveSlots is the number of slots with at least one packet in the
 	// system (S_t). Inactive slots are ignored, as in the paper.
 	ActiveSlots int64
@@ -207,9 +256,24 @@ type Result struct {
 	// Truncated reports that the run hit MaxSlots with packets still in
 	// the system.
 	Truncated bool
+	// Faults summarizes injected station faults; zero when Params.Faults
+	// was nil.
+	Faults FaultStats
 	// Energy holds the streaming per-packet statistics, always populated
 	// by the engine in constant memory.
 	Energy EnergyStats
+	// Classes holds per-class results of a multi-class run, in class
+	// declaration order. The engine itself never populates it — the public
+	// Scenario layer fills it (with ClassFairness) when Scenario.Classes is
+	// set — but it lives on Result so cluster merging and sweep folding see
+	// one type.
+	Classes []ClassResult
+	// ClassFairness is Jain's fairness index over the classes' delivered
+	// fractions; zero when Classes is empty.
+	ClassFairness float64
+	// Degradation holds per-class deltas against a fault-free baseline
+	// run. Only RunWithBaseline-style drivers populate it.
+	Degradation []ClassDelta
 	// Packets holds per-packet statistics indexed by packet id. It is
 	// populated only when Params.RetainPackets is set (O(arrivals)
 	// memory); use Params.PacketSink to observe per-packet data on long
@@ -219,6 +283,115 @@ type Result struct {
 	// engine. It describes engine mechanics, not protocol behavior, and is
 	// deliberately excluded from differential-reference comparison.
 	EngineStats EngineStats
+}
+
+// ClassResult aggregates one workload class of a multi-class run: exact
+// conservation counts plus the class's own streaming accumulators
+// (energy, latency quantiles), in constant memory per class.
+type ClassResult struct {
+	// Name is the class's declared name.
+	Name string
+	// Arrived, Completed, Abandoned, and Survivors partition the class's
+	// packets: Arrived == Completed + Abandoned + Survivors.
+	Arrived   int64
+	Completed int64
+	Abandoned int64
+	Survivors int64
+	// Energy holds the class's streaming per-packet accumulators.
+	Energy EnergyStats
+}
+
+// DeliveredFrac returns the fraction of the class's arrived packets that
+// were delivered (1 if nothing arrived) — the quantity class fairness and
+// degradation deltas are computed over.
+func (c ClassResult) DeliveredFrac() float64 {
+	if c.Arrived == 0 {
+		return 1
+	}
+	return float64(c.Completed) / float64(c.Arrived)
+}
+
+// ClassDelta is one class's graceful-degradation report: headline metrics
+// of a faulty run next to the same class in the fault-free baseline run
+// (same scenario with churn and faults stripped).
+type ClassDelta struct {
+	// Name is the class's declared name; "" for the implicit single class
+	// of a classless scenario.
+	Name string
+	// DeliveredFrac and BaselineDeliveredFrac are the delivered fractions
+	// of the two runs; Delta is their difference (faulty - baseline), so a
+	// graceful protocol stays close to 0 from below.
+	DeliveredFrac         float64
+	BaselineDeliveredFrac float64
+	Delta                 float64
+	// MeanAccesses and BaselineMeanAccesses compare per-packet energy.
+	MeanAccesses         float64
+	BaselineMeanAccesses float64
+	// MeanLatency and BaselineMeanLatency compare mean delivered latency
+	// (0 when the run delivered nothing).
+	MeanLatency         float64
+	BaselineMeanLatency float64
+}
+
+// DegradationVs computes the per-class degradation report of r against a
+// fault-free baseline run of the same scenario. Classless results produce
+// a single whole-run delta with an empty name. Classes are matched by
+// position; a class missing from the baseline (impossible for
+// FaultFree-derived baselines, which preserve the class list) contributes
+// a delta against zero.
+func DegradationVs(r, base Result) []ClassDelta {
+	one := func(name string, frac, bfrac, acc, bacc, lat, blat float64) ClassDelta {
+		return ClassDelta{
+			Name:                  name,
+			DeliveredFrac:         frac,
+			BaselineDeliveredFrac: bfrac,
+			Delta:                 frac - bfrac,
+			MeanAccesses:          acc,
+			BaselineMeanAccesses:  bacc,
+			MeanLatency:           lat,
+			BaselineMeanLatency:   blat,
+		}
+	}
+	meanLat := func(e *EnergyStats) float64 {
+		if e.Latency.Count == 0 {
+			return 0
+		}
+		return e.Latency.Mean()
+	}
+	if len(r.Classes) == 0 {
+		frac, bfrac := 1.0, 1.0
+		if r.Arrived > 0 {
+			frac = float64(r.Completed) / float64(r.Arrived)
+		}
+		if base.Arrived > 0 {
+			bfrac = float64(base.Completed) / float64(base.Arrived)
+		}
+		return []ClassDelta{one("", frac, bfrac,
+			r.MeanAccesses(), base.MeanAccesses(),
+			meanLat(&r.Energy), meanLat(&base.Energy))}
+	}
+	out := make([]ClassDelta, len(r.Classes))
+	for i := range r.Classes {
+		c := &r.Classes[i]
+		var b ClassResult
+		if i < len(base.Classes) {
+			b = base.Classes[i]
+		}
+		bfrac := 0.0
+		if i < len(base.Classes) {
+			bfrac = b.DeliveredFrac()
+		}
+		acc, bacc := 0.0, 0.0
+		if n := c.Energy.Accesses.Count; n > 0 {
+			acc = float64(c.Energy.Accesses.Sum) / float64(n)
+		}
+		if n := b.Energy.Accesses.Count; n > 0 {
+			bacc = float64(b.Energy.Accesses.Sum) / float64(n)
+		}
+		out[i] = one(c.Name, c.DeliveredFrac(), bfrac, acc, bacc,
+			meanLat(&c.Energy), meanLat(&b.Energy))
+	}
+	return out
 }
 
 // Throughput returns the paper's overall throughput (T+J)/S for the run,

@@ -7,12 +7,15 @@
 // in exactly the same order (stations are processed in id order within a
 // slot), make identical jam-accounting calls (the same CountRange
 // arguments in the same order), and fold packets into the streaming
-// accumulators in the same order (departures as they happen, survivors in
-// id order at the end), so for identical Params they must produce
-// bit-identical Results — including Result.Energy down to the floating-
-// point second moments — a much stronger check than statistical agreement.
-// RetainPackets and PacketSink are honored with the engine's exact
-// semantics. Cost is O(MaxSlots × stations); use small instances.
+// accumulators in the same order (churn abandons before departures within
+// a slot, each in id order; survivors in id order at the end), so for
+// identical Params they must produce bit-identical Results — including
+// Result.Energy down to the floating-point second moments — a much
+// stronger check than statistical agreement. Churn (Params.Lifetime) and
+// station faults (Params.Faults, drawing the same dedicated stream in the
+// same per-slot id order) are mirrored call for call. RetainPackets and
+// PacketSink are honored with the engine's exact semantics. Cost is
+// O(MaxSlots × stations); use small instances.
 package simref
 
 import (
@@ -58,10 +61,20 @@ func Run(p sim.Params) (sim.Result, error) {
 		sends    int64
 		listens  int64
 		nextSlot int64
+		leaveAt  int64 // churn leave slot; -1 means the packet never leaves
 		willSend bool
 		active   bool
 	}
 	var stations []*st
+
+	// The fault model draws from the engine's dedicated stream (sim's
+	// faultStream constant, "flts"), independent of every station stream;
+	// prng.NewStream and Source.Reinit produce identical streams per the
+	// prng contract, so the draws match the engine's bit for bit.
+	var faultRng *prng.Source
+	if p.Faults != nil {
+		faultRng = prng.NewStream(p.Seed, 0x666c7473)
+	}
 
 	pendSlot, pendCount, pendOK := p.Arrivals.Next()
 
@@ -98,9 +111,16 @@ func Run(p sim.Params) (sim.Result, error) {
 				if next < slot {
 					panic("simref: station scheduled in the past")
 				}
+				leaveAt := int64(-1)
+				if p.Lifetime != nil {
+					leaveAt = p.Lifetime(id, slot)
+					if leaveAt >= 0 && leaveAt <= slot {
+						panic("simref: packet got leave slot not after its arrival")
+					}
+				}
 				stations = append(stations, &st{
 					station: station, rng: rng, arrival: slot, depart: -1,
-					nextSlot: next, willSend: send, active: true,
+					nextSlot: next, leaveAt: leaveAt, willSend: send, active: true,
 				})
 				if p.RetainPackets {
 					res.Packets = append(res.Packets, sim.PacketStats{ID: id, Arrival: slot, Departure: -1})
@@ -125,6 +145,26 @@ func Run(p sim.Params) (sim.Result, error) {
 			continue
 		}
 
+		// Churn abandons first, in id order — the engine folds every abandon
+		// popped at slot t before any of t's departures. A station's due slot
+		// is min(nextSlot, leaveAt), so the abandon fires exactly at leaveAt.
+		abandonedHere := false
+		if p.Lifetime != nil {
+			for id, s := range stations {
+				if s.active && s.leaveAt == slot {
+					s.active = false
+					s.depart = sim.DepartureAbandoned
+					finish(int64(id), s)
+					res.Abandoned++
+					active--
+					abandonedHere = true
+				}
+			}
+			if abandonedHere {
+				lastWorked = slot
+			}
+		}
+
 		// Who acts this slot? (id order, matching the engine's heap.)
 		var accessors []*st
 		var accessorIDs []int64
@@ -139,7 +179,20 @@ func Run(p sim.Params) (sim.Result, error) {
 			}
 		}
 		if len(accessors) == 0 {
-			continue // unobserved active slot; jams accounted lazily below
+			// Abandon-only slot: the leavers were live through slot-1, so if
+			// they closed the busy period it ends there — slot-busyStart
+			// active slots, unobserved jams over [jamCursor, slot) — exactly
+			// the engine's abandon-only accounting. Otherwise the slot is an
+			// unobserved active slot; jams are accounted lazily below.
+			if abandonedHere && active == 0 && busy {
+				if slot > jamCursor {
+					res.JammedSlots += jammer.CountRange(jamCursor, slot)
+				}
+				jamCursor = slot
+				res.ActiveSlots += slot - busyStart
+				busy = false
+			}
+			continue
 		}
 		lastWorked = slot
 
@@ -178,7 +231,45 @@ func Run(p sim.Params) (sim.Result, error) {
 			} else {
 				s.listens++
 			}
-			s.station.Observe(sim.Observation{Slot: slot, Outcome: outcome, Sent: sent, Succeeded: succeeded})
+			if p.Faults != nil && !succeeded {
+				// Fault injection on the dedicated stream in accessor (id)
+				// order, mirroring the engine: sensing corruption for
+				// listen-only accesses at Empty/Noisy slots, then the crash
+				// decision for every non-succeeded accessor.
+				oo := outcome
+				if !sent && outcome != sim.OutcomeSuccess {
+					oo = p.Faults.Corrupt(accessorIDs[ai], slot, outcome, faultRng)
+					if oo != outcome {
+						res.Faults.Corrupted++
+						if outcome == sim.OutcomeEmpty && oo == sim.OutcomeNoisy {
+							res.Faults.FalseBusy++
+						} else if outcome == sim.OutcomeNoisy && oo == sim.OutcomeEmpty {
+							res.Faults.FalseIdle++
+						}
+					}
+				}
+				if down, crashed := p.Faults.Crash(accessorIDs[ai], slot, faultRng); crashed {
+					// The station loses all protocol state and re-enters cold,
+					// continuing its own rng stream, rescheduled from
+					// slot+1+down; the lost observation is never delivered.
+					res.Faults.Crashes++
+					res.Faults.DownSlots += down
+					s.station = p.NewStation(accessorIDs[ai], s.rng)
+					if down < 0 {
+						down = 0
+					}
+					from := slot + 1 + down
+					next, send := s.station.ScheduleNext(from, s.rng)
+					if next < from {
+						panic("simref: crashed station scheduled in the past")
+					}
+					s.nextSlot, s.willSend = next, send
+					continue
+				}
+				s.station.Observe(sim.Observation{Slot: slot, Outcome: oo, Sent: sent, Succeeded: false})
+			} else {
+				s.station.Observe(sim.Observation{Slot: slot, Outcome: outcome, Sent: sent, Succeeded: succeeded})
+			}
 			if succeeded {
 				s.active = false
 				s.depart = slot

@@ -37,6 +37,12 @@ func diff(t *testing.T, name string, build func() sim.Params) {
 	if ref.Arrived != eng.Arrived || ref.Completed != eng.Completed {
 		t.Fatalf("%s: arrived/completed %d/%d vs %d/%d", name, ref.Arrived, ref.Completed, eng.Arrived, eng.Completed)
 	}
+	if ref.Abandoned != eng.Abandoned {
+		t.Fatalf("%s: abandoned %d vs %d", name, ref.Abandoned, eng.Abandoned)
+	}
+	if ref.Faults != eng.Faults {
+		t.Fatalf("%s: fault stats %+v vs %+v", name, ref.Faults, eng.Faults)
+	}
 	if ref.ActiveSlots != eng.ActiveSlots {
 		t.Fatalf("%s: active slots %d vs %d", name, ref.ActiveSlots, eng.ActiveSlots)
 	}

@@ -57,6 +57,24 @@ func Summarize(xs []float64) Summary {
 	return s
 }
 
+// Jain returns Jain's fairness index of the sample:
+// (Σx)² / (n·Σx²), which is 1 when all values are equal and 1/n when a
+// single value dominates. An empty or all-zero sample is perfectly fair
+// (1): nothing is distributed, so nothing is distributed unevenly. This is
+// the shared implementation behind cluster per-channel fairness and the
+// per-class fairness of multi-class scenarios.
+func Jain(xs []float64) float64 {
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
 // Quantile returns the q-quantile (0 <= q <= 1) of a sorted sample using
 // linear interpolation between order statistics. It panics if the sample is
 // empty or unsorted inputs are the caller's responsibility.

@@ -44,6 +44,7 @@ import (
 	"errors"
 
 	"lowsensing/channel"
+	"lowsensing/internal/arrivals"
 	"lowsensing/internal/core"
 	"lowsensing/internal/livenet"
 	"lowsensing/internal/metrics"
@@ -225,10 +226,53 @@ func (s *Simulation) Run() (Result, error) {
 	if s.ran && (s.customArrivals != nil || s.customJammer != nil) {
 		return Result{}, ErrReused
 	}
+	// Multi-class scenarios build their own merged source, dispatching
+	// factory, churn lifetimes, and fault model; they replace the top-level
+	// arrivals/protocol/churn/faults, so custom instances cannot combine
+	// with them.
+	var mc *multiclassRun
+	var lifetime func(id, arrival int64) int64
+	var faultModel FaultModel
 	src := s.customArrivals
-	if src == nil {
+	factory := s.customFactory
+	sink := s.sink
+	if len(s.sc.Classes) > 0 {
+		if s.customArrivals != nil || s.customFactory != nil {
+			return Result{}, errors.New("lowsensing: WithArrivals/WithStations cannot combine with Scenario.Classes (each class brings its own)")
+		}
 		var err error
-		if src, err = s.sc.Arrivals.Source(s.sc.Seed); err != nil {
+		if mc, err = newMulticlassRun(s.sc); err != nil {
+			return Result{}, err
+		}
+		src = mc.source
+		factory = mc.factory()
+		lifetime = mc.lifetime()
+		faultModel = mc.faults()
+		sink = mc.sink(s.sink)
+	} else {
+		if src == nil {
+			var err error
+			if src, err = s.sc.Arrivals.Source(s.sc.Seed); err != nil {
+				return Result{}, err
+			}
+		}
+		if factory == nil {
+			var err error
+			if factory, err = s.sc.Protocol.Factory(); err != nil {
+				return Result{}, err
+			}
+		}
+		ch, err := s.sc.Churn.Churn(s.sc.Seed)
+		if err != nil {
+			return Result{}, err
+		}
+		if ch != nil {
+			if joins := ch.Joins(); joins != nil {
+				src = arrivals.NewMerge(src, joins)
+			}
+			lifetime = ch.LeaveSlot
+		}
+		if faultModel, err = s.sc.Faults.Model(); err != nil {
 			return Result{}, err
 		}
 	}
@@ -236,13 +280,6 @@ func (s *Simulation) Run() (Result, error) {
 	if jammer == nil {
 		var err error
 		if jammer, err = s.sc.Jammer.Jammer(s.sc.Seed); err != nil {
-			return Result{}, err
-		}
-	}
-	factory := s.customFactory
-	if factory == nil {
-		var err error
-		if factory, err = s.sc.Protocol.Factory(); err != nil {
 			return Result{}, err
 		}
 	}
@@ -269,21 +306,31 @@ func (s *Simulation) Run() (Result, error) {
 		MaxSlots:   s.sc.MaxSlots,
 		Probe:      probe,
 		Recorder:   obs.Multi(s.recorders...),
-		PacketSink: s.sink,
+		PacketSink: sink,
+		Lifetime:   lifetime,
+		Faults:     faultModel,
 		// Station recycling is safe exactly when the factory came from a
 		// registered kind: kind factories are built from pure spec data,
 		// so every packet gets an identically-configured station and
 		// ReusableStation.Reset is indistinguishable from reconstruction.
 		// A custom WithStations closure may vary its output per packet id,
-		// so it keeps exact factory-per-packet semantics.
-		ReuseStations:   s.customFactory == nil,
+		// so it keeps exact factory-per-packet semantics — and so does a
+		// multi-class run, whose factory varies by class.
+		ReuseStations:   s.customFactory == nil && mc == nil,
 		RetainPackets:   s.sc.RetainPackets,
 		DisableBatching: s.sc.DisableBatching,
 	})
 	if err != nil {
 		return Result{}, err
 	}
-	return e.Run()
+	res, err := e.Run()
+	if err != nil {
+		return Result{}, err
+	}
+	if mc != nil {
+		mc.finalize(&res)
+	}
+	return res, nil
 }
 
 func (s *Simulation) fail(err error) {
@@ -445,6 +492,30 @@ func WithJammer(j Jammer) Option {
 		s.sc.Jammer = JammerSpec{}
 		s.customJammer = j
 	}
+}
+
+// WithChurn selects the population-churn process from a declarative spec
+// (see the Churn* constants and the FlashCrowdChurn/EpochChurn/PoissonChurn
+// constructors): flows join mid-run through the spec's extra arrival
+// stream, and undelivered packets abandon at their leave slots, counted in
+// Result.Abandoned.
+func WithChurn(c ChurnSpec) Option {
+	return func(s *Simulation) { s.sc.Churn = c }
+}
+
+// WithFaults selects the station fault model from a declarative spec (see
+// the Fault* constants and the SensingFaults/CrashFaults/FlakyFaults
+// constructors): listening stations' observations may be corrupted and
+// stations may crash, losing all protocol state. Fault counts land in
+// Result.Faults.
+func WithFaults(f FaultSpec) Option {
+	return func(s *Simulation) { s.sc.Faults = f }
+}
+
+// WithClasses makes the run a heterogeneous multi-class workload; see
+// Scenario.Classes.
+func WithClasses(classes ...ClassSpec) Option {
+	return func(s *Simulation) { s.sc.Classes = classes }
 }
 
 // WithCollector attaches a metrics collector that samples backlog,

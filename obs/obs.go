@@ -47,18 +47,29 @@ func (ev SlotEvent) Glyph() byte {
 	}
 }
 
+// DepartureAbandoned is the Departure sentinel of a packet that left the
+// system through population churn before being delivered. It mirrors the
+// engine's sim.DepartureAbandoned (obs does not import the engine); the
+// abandon slot itself is carried in LeftAt.
+const DepartureAbandoned = int64(-2)
+
 // PacketEvent describes one packet's closed lifecycle. Delivered packets
-// are emitted at departure, in departure order; packets still in the
-// system when the run ends are emitted once at the end, in arrival order,
-// with Departure = -1. FirstSend is the slot of the packet's first
+// are emitted at departure, in departure order; packets abandoning through
+// churn are emitted at their leave slot with Departure =
+// DepartureAbandoned and LeftAt set; packets still in the system when the
+// run ends are emitted once at the end, in arrival order, with
+// Departure = -1. FirstSend is the slot of the packet's first
 // transmission, or -1 if it never sent.
 type PacketEvent struct {
 	ID        int64
 	Arrival   int64
 	FirstSend int64
 	Departure int64
-	Sends     int64
-	Listens   int64
+	// LeftAt is the slot an abandoned packet left the system, -1 for
+	// delivered packets and end-of-run survivors.
+	LeftAt  int64
+	Sends   int64
+	Listens int64
 }
 
 // Accesses returns the packet's total channel accesses — its energy cost.
@@ -66,6 +77,10 @@ func (p PacketEvent) Accesses() int64 { return p.Sends + p.Listens }
 
 // Delivered reports whether the packet departed before the run ended.
 func (p PacketEvent) Delivered() bool { return p.Departure >= 0 }
+
+// Abandoned reports whether the packet left undelivered through population
+// churn (as opposed to surviving to the end of the run).
+func (p PacketEvent) Abandoned() bool { return p.Departure == DepartureAbandoned }
 
 // Latency returns Departure - Arrival for a delivered packet and -1
 // otherwise.

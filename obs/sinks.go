@@ -36,6 +36,7 @@ type packetRecord struct {
 	Arrival   int64  `json:"arrival"`
 	FirstSend int64  `json:"first_send"`
 	Departure int64  `json:"departure"`
+	LeftAt    int64  `json:"left_at"`
 	Sends     int64  `json:"sends"`
 	Listens   int64  `json:"listens"`
 }
@@ -52,6 +53,7 @@ type windowRecord struct {
 	Empties      int64   `json:"empties"`
 	Jammed       int64   `json:"jammed"`
 	Departures   int64   `json:"departures"`
+	Abandons     int64   `json:"abandons"`
 	Backlog      int64   `json:"backlog"`
 	MaxBacklog   int64   `json:"max_backlog"`
 	Throughput   float64 `json:"throughput"`
@@ -74,6 +76,7 @@ func windowToRecord(w WindowStat, run string) windowRecord {
 		Empties:      w.Empties,
 		Jammed:       w.Jammed,
 		Departures:   w.Departures,
+		Abandons:     w.Abandons,
 		Backlog:      w.Backlog,
 		MaxBacklog:   w.MaxBacklog,
 		Throughput:   w.Throughput(),
@@ -148,6 +151,7 @@ func (s *NDJSON) RecordPacket(p PacketEvent) {
 		Arrival:   p.Arrival,
 		FirstSend: p.FirstSend,
 		Departure: p.Departure,
+		LeftAt:    p.LeftAt,
 		Sends:     p.Sends,
 		Listens:   p.Listens,
 	})
@@ -197,8 +201,8 @@ func (s *CSV) SetRun(run string) {
 
 var csvHeaders = map[string]string{
 	recordSlot:   "slot,outcome,jammed,senders,accessors,backlog",
-	recordPacket: "id,arrival,first_send,departure,sends,listens",
-	recordWindow: "index,start,end,resolved,successes,collisions,empties,jammed,departures,backlog,max_backlog,throughput,jam_rate,mean_accesses,p99_accesses,mean_latency",
+	recordPacket: "id,arrival,first_send,departure,left_at,sends,listens",
+	recordWindow: "index,start,end,resolved,successes,collisions,empties,jammed,departures,abandons,backlog,max_backlog,throughput,jam_rate,mean_accesses,p99_accesses,mean_latency",
 }
 
 // bind locks the sink to one record type, writing the header row, and
@@ -273,7 +277,7 @@ func (s *CSV) RecordPacket(p PacketEvent) {
 	if !s.bind(recordPacket) {
 		return
 	}
-	s.row(p.ID, p.Arrival, p.FirstSend, p.Departure, p.Sends, p.Listens)
+	s.row(p.ID, p.Arrival, p.FirstSend, p.Departure, p.LeftAt, p.Sends, p.Listens)
 }
 
 // RecordWindow serializes one window of a time-series; pass it as the emit
@@ -284,7 +288,7 @@ func (s *CSV) RecordWindow(w WindowStat) {
 	}
 	r := windowToRecord(w, "")
 	s.row(r.Index, r.Start, r.End, r.Resolved, r.Successes, r.Collisions, r.Empties,
-		r.Jammed, r.Departures, r.Backlog, r.MaxBacklog, r.Throughput, r.JamRate,
+		r.Jammed, r.Departures, r.Abandons, r.Backlog, r.MaxBacklog, r.Throughput, r.JamRate,
 		r.MeanAccesses, r.P99Accesses, r.MeanLatency)
 }
 

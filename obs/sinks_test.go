@@ -134,12 +134,12 @@ func TestCSVRunColumn(t *testing.T) {
 	var b strings.Builder
 	s := NewCSV(&b)
 	s.SetRun("job7")
-	s.RecordPacket(PacketEvent{ID: 2, Arrival: 1, FirstSend: 3, Departure: 9, Sends: 4, Listens: 2})
+	s.RecordPacket(PacketEvent{ID: 2, Arrival: 1, FirstSend: 3, Departure: 9, LeftAt: -1, Sends: 4, Listens: 2})
 	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
-	if lines[0] != "run,id,arrival,first_send,departure,sends,listens" {
+	if lines[0] != "run,id,arrival,first_send,departure,left_at,sends,listens" {
 		t.Fatalf("header = %q", lines[0])
 	}
-	if lines[1] != "job7,2,1,3,9,4,2" {
+	if lines[1] != "job7,2,1,3,9,-1,4,2" {
 		t.Fatalf("row = %q", lines[1])
 	}
 	// SetRun after the first record is a sticky error.

@@ -31,6 +31,9 @@ type WindowStat struct {
 	Empties    int64
 	Jammed     int64
 	Departures int64
+	// Abandons counts packets that left through population churn in the
+	// window (placed by their leave slot).
+	Abandons   int64
 	Backlog    int64
 	MaxBacklog int64
 	Accesses   stats.Tally // per departed packet: sends + listens
@@ -69,6 +72,7 @@ func (w *WindowStat) Merge(o WindowStat) {
 	w.Empties += o.Empties
 	w.Jammed += o.Jammed
 	w.Departures += o.Departures
+	w.Abandons += o.Abandons
 	w.Backlog += o.Backlog
 	w.MaxBacklog += o.MaxBacklog
 	w.Accesses.Merge(&o.Accesses)
@@ -173,9 +177,15 @@ func (w *Windows) RecordSlot(ev SlotEvent) {
 	}
 }
 
-// RecordPacket implements Recorder. Undelivered packets (Departure < 0)
-// have no departure window and are skipped.
+// RecordPacket implements Recorder. Churn-abandoned packets count into
+// the Abandons of their leave slot's window; end-of-run survivors
+// (Departure == -1) have no departure window and are skipped.
 func (w *Windows) RecordPacket(p PacketEvent) {
+	if p.Abandoned() {
+		w.roll(p.LeftAt)
+		w.cur.Abandons++
+		return
+	}
 	if p.Departure < 0 {
 		return
 	}

@@ -71,6 +71,30 @@ func TestWindowsPacketRoll(t *testing.T) {
 	}
 }
 
+func TestWindowsAbandonPlacement(t *testing.T) {
+	// A churn abandon is placed by its leave slot, not its (absent)
+	// departure — and, like a departure, it can be the first event of a new
+	// window.
+	var emitted []WindowStat
+	w := NewWindows(4, func(ws WindowStat) { emitted = append(emitted, ws) })
+	w.RecordSlot(SlotEvent{Slot: 0, Outcome: channel.OutcomeSuccess})
+	w.RecordPacket(PacketEvent{ID: 1, Arrival: 0, Departure: DepartureAbandoned, LeftAt: 5, Sends: 1})
+	if len(emitted) != 1 || emitted[0].Index != 0 || emitted[0].Abandons != 0 {
+		t.Fatalf("abandon at slot 5 must close window 0 without counting into it, emitted %+v", emitted)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	w1 := emitted[1]
+	if w1.Index != 1 || w1.Abandons != 1 || w1.Departures != 0 {
+		t.Fatalf("window 1 = %+v, want one abandon and no departures", w1)
+	}
+	// Abandons never feed the access/latency tallies: the lifecycle is open.
+	if w1.Accesses.Count != 0 || w1.Latency.Count != 0 {
+		t.Fatalf("abandon leaked into tallies: %+v", w1)
+	}
+}
+
 func TestWindowsDefaultSize(t *testing.T) {
 	if got := NewWindows(0, nil).Size(); got != DefaultWindow {
 		t.Fatalf("Size() = %d, want DefaultWindow %d", got, DefaultWindow)

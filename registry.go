@@ -9,10 +9,11 @@ import (
 )
 
 // This file implements the kind registries that make the declarative layer
-// open-world: every protocol, arrival-process, jammer, and cluster-router
-// kind that ParseScenario, ParseClusterScenario, ParseSweepSpec,
-// Sweep.VaryProtocol, and the CLIs can resolve — built-in or user-defined —
-// goes through the same registries. The built-ins self-register in
+// open-world: every protocol, arrival-process, jammer, cluster-router,
+// churn, and fault-model kind that ParseScenario, ParseClusterScenario,
+// ParseSweepSpec, Sweep.VaryProtocol, and the CLIs can resolve — built-in
+// or user-defined — goes through the same registries (the churn and fault
+// registries live in robustness.go). The built-ins self-register in
 // builtins.go; user components
 // register from an init function (or any point before the kind is first
 // parsed) and are indistinguishable from built-ins afterwards.
@@ -62,7 +63,7 @@ type KindDoc struct {
 // registry is the common map-with-lock behind the three kind registries.
 // F is one of the factory function types above.
 type registry[F any] struct {
-	what    string // "protocol", "arrival", "jammer", "router"; used in messages
+	what    string // "protocol", "arrival", "jammer", "router", "churn", "fault"; used in messages
 	mu      sync.RWMutex
 	entries map[string]regEntry[F]
 }
@@ -184,9 +185,10 @@ func JammerKinds() []KindDoc { return jammerRegistry.kinds() }
 func RouterKinds() []KindDoc { return routerRegistry.kinds() }
 
 // WriteKinds writes the full registry listing — every protocol, arrival,
-// jammer, and router kind with its registration doc, sorted, one section
-// per registry — to w. Both CLIs' -kinds flags print exactly this, so a
-// kind registered by an importing package shows up automatically.
+// jammer, router, churn, and fault kind with its registration doc, sorted,
+// one section per registry — to w. Both CLIs' -kinds flags print exactly
+// this, so a kind registered by an importing package shows up
+// automatically.
 func WriteKinds(w io.Writer) error {
 	sections := []struct {
 		title string
@@ -196,6 +198,8 @@ func WriteKinds(w io.Writer) error {
 		{"arrivals", ArrivalKinds()},
 		{"jammers", JammerKinds()},
 		{"routers", RouterKinds()},
+		{"churn", ChurnKinds()},
+		{"faults", FaultKinds()},
 	}
 	for i, s := range sections {
 		if i > 0 {

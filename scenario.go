@@ -31,6 +31,19 @@ type Scenario struct {
 	Protocol ProtocolSpec `json:"protocol,omitzero"`
 	// Jammer selects the adversary. The zero value means no jamming.
 	Jammer JammerSpec `json:"jammer,omitzero"`
+	// Churn selects the population-churn process (joins and abandons). The
+	// zero value means a static population.
+	Churn ChurnSpec `json:"churn,omitzero"`
+	// Faults selects the station fault model (sensing corruption, crashes).
+	// The zero value means fault-free stations.
+	Faults FaultSpec `json:"faults,omitzero"`
+	// Classes, when non-empty, makes the run a heterogeneous multi-class
+	// workload: every class brings its own arrivals, protocol, churn, and
+	// faults, all sharing one channel (and the scenario's jammer). The
+	// top-level Arrivals, Churn, and Faults must then stay zero — each
+	// class carries its own — and results gain per-class accounting
+	// (Result.Classes) plus the cross-class Jain fairness index.
+	Classes []ClassSpec `json:"classes,omitempty"`
 	// RetainPackets materializes Result.Packets (O(arrivals) memory).
 	RetainPackets bool `json:"retain_packets,omitempty"`
 	// DisableBatching forces the engine's general per-slot resolver,
@@ -40,14 +53,28 @@ type Scenario struct {
 	DisableBatching bool `json:"disable_batching,omitempty"`
 }
 
-// clone returns a deep copy of the scenario: the Params maps of all three
-// component specs are copied, so patching or mutating the clone never
-// writes through to the original. The sweep machinery clones the base
-// before applying each grid point's patches.
+// clone returns a deep copy of the scenario: the Params maps of every
+// component spec and the Classes slice (with each class's maps) are copied,
+// so patching or mutating the clone never writes through to the original.
+// The sweep machinery clones the base before applying each grid point's
+// patches.
 func (sc Scenario) clone() Scenario {
 	sc.Arrivals.Params = maps.Clone(sc.Arrivals.Params)
 	sc.Protocol.Params = maps.Clone(sc.Protocol.Params)
 	sc.Jammer.Params = maps.Clone(sc.Jammer.Params)
+	sc.Churn.Params = maps.Clone(sc.Churn.Params)
+	sc.Faults.Params = maps.Clone(sc.Faults.Params)
+	if sc.Classes != nil {
+		classes := make([]ClassSpec, len(sc.Classes))
+		copy(classes, sc.Classes)
+		for i := range classes {
+			classes[i].Arrivals.Params = maps.Clone(classes[i].Arrivals.Params)
+			classes[i].Protocol.Params = maps.Clone(classes[i].Protocol.Params)
+			classes[i].Churn.Params = maps.Clone(classes[i].Churn.Params)
+			classes[i].Faults.Params = maps.Clone(classes[i].Faults.Params)
+		}
+		sc.Classes = classes
+	}
 	return sc
 }
 
@@ -65,16 +92,18 @@ func (sc Scenario) Run() (Result, error) { return sc.Simulation().Run() }
 // builds (and discards) the seeded components, so a nil error means Run
 // cannot fail before the engine starts.
 func (sc Scenario) Validate() error {
-	if _, err := sc.Arrivals.Source(sc.Seed); err != nil {
-		return err
-	}
-	if _, err := sc.Protocol.Factory(); err != nil {
-		return err
+	if len(sc.Classes) == 0 {
+		if _, err := sc.Arrivals.Source(sc.Seed); err != nil {
+			return err
+		}
+		if _, err := sc.Protocol.Factory(); err != nil {
+			return err
+		}
 	}
 	if _, err := sc.Jammer.Jammer(sc.Seed); err != nil {
 		return err
 	}
-	return nil
+	return sc.validateRobustness()
 }
 
 // ParseScenario decodes a JSON scenario strictly (unknown fields are

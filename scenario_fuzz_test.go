@@ -24,6 +24,18 @@ func FuzzParseScenario(f *testing.F) {
 		`{"arrivals": {"kind": "batch", "n": 4}, "protocol": {"kind": "lsb", "config": {"c": 0.5, "w_min": 8, "k": 3}}}`,
 		// Params for registered kinds ride through a free-form map.
 		`{"arrivals": {"kind": "batch", "n": 4}, "protocol": {"kind": "custom", "params": {"w0": 4, "x": -1.5}}}`,
+		// Churn, faults, and multi-class workloads.
+		`{"arrivals": {"kind": "batch", "n": 8}, "churn": {"kind": "flash-crowd", "slot": 10, "n": 6, "lifetime": 100}}`,
+		`{"arrivals": {"kind": "batch", "n": 8}, "churn": {"kind": "epochs", "period": 64}, "faults": {"kind": "sensing", "false_busy": 0.1, "false_idle": 0.05}}`,
+		`{"arrivals": {"kind": "poisson", "rate": 0.1, "n": 8}, "churn": {"kind": "poisson-join-leave", "rate": 0.05, "n": 16, "leave_rate": 0.02}, "faults": {"kind": "flaky", "false_busy": 0.1, "rate": 0.01, "down": 4}}`,
+		`{"seed": 9, "classes": [{"name": "a", "arrivals": {"kind": "batch", "n": 8}}, {"name": "b", "arrivals": {"kind": "bernoulli", "rate": 0.05, "n": 8}, "protocol": {"kind": "beb"}, "churn": {"kind": "flash-crowd", "slot": 32, "n": 4}, "faults": {"kind": "crash", "rate": 0.02, "down": 2}}]}`,
+		// Invalid robustness specs: unknown kinds, classes mixing with
+		// top-level fields, out-of-range probabilities, duplicate names.
+		`{"arrivals": {"kind": "batch", "n": 8}, "churn": {"kind": "nope"}}`,
+		`{"arrivals": {"kind": "batch", "n": 8}, "faults": {"kind": "sensing", "false_busy": 1.5}}`,
+		`{"arrivals": {"kind": "batch", "n": 8}, "classes": [{"name": "a", "arrivals": {"kind": "batch", "n": 4}}]}`,
+		`{"classes": [{"name": "a", "arrivals": {"kind": "batch", "n": 4}}, {"name": "a", "arrivals": {"kind": "batch", "n": 4}}]}`,
+		`{"classes": [{"arrivals": {"kind": "batch", "n": 4}}]}`,
 		// Unknown kinds, unknown fields, wrong types, malformed JSON.
 		`{"arrivals": {"kind": "nope"}}`,
 		`{"arrivals": {"kind": "batch", "n": 64}, "typo_field": 1}`,

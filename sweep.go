@@ -310,9 +310,11 @@ type PointResult struct {
 	Reps int
 	// Truncated counts replications that hit MaxSlots with packets left.
 	Truncated int
-	// Arrived, Completed, ActiveSlots, and JammedSlots are summed across
-	// replications.
-	Arrived, Completed, ActiveSlots, JammedSlots int64
+	// Arrived, Completed, Abandoned, ActiveSlots, and JammedSlots are
+	// summed across replications.
+	Arrived, Completed, Abandoned, ActiveSlots, JammedSlots int64
+	// Faults sums the per-replication fault-injection counters.
+	Faults FaultStats
 	// Energy merges every replication's streaming accumulators; quantiles
 	// (Energy.Accesses.Quantile(0.99), ...) are over the pooled packets of
 	// all replications.
@@ -342,8 +344,10 @@ func (pr *PointResult) fold(r Result) {
 	}
 	pr.Arrived += r.Arrived
 	pr.Completed += r.Completed
+	pr.Abandoned += r.Abandoned
 	pr.ActiveSlots += r.ActiveSlots
 	pr.JammedSlots += r.JammedSlots
+	pr.Faults.Merge(r.Faults)
 	pr.Energy.Merge(&r.Energy)
 	pr.Throughput.Add(r.Throughput())
 	if r.Energy.Latency.Count > 0 {
@@ -457,6 +461,9 @@ func (sw *Sweep) Stream(emit func(PointResult) error) error {
 // interleave in epoch order. Cluster recorders are flushed by the cluster
 // executor itself.
 func (sw *Sweep) runClusterJob(sc Scenario, rec Recorder) (Result, error) {
+	if len(sc.Classes) > 0 {
+		return Result{}, fmt.Errorf("lowsensing: cluster sweeps do not support multi-class scenarios")
+	}
 	ccs := ClusterScenario{
 		Seed:            sc.Seed,
 		Channels:        sw.channels,
@@ -465,6 +472,8 @@ func (sw *Sweep) runClusterJob(sc Scenario, rec Recorder) (Result, error) {
 		Protocol:        sc.Protocol,
 		Jammer:          sc.Jammer,
 		Router:          sw.router,
+		Churn:           sc.Churn,
+		Faults:          sc.Faults,
 		DisableBatching: sc.DisableBatching,
 		Workers:         1,
 	}
